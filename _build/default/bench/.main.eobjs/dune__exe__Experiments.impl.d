@@ -1,0 +1,1 @@
+bench/experiments.ml: Advisors Array Catalog Cophy Fmt Hashtbl Inum List Lp Optimizer Printf Storage Unix Workload

@@ -1,0 +1,112 @@
+(* Benchmark entry point.
+
+   Default mode runs the paper-reproduction experiment harness: one
+   section per table/figure of the evaluation (Table 1, Figures 4-10),
+   printing the same series the paper reports.
+
+     dune exec bench/main.exe                 # every experiment
+     dune exec bench/main.exe -- table1 fig5  # a subset
+     dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
+
+   The micro suite measures the primitives with Bechamel: what-if
+   optimization, INUM cache construction and cost evaluation, simplex
+   solves, and decomposition iterations. *)
+
+let micro_suite () =
+  let open Bechamel in
+  let schema = Catalog.Tpch.schema () in
+  let w = Workload.Gen.hom schema ~n:15 ~seed:7 in
+  let env = Optimizer.Whatif.make_env schema in
+  let q =
+    match (List.hd w).Sqlast.Ast.stmt with
+    | Sqlast.Ast.Select q -> q
+    | Sqlast.Ast.Update u -> Sqlast.Ast.query_shell u
+  in
+  let cands = Cophy.Cgen.generate w in
+  let config = Storage.Config.of_list cands in
+  let inum_cache = Inum.build env q in
+  let wl_cache = Inum.build_workload env w in
+  let sp = Cophy.Sproblem.build env wl_cache (Array.of_list cands) in
+  let budget = Catalog.Tpch.database_size schema in
+  let lp =
+    (* a small dense LP representative of the z subproblem *)
+    let p = Lp.Problem.create () in
+    let vars =
+      List.map
+        (fun ix ->
+          Lp.Problem.add_var ~ub:1.0
+            ~obj:(-.(Storage.Index.size_bytes schema ix) /. 1e9)
+            p)
+        cands
+    in
+    ignore
+      (Lp.Problem.add_row p
+         (List.map (fun v -> (v, 1.0)) vars)
+         Lp.Problem.Le 10.0);
+    p
+  in
+  let tests =
+    [
+      Test.make ~name:"whatif_optimize"
+        (Staged.stage (fun () -> ignore (Optimizer.Whatif.cost env q config)));
+      Test.make ~name:"inum_build"
+        (Staged.stage (fun () -> ignore (Inum.build env q)));
+      Test.make ~name:"inum_cost_eval"
+        (Staged.stage (fun () -> ignore (Inum.cost inum_cache config)));
+      Test.make ~name:"sproblem_eval"
+        (Staged.stage
+           (fun () ->
+             ignore
+               (Cophy.Sproblem.eval sp
+                  (Array.make (Cophy.Sproblem.num_candidates sp) true))));
+      Test.make ~name:"simplex_small"
+        (Staged.stage (fun () -> ignore (Lp.Simplex.solve lp)));
+      Test.make ~name:"decomposition_5iters"
+        (Staged.stage
+           (fun () ->
+             let options =
+               { Cophy.Decomposition.default_options with
+                 Cophy.Decomposition.max_iters = 5 }
+             in
+             ignore (Cophy.Decomposition.solve ~options sp ~budget ~z_rows:[])));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-28s %14.1f ns/run@." name est
+          | _ -> Fmt.pr "%-28s (no estimate)@." name)
+        stats)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--micro" args then micro_suite ()
+  else begin
+    let selected =
+      List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+    in
+    let to_run =
+      if selected = [] then Experiments.all
+      else
+        List.filter (fun (name, _) -> List.mem name selected) Experiments.all
+    in
+    if to_run = [] then begin
+      Fmt.epr "unknown experiment; available: %a@."
+        (Fmt.list ~sep:Fmt.sp Fmt.string)
+        (List.map fst Experiments.all);
+      exit 1
+    end;
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ()) to_run;
+    Fmt.pr "@.Total experiment time: %.1fs@." (Unix.gettimeofday () -. t0)
+  end

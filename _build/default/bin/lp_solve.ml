@@ -1,0 +1,69 @@
+(* A small MIP solver front-end for CPLEX LP format files:
+
+     dune exec bin/lp_solve.exe -- model.lp [--gap 0.01] [--time 60]
+
+   Prints the status, objective, and nonzero variable values — handy for
+   inspecting BIPs exported with Lp.Lp_format.to_file. *)
+
+let () =
+  let file = ref "" in
+  let gap = ref 1e-6 in
+  let time = ref infinity in
+  let specs =
+    [ ("--gap", Arg.Set_float gap, "relative optimality gap (default 1e-6)");
+      ("--time", Arg.Set_float time, "time limit in seconds") ]
+  in
+  Arg.parse specs (fun f -> file := f) "lp_solve [options] FILE.lp";
+  if !file = "" then begin
+    prerr_endline "usage: lp_solve [options] FILE.lp";
+    exit 2
+  end;
+  match Lp.Lp_format.of_file !file with
+  | exception Lp.Lp_format.Format_error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      exit 1
+  | p ->
+      let has_integers = Lp.Problem.integer_vars p <> [] in
+      if has_integers then begin
+        let options =
+          { Lp.Branch_bound.default_options with
+            Lp.Branch_bound.gap_tolerance = !gap;
+            time_limit = !time }
+        in
+        let r = Lp.Branch_bound.solve ~options p in
+        (match r.Lp.Branch_bound.status with
+        | Lp.Branch_bound.Optimal -> Fmt.pr "status: optimal@."
+        | Lp.Branch_bound.Feasible ->
+            Fmt.pr "status: feasible (gap %.3g)@."
+              ((r.Lp.Branch_bound.obj -. r.Lp.Branch_bound.bound)
+              /. (abs_float r.Lp.Branch_bound.obj +. 1e-12))
+        | Lp.Branch_bound.Infeasible -> Fmt.pr "status: infeasible@."
+        | Lp.Branch_bound.Unbounded -> Fmt.pr "status: unbounded@."
+        | Lp.Branch_bound.Limit -> Fmt.pr "status: limit reached@.");
+        match r.Lp.Branch_bound.x with
+        | None -> exit (if r.Lp.Branch_bound.status = Lp.Branch_bound.Infeasible then 1 else 3)
+        | Some x ->
+            Fmt.pr "objective: %.9g@.nodes: %d@." r.Lp.Branch_bound.obj
+              r.Lp.Branch_bound.nodes;
+            Array.iteri
+              (fun v value ->
+                if abs_float value > 1e-9 then
+                  Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
+              x
+      end
+      else begin
+        let r = Lp.Simplex.solve p in
+        (match r.Lp.Simplex.status with
+        | Lp.Simplex.Optimal ->
+            Fmt.pr "status: optimal@.objective: %.9g@.iterations: %d@."
+              (r.Lp.Simplex.obj +. Lp.Problem.obj_offset p)
+              r.Lp.Simplex.iterations;
+            Array.iteri
+              (fun v value ->
+                if abs_float value > 1e-9 then
+                  Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
+              r.Lp.Simplex.x
+        | Lp.Simplex.Infeasible -> Fmt.pr "status: infeasible@."; exit 1
+        | Lp.Simplex.Unbounded -> Fmt.pr "status: unbounded@."; exit 1
+        | Lp.Simplex.Iter_limit -> Fmt.pr "status: iteration limit@."; exit 3)
+      end

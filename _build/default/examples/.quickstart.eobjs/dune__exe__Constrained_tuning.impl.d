@@ -1,0 +1,1 @@
+examples/constrained_tuning.ml: Advisors Array Catalog Constr Cophy Fmt Hashtbl List Option Storage Workload

@@ -1,0 +1,1 @@
+examples/constrained_tuning.mli:

@@ -1,0 +1,1 @@
+examples/interactive_tuning.ml: Catalog Constr Cophy Fmt Storage Unix Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Advisors Array Catalog Cophy Fmt Optimizer Sqlast Storage Workload

@@ -1,0 +1,1 @@
+examples/soft_constraints.ml: Array Catalog Cophy Fmt Inum List Optimizer Storage Unix Workload

@@ -1,0 +1,1 @@
+examples/soft_constraints.mli:

@@ -1,0 +1,1 @@
+examples/sql_workload.ml: Advisors Catalog Cophy Fmt List Optimizer Sqlast Storage

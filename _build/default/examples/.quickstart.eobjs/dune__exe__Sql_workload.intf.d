@@ -1,0 +1,1 @@
+examples/sql_workload.mli:

@@ -1,0 +1,63 @@
+(* Interactive tuning: a DBA session that tweaks the problem and re-tunes
+   incrementally (paper §4.2, Fig. 6b).
+
+     dune exec examples/interactive_tuning.exe *)
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Fmt.pr "%-42s %6.2fs@." label (Unix.gettimeofday () -. t0);
+  r
+
+let () =
+  let schema = Catalog.Tpch.schema ~sf:1.0 () in
+  let workload = Workload.Gen.hom schema ~n:60 ~seed:5 in
+  let budget = 0.8 *. Catalog.Tpch.database_size schema in
+
+  Fmt.pr "=== Interactive tuning session ===@.";
+  let session = Cophy.Interactive.create schema workload ~budget in
+
+  (* Initial recommendation: full solve. *)
+  let r1 = time "initial recommendation" (fun () -> Cophy.Interactive.retune session) in
+  Fmt.pr "  -> %d indexes, estimated cost %.0f (gap %.1f%%)@.@."
+    (Storage.Config.cardinal r1.Cophy.Solver.config)
+    r1.Cophy.Solver.objective
+    (100.0 *. r1.Cophy.Solver.gap);
+
+  (* The DBA suggests 25 additional candidate indexes; the solver
+     warm-starts from the previous multipliers. *)
+  let extra = Cophy.Cgen.random_candidates schema ~n:25 ~seed:123 in
+  Cophy.Interactive.add_candidates session extra;
+  let r2 = time "retune after +25 candidates (warm)" (fun () ->
+      Cophy.Interactive.retune session)
+  in
+  Fmt.pr "  -> estimated cost %.0f@.@." r2.Cophy.Solver.objective;
+
+  (* The budget is halved. *)
+  Cophy.Interactive.set_budget session (budget /. 2.0);
+  let r3 = time "retune after budget halved (warm)" (fun () ->
+      Cophy.Interactive.retune session)
+  in
+  Fmt.pr "  -> %d indexes, estimated cost %.0f@.@."
+    (Storage.Config.cardinal r3.Cophy.Solver.config)
+    r3.Cophy.Solver.objective;
+
+  (* Ten new statements arrive; INUM preprocesses only those. *)
+  let delta = Workload.Gen.hom schema ~n:10 ~seed:99 in
+  Cophy.Interactive.add_statements session delta;
+  let r4 = time "retune after +10 statements (warm)" (fun () ->
+      Cophy.Interactive.retune session)
+  in
+  Fmt.pr "  -> estimated cost %.0f@.@." r4.Cophy.Solver.objective;
+
+  (* A forbidden-index rule is imposed through the constraint language. *)
+  (match Cophy.Interactive.candidates session with
+  | worst :: _ ->
+      Cophy.Interactive.set_constraints session
+        [ Constr.At_most_one_clustered; Constr.Forbidden [ worst ] ];
+      let r5 = time "retune after forbidding an index" (fun () ->
+          Cophy.Interactive.retune session)
+      in
+      Fmt.pr "  -> forbidden index selected? %b@."
+        (Storage.Config.mem worst r5.Cophy.Solver.config)
+  | [] -> ())

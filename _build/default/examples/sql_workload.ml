@@ -1,0 +1,53 @@
+(* Tuning a workload written as SQL text: the parser front-end.
+
+     dune exec examples/sql_workload.exe *)
+
+let sql =
+  {|
+-- A reporting mix over TPC-H.
+SELECT l_returnflag, l_linestatus, SUM(l_extendedprice), AVG(l_discount)
+FROM lineitem
+WHERE l_shipdate <= ? /*sel=0.95*/
+GROUP BY lineitem.l_returnflag, lineitem.l_linestatus;
+
+SELECT o_orderpriority, COUNT(o_orderkey)
+FROM orders
+WHERE o_orderdate BETWEEN ? AND ? /*sel=0.04*/
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority;
+
+SELECT c_name, c_acctbal
+FROM customer
+WHERE c_nationkey = 7 AND c_acctbal >= ? /*sel=0.02*/
+ORDER BY c_acctbal DESC;
+
+SELECT n_name, SUM(l_extendedprice)
+FROM customer, orders, lineitem, nation
+WHERE customer.c_custkey = orders.o_custkey
+  AND orders.o_orderkey = lineitem.l_orderkey
+  AND customer.c_nationkey = nation.n_nationkey
+  AND o_orderdate >= ? /*sel=0.15*/
+GROUP BY nation.n_name;
+
+UPDATE partsupp SET ps_availqty = ? WHERE ps_partkey = ? /*sel=0.000005*/;
+|}
+
+let () =
+  let schema = Catalog.Tpch.schema ~sf:1.0 () in
+  Fmt.pr "=== Tuning a SQL-text workload ===@.";
+  let statements = Sqlast.Parse.script schema sql in
+  Fmt.pr "Parsed %d statements.@.@." (List.length statements);
+  let workload =
+    List.map (fun stmt -> { Sqlast.Ast.stmt; weight = 1.0 }) statements
+  in
+  (* echo them back through the printer *)
+  Fmt.pr "%a@.@." Sqlast.Print.pp_workload workload;
+  let baseline = Advisors.Eval.baseline_config () in
+  let r = Cophy.Advisor.advise ~baseline schema workload ~budget_fraction:0.5 in
+  Fmt.pr "Recommended indexes:@.";
+  Storage.Config.iter
+    (fun ix -> Fmt.pr "  CREATE INDEX ON %s@." (Storage.Index.to_string ix))
+    r.Cophy.Advisor.config;
+  let env = Optimizer.Whatif.make_env schema in
+  Fmt.pr "@.Cost reduction vs baseline: %.1f%%@."
+    (100.0 *. Advisors.Eval.perf env workload r.Cophy.Advisor.config ~baseline)

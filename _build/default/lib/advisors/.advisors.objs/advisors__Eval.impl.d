@@ -1,0 +1,1 @@
+lib/advisors/eval.ml: Catalog List Optimizer Sqlast Storage Unix

@@ -1,0 +1,1 @@
+lib/advisors/eval.mli: Optimizer Sqlast Storage

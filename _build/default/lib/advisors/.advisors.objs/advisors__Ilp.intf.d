@@ -1,0 +1,1 @@
+lib/advisors/ilp.mli: Optimizer Sqlast Storage

@@ -1,0 +1,1 @@
+lib/advisors/tool_a.mli: Eval Optimizer Sqlast Storage

@@ -1,0 +1,1 @@
+lib/advisors/tool_b.mli: Eval Optimizer Sqlast

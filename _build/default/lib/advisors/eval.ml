@@ -1,0 +1,32 @@
+(* The paper's evaluation methodology (§5.1): the quality of a
+   recommendation X* is measured against the baseline configuration X0
+   (clustered primary keys only) using the what-if optimizer *directly* —
+   never through the advisor's own approximations:
+
+       perf(X*, W) = 1 - cost(X* u X0, W) / cost(X0, W) *)
+
+let baseline_config () =
+  Storage.Config.of_list
+    (List.map
+       (fun (t, cols) -> Storage.Index.create ~clustered:true ~table:t cols)
+       Catalog.Tpch.primary_keys)
+
+let perf env (w : Sqlast.Ast.workload) (xstar : Storage.Config.t)
+    ~(baseline : Storage.Config.t) =
+  let c0 = Optimizer.Whatif.workload_cost env w baseline in
+  let c = Optimizer.Whatif.workload_cost env w (Storage.Config.union xstar baseline) in
+  1.0 -. (c /. c0)
+
+(* Common result shape for all advisors under test. *)
+type run = {
+  config : Storage.Config.t;
+  seconds : float;
+  whatif_calls : int;      (* direct optimizer invocations *)
+  candidates_examined : int;
+  timed_out : bool;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

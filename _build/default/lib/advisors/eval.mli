@@ -1,0 +1,27 @@
+(** The evaluation methodology of the paper (§5.1): quality measured
+    against the clustered-primary-key baseline with the what-if optimizer
+    invoked directly. *)
+
+(** The baseline X0: clustered primary-key indexes of the TPC-H schema. *)
+val baseline_config : unit -> Storage.Config.t
+
+(** [perf env w x ~baseline] = [1 - cost(x u X0, W) / cost(X0, W)], costs
+    via direct what-if optimization. *)
+val perf :
+  Optimizer.Whatif.env ->
+  Sqlast.Ast.workload ->
+  Storage.Config.t ->
+  baseline:Storage.Config.t ->
+  float
+
+(** Common result shape for the advisors under test. *)
+type run = {
+  config : Storage.Config.t;
+  seconds : float;
+  whatif_calls : int;
+  candidates_examined : int;
+  timed_out : bool;
+}
+
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,36 @@
+(** The ILP baseline (Papadomanolakis & Ailamaki, SMDB 2007): index
+    tuning as a BIP with one variable per {e atomic configuration},
+    requiring heavy pruning before the solver runs — the contrast to
+    CoPhy's per-index formulation that Figures 5 and 10 quantify.  Like
+    the paper's reimplementation, it is interfaced with INUM and solved
+    by the same solver stack as CoPhy. *)
+
+type options = {
+  per_table_cap : int;  (** candidates shortlisted per table per query *)
+  per_query_cap : int;  (** atomic configurations kept per query *)
+  gap_tolerance : float;
+  time_limit : float;
+}
+
+val default_options : options
+
+type timings = {
+  inum_seconds : float;
+  build_seconds : float;  (** enumeration + pruning + BIP building *)
+  solve_seconds : float;
+}
+
+type result = {
+  config : Storage.Config.t;
+  objective : float;
+  timings : timings;
+  configurations : int;  (** atomic configurations after pruning *)
+}
+
+val solve :
+  ?options:options ->
+  Optimizer.Whatif.env ->
+  Sqlast.Ast.workload ->
+  Storage.Index.t array ->
+  budget:float ->
+  result

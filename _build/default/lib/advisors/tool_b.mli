@@ -1,0 +1,21 @@
+(** "Tool-B": a DB2 Design Advisor-style technique (after Zilio et al.,
+    VLDB 2004): workload compression by random sampling, RECOMMEND-style
+    per-statement virtual indexes, then a greedy benefit/size knapsack
+    with a swap refinement.  Sampling is what fails on heterogeneous
+    workloads (Figure 9). *)
+
+type options = {
+  sample_size : int;  (** statements kept after compression *)
+  seed : int;
+  time_limit : float;
+}
+
+val default_options : options
+
+(** Run the advisor under a storage budget in bytes. *)
+val solve :
+  ?options:options ->
+  Optimizer.Whatif.env ->
+  Sqlast.Ast.workload ->
+  budget:float ->
+  Eval.run

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Array Fmt Hashtbl List Zipf

@@ -1,0 +1,1 @@
+lib/catalog/tpch.ml: Printf Schema

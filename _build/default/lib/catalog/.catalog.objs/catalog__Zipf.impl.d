@@ -1,0 +1,1 @@
+lib/catalog/zipf.ml: Random

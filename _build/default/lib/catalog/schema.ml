@@ -1,0 +1,135 @@
+(* Relational schema with the statistics the what-if optimizer needs:
+   row counts, column widths, distinct counts, and per-column skew. *)
+
+type col_type =
+  | Int
+  | Float
+  | Decimal
+  | Char of int
+  | Varchar of int
+  | Date
+
+let col_type_width = function
+  | Int -> 4
+  | Float -> 8
+  | Decimal -> 8
+  | Char n -> n
+  | Varchar n -> (n + 1) / 2  (* average fill of variable-length fields *)
+  | Date -> 4
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  distinct : int;           (* number of distinct values *)
+  skew : float;             (* Zipf z of the value frequencies *)
+}
+
+type table = {
+  tbl_name : string;
+  columns : column array;
+  row_count : int;
+}
+
+type t = {
+  name : string;
+  tables : table list;
+}
+
+let page_size = 8192
+
+let column ?(skew = 0.0) ~distinct col_name col_type =
+  if distinct < 1 then invalid_arg "Schema.column: distinct must be >= 1";
+  { col_name; col_type; distinct; skew }
+
+let table tbl_name ~rows columns =
+  if rows < 1 then invalid_arg "Schema.table: rows must be >= 1";
+  (* Column names must be unique within a table. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.col_name then
+        invalid_arg ("Schema.table: duplicate column " ^ c.col_name);
+      Hashtbl.add seen c.col_name ())
+    columns;
+  { tbl_name; columns = Array.of_list columns; row_count = rows }
+
+let create name tables =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.tbl_name then
+        invalid_arg ("Schema.create: duplicate table " ^ t.tbl_name);
+      Hashtbl.add seen t.tbl_name ())
+    tables;
+  { name; tables }
+
+let tables t = t.tables
+let name t = t.name
+
+let find_table t tbl_name =
+  match List.find_opt (fun tb -> tb.tbl_name = tbl_name) t.tables with
+  | Some tb -> tb
+  | None -> raise Not_found
+
+let find_table_opt t tbl_name =
+  List.find_opt (fun tb -> tb.tbl_name = tbl_name) t.tables
+
+let find_column tbl col_name =
+  let rec loop i =
+    if i >= Array.length tbl.columns then raise Not_found
+    else if tbl.columns.(i).col_name = col_name then tbl.columns.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let mem_column tbl col_name =
+  Array.exists (fun c -> c.col_name = col_name) tbl.columns
+
+let column_width c = col_type_width c.col_type
+
+(* Width of a full tuple, including a small per-row header. *)
+let row_header_width = 24
+
+let row_width tbl =
+  Array.fold_left (fun acc c -> acc + column_width c) row_header_width
+    tbl.columns
+
+(* Number of heap pages occupied by the table. *)
+let table_pages tbl =
+  let per_page = max 1 (page_size / row_width tbl) in
+  max 1 ((tbl.row_count + per_page - 1) / per_page)
+
+(* Total heap size of all tables in bytes — what the storage budget is a
+   fraction of. *)
+let total_heap_bytes t =
+  List.fold_left
+    (fun acc tbl -> acc +. float_of_int (table_pages tbl * page_size))
+    0.0 t.tables
+
+let zipf_of_column c = Zipf.create ~n:c.distinct ~z:c.skew
+
+(* Expected selectivity of an equality predicate on [c] with a constant
+   drawn from the data distribution. *)
+let equality_selectivity c = Zipf.equality_selectivity (zipf_of_column c)
+
+let pp_col_type ppf = function
+  | Int -> Fmt.string ppf "int"
+  | Float -> Fmt.string ppf "float"
+  | Decimal -> Fmt.string ppf "decimal"
+  | Char n -> Fmt.pf ppf "char(%d)" n
+  | Varchar n -> Fmt.pf ppf "varchar(%d)" n
+  | Date -> Fmt.string ppf "date"
+
+let pp_column ppf c =
+  Fmt.pf ppf "%s %a [ndv=%d z=%.1f]" c.col_name pp_col_type c.col_type
+    c.distinct c.skew
+
+let pp_table ppf tbl =
+  Fmt.pf ppf "@[<v 2>%s (%d rows, %d pages):@ %a@]" tbl.tbl_name tbl.row_count
+    (table_pages tbl)
+    (Fmt.array ~sep:Fmt.sp pp_column)
+    tbl.columns
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schema %s:@ %a@]" t.name (Fmt.list ~sep:Fmt.cut pp_table)
+    t.tables

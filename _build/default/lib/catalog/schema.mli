@@ -1,0 +1,74 @@
+(** Relational schema plus the statistics consumed by the what-if optimizer:
+    row counts, column widths, distinct-value counts and Zipf skew. *)
+
+type col_type =
+  | Int
+  | Float
+  | Decimal
+  | Char of int
+  | Varchar of int
+  | Date
+
+type column = private {
+  col_name : string;
+  col_type : col_type;
+  distinct : int;
+  skew : float;
+}
+
+type table = private {
+  tbl_name : string;
+  columns : column array;
+  row_count : int;
+}
+
+type t
+
+(** Storage page size in bytes used throughout the cost model. *)
+val page_size : int
+
+(** [column ~distinct name ty] declares a column; [skew] defaults to 0
+    (uniform).  @raise Invalid_argument when [distinct < 1]. *)
+val column : ?skew:float -> distinct:int -> string -> col_type -> column
+
+(** [table name ~rows cols] declares a table.
+    @raise Invalid_argument on duplicate column names or [rows < 1]. *)
+val table : string -> rows:int -> column list -> table
+
+(** @raise Invalid_argument on duplicate table names. *)
+val create : string -> table list -> t
+
+val name : t -> string
+val tables : t -> table list
+
+(** @raise Not_found when absent. *)
+val find_table : t -> string -> table
+
+val find_table_opt : t -> string -> table option
+
+(** @raise Not_found when absent. *)
+val find_column : table -> string -> column
+
+val mem_column : table -> string -> bool
+val column_width : column -> int
+val col_type_width : col_type -> int
+
+(** Tuple width in bytes including per-row header. *)
+val row_width : table -> int
+
+(** Heap pages occupied by the table. *)
+val table_pages : table -> int
+
+(** Total heap size of all tables in bytes — what storage budgets are a
+    fraction of. *)
+val total_heap_bytes : t -> float
+
+(** The Zipf distribution of a column's value frequencies. *)
+val zipf_of_column : column -> Zipf.t
+
+(** Expected selectivity of an equality predicate on the column. *)
+val equality_selectivity : column -> float
+
+val pp_column : column Fmt.t
+val pp_table : table Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,147 @@
+(* The TPC-H schema with statistics scaled by a scale factor, mirroring the
+   1 GB (sf = 1) database of the paper.  The [z] parameter applies tpcdskew
+   style Zipf skew to the non-key attributes, like the generator of
+   Chaudhuri & Narasayya used in the paper's evaluation. *)
+
+let sf_rows sf base = max 1 (int_of_float (float_of_int base *. sf))
+
+let schema ?(sf = 1.0) ?(z = 0.0) () =
+  let open Schema in
+  let rows = sf_rows sf in
+  (* Distinct counts follow the TPC-H specification; skew is applied to the
+     value distribution of non-key columns only (keys stay uniform, as
+     tpcdskew leaves primary keys dense). *)
+  let region =
+    table "region" ~rows:5
+      [
+        column ~distinct:5 "r_regionkey" Int;
+        column ~distinct:5 "r_name" (Char 25);
+        column ~distinct:5 "r_comment" (Varchar 152);
+      ]
+  in
+  let nation =
+    table "nation" ~rows:25
+      [
+        column ~distinct:25 "n_nationkey" Int;
+        column ~distinct:25 "n_name" (Char 25);
+        column ~distinct:5 ~skew:z "n_regionkey" Int;
+        column ~distinct:25 "n_comment" (Varchar 152);
+      ]
+  in
+  let supplier_rows = rows 10_000 in
+  let supplier =
+    table "supplier" ~rows:supplier_rows
+      [
+        column ~distinct:supplier_rows "s_suppkey" Int;
+        column ~distinct:supplier_rows "s_name" (Char 25);
+        column ~distinct:supplier_rows "s_address" (Varchar 40);
+        column ~distinct:25 ~skew:z "s_nationkey" Int;
+        column ~distinct:supplier_rows "s_phone" (Char 15);
+        column ~distinct:(max 1 (supplier_rows / 10)) ~skew:z "s_acctbal"
+          Decimal;
+        column ~distinct:supplier_rows "s_comment" (Varchar 101);
+      ]
+  in
+  let part_rows = rows 200_000 in
+  let part =
+    table "part" ~rows:part_rows
+      [
+        column ~distinct:part_rows "p_partkey" Int;
+        column ~distinct:part_rows "p_name" (Varchar 55);
+        column ~distinct:25 ~skew:z "p_mfgr" (Char 25);
+        column ~distinct:150 ~skew:z "p_brand" (Char 10);
+        column ~distinct:150 ~skew:z "p_type" (Varchar 25);
+        column ~distinct:50 ~skew:z "p_size" Int;
+        column ~distinct:40 ~skew:z "p_container" (Char 10);
+        column ~distinct:(max 1 (part_rows / 10)) ~skew:z "p_retailprice"
+          Decimal;
+        column ~distinct:part_rows "p_comment" (Varchar 23);
+      ]
+  in
+  let partsupp_rows = rows 800_000 in
+  let partsupp =
+    table "partsupp" ~rows:partsupp_rows
+      [
+        column ~distinct:part_rows ~skew:z "ps_partkey" Int;
+        column ~distinct:supplier_rows ~skew:z "ps_suppkey" Int;
+        column ~distinct:10_000 ~skew:z "ps_availqty" Int;
+        column ~distinct:(max 1 (partsupp_rows / 8)) ~skew:z "ps_supplycost"
+          Decimal;
+        column ~distinct:partsupp_rows "ps_comment" (Varchar 199);
+      ]
+  in
+  let customer_rows = rows 150_000 in
+  let customer =
+    table "customer" ~rows:customer_rows
+      [
+        column ~distinct:customer_rows "c_custkey" Int;
+        column ~distinct:customer_rows "c_name" (Varchar 25);
+        column ~distinct:customer_rows "c_address" (Varchar 40);
+        column ~distinct:25 ~skew:z "c_nationkey" Int;
+        column ~distinct:customer_rows "c_phone" (Char 15);
+        column ~distinct:(max 1 (customer_rows / 10)) ~skew:z "c_acctbal"
+          Decimal;
+        column ~distinct:5 ~skew:z "c_mktsegment" (Char 10);
+        column ~distinct:customer_rows "c_comment" (Varchar 117);
+      ]
+  in
+  let orders_rows = rows 1_500_000 in
+  let orders =
+    table "orders" ~rows:orders_rows
+      [
+        column ~distinct:orders_rows "o_orderkey" Int;
+        column ~distinct:customer_rows ~skew:z "o_custkey" Int;
+        column ~distinct:3 ~skew:z "o_orderstatus" (Char 1);
+        column ~distinct:(max 1 (orders_rows / 4)) ~skew:z "o_totalprice"
+          Decimal;
+        column ~distinct:2406 ~skew:z "o_orderdate" Date;
+        column ~distinct:5 ~skew:z "o_orderpriority" (Char 15);
+        column ~distinct:1_000 ~skew:z "o_clerk" (Char 15);
+        column ~distinct:1 "o_shippriority" Int;
+        column ~distinct:orders_rows "o_comment" (Varchar 79);
+      ]
+  in
+  let lineitem_rows = rows 6_000_000 in
+  let lineitem =
+    table "lineitem" ~rows:lineitem_rows
+      [
+        column ~distinct:orders_rows ~skew:z "l_orderkey" Int;
+        column ~distinct:part_rows ~skew:z "l_partkey" Int;
+        column ~distinct:supplier_rows ~skew:z "l_suppkey" Int;
+        column ~distinct:7 "l_linenumber" Int;
+        column ~distinct:50 ~skew:z "l_quantity" Decimal;
+        column ~distinct:(max 1 (lineitem_rows / 6)) ~skew:z
+          "l_extendedprice" Decimal;
+        column ~distinct:11 ~skew:z "l_discount" Decimal;
+        column ~distinct:9 ~skew:z "l_tax" Decimal;
+        column ~distinct:3 ~skew:z "l_returnflag" (Char 1);
+        column ~distinct:2 ~skew:z "l_linestatus" (Char 1);
+        column ~distinct:2526 ~skew:z "l_shipdate" Date;
+        column ~distinct:2466 ~skew:z "l_commitdate" Date;
+        column ~distinct:2554 ~skew:z "l_receiptdate" Date;
+        column ~distinct:4 ~skew:z "l_shipinstruct" (Char 25);
+        column ~distinct:7 ~skew:z "l_shipmode" (Char 10);
+        column ~distinct:lineitem_rows "l_comment" (Varchar 44);
+      ]
+  in
+  Schema.create
+    (Printf.sprintf "tpch_sf%.2g_z%.2g" sf z)
+    [ region; nation; supplier; part; partsupp; customer; orders; lineitem ]
+
+(* Clustered primary-key indexes: the baseline configuration X0 of the
+   paper's evaluation metric. *)
+let primary_keys =
+  [
+    ("region", [ "r_regionkey" ]);
+    ("nation", [ "n_nationkey" ]);
+    ("supplier", [ "s_suppkey" ]);
+    ("part", [ "p_partkey" ]);
+    ("partsupp", [ "ps_partkey"; "ps_suppkey" ]);
+    ("customer", [ "c_custkey" ]);
+    ("orders", [ "o_orderkey" ]);
+    ("lineitem", [ "l_orderkey"; "l_linenumber" ]);
+  ]
+
+(* Total heap size of the database in bytes, the unit in which the paper
+   expresses the storage budget ("a fraction M of the size of the data"). *)
+let database_size = Schema.total_heap_bytes

@@ -1,0 +1,14 @@
+(** The TPC-H schema with scale-factor- and skew-parameterized statistics,
+    standing in for the 1 GB tpcdskew database of the paper's evaluation. *)
+
+(** [schema ~sf ~z ()] builds the 8-table TPC-H schema at scale factor [sf]
+    (default 1.0 ≈ 1 GB) with Zipf skew [z] on non-key attributes
+    (default 0 = uniform, matching tpcdskew's z parameter). *)
+val schema : ?sf:float -> ?z:float -> unit -> Schema.t
+
+(** [(table, key columns)] pairs of the clustered primary keys, forming the
+    baseline configuration X0 of the evaluation metric. *)
+val primary_keys : (string * string list) list
+
+(** Total heap size in bytes; storage budgets are fractions of this. *)
+val database_size : Schema.t -> float

@@ -1,0 +1,37 @@
+(** Zipfian value-frequency distributions, modelling skewed data as produced
+    by the tpcdskew TPC-H generator.  A distribution is over ranks
+    [1..n] with mass proportional to [r^-z]; [z = 0] is uniform. *)
+
+type t
+
+(** [create ~n ~z] builds a distribution over [n] ranks with skew [z].
+    @raise Invalid_argument if [n < 1] or [z < 0]. *)
+val create : n:int -> z:float -> t
+
+val n : t -> int
+val z : t -> float
+
+(** Probability mass of the value at 1-based rank [r]. *)
+val mass : t -> int -> float
+
+(** Cumulative mass of ranks [1..r]; [cumulative t 0 = 0.];
+    ranks beyond [n] clamp to 1. *)
+val cumulative : t -> int -> float
+
+(** Expected selectivity of [col = c] when [c] is drawn from the data
+    distribution itself: [sum_r p_r^2].  Equals [1/n] when [z = 0]. *)
+val equality_selectivity : t -> float
+
+(** Mass of the contiguous rank interval [\[lo, hi\]] (inclusive). *)
+val interval_mass : t -> lo:int -> hi:int -> float
+
+(** Smallest rank [r] with [cumulative t r >= u], for [u] in [0, 1]. *)
+val rank_of_quantile : t -> float -> int
+
+(** Draw a rank according to the distribution. *)
+val sample : t -> Random.State.t -> int
+
+(** Selectivity of a range predicate spanning a fraction [frac] of the rank
+    domain whose start rank is drawn from the distribution itself (queries
+    tend to target popular values), making skewed ranges heavy. *)
+val range_selectivity_head_biased : t -> frac:float -> Random.State.t -> float

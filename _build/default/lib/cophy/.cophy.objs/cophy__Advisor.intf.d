@@ -1,0 +1,1 @@
+lib/cophy/advisor.mli: Catalog Constr Inum Optimizer Solver Sproblem Sqlast Storage

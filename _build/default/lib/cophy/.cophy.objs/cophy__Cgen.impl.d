@@ -1,0 +1,1 @@
+lib/cophy/cgen.ml: Array Ast Catalog List Random Sqlast Storage String

@@ -1,0 +1,1 @@
+lib/cophy/cgen.mli: Catalog Sqlast Storage

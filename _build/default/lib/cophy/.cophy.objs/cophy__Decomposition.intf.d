@@ -1,0 +1,1 @@
+lib/cophy/decomposition.mli: Constr Hashtbl Sproblem Storage

@@ -1,0 +1,1 @@
+lib/cophy/interactive.ml: Array Cgen Constr Decomposition Inum List Optimizer Solver Sproblem Sqlast Storage

@@ -1,0 +1,1 @@
+lib/cophy/interactive.mli: Catalog Constr Optimizer Solver Sqlast Storage

@@ -1,0 +1,1 @@
+lib/cophy/pareto.ml: Array Decomposition List Sproblem

@@ -1,0 +1,1 @@
+lib/cophy/pareto.mli: Decomposition Sproblem

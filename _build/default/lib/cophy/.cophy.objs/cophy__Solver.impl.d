@@ -1,0 +1,1 @@
+lib/cophy/solver.ml: Array Constr Decomposition List Lp Sproblem Storage Unix

@@ -1,0 +1,1 @@
+lib/cophy/solver.mli: Constr Decomposition Sproblem Storage

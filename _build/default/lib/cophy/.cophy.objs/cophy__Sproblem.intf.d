@@ -1,0 +1,1 @@
+lib/cophy/sproblem.mli: Catalog Constr Hashtbl Inum Lp Optimizer Storage

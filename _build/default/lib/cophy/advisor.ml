@@ -1,0 +1,121 @@
+(* CoPhy top-level (paper Fig. 2): INUM -> CGen -> BIPGen -> Solver.
+
+   [advise] runs the full pipeline and reports the recommended
+   configuration together with the per-phase timing breakdown the paper's
+   Figure 5/10 analysis uses (INUM time, BIP building time, solving
+   time). *)
+
+type timings = {
+  inum_seconds : float;
+  build_seconds : float;   (* candidate generation + BIP construction *)
+  solve_seconds : float;
+}
+
+type recommendation = {
+  config : Storage.Config.t;
+  report : Solver.report;
+  problem : Sproblem.t;
+  cache : Inum.workload_cache;
+  candidates : Storage.Index.t array;
+  timings : timings;
+  estimated_cost : float;      (* INUM workload cost under [config] *)
+  estimated_base : float;      (* INUM workload cost with no candidate *)
+}
+
+let total_seconds r =
+  r.timings.inum_seconds +. r.timings.build_seconds +. r.timings.solve_seconds
+
+(* Resolve a constraint set against a problem: z-only rows, per-statement
+   caps (relative to the baseline configuration), and the storage row. *)
+let resolve_constraints (env : Optimizer.Whatif.env) (cache : Inum.workload_cache)
+    candidates ~(baseline : Storage.Config.t) (cs : Constr.t list) =
+  let schema = env.Optimizer.Whatif.schema in
+  let z_only, caps = List.partition Constr.z_only cs in
+  let z_rows = Constr.linearize_all schema (Array.of_list (Array.to_list candidates)) z_only in
+  let block_caps =
+    List.concat_map
+      (function
+        | Constr.Query_cost_cap { query_pred; factor } ->
+            List.filter_map
+              (fun (q, _, inum) ->
+                if query_pred q.Sqlast.Ast.query_id then
+                  Some
+                    ( q.Sqlast.Ast.query_id,
+                      factor *. Inum.cost inum baseline )
+                else None)
+              cache.Inum.selects
+        | _ -> [])
+      caps
+  in
+  (z_rows, block_caps)
+
+let advise ?(params = Optimizer.Cost_params.default)
+    ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
+    ?(solver_options = Solver.default_options)
+    ?(baseline = Storage.Config.empty) schema (w : Sqlast.Ast.workload)
+    ~budget_fraction =
+  let env = Optimizer.Whatif.make_env ~params schema in
+  let t0 = Unix.gettimeofday () in
+  let cache = Inum.build_workload env w in
+  let t1 = Unix.gettimeofday () in
+  let cands =
+    match candidates with
+    | Some c -> Array.of_list c
+    | None -> Array.of_list (Cgen.generate ~dba:dba_candidates w)
+  in
+  let sp = Sproblem.build env cache cands in
+  let budget = budget_fraction *. Catalog.Tpch.database_size schema in
+  let z_rows, block_caps =
+    resolve_constraints env cache cands ~baseline constraints.Constr.hard
+  in
+  let t2 = Unix.gettimeofday () in
+  let accept =
+    if List.exists Constr.is_udf constraints.Constr.hard then
+      Some (Constr.udf_acceptance cands constraints.Constr.hard)
+    else None
+  in
+  let report =
+    Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget
+      ~z_rows
+  in
+  let t3 = Unix.gettimeofday () in
+  let zero = Array.make (Array.length cands) false in
+  {
+    config = report.Solver.config;
+    report;
+    problem = sp;
+    cache;
+    candidates = cands;
+    timings =
+      {
+        inum_seconds = t1 -. t0;
+        build_seconds = t2 -. t1;
+        solve_seconds = t3 -. t2;
+      };
+    estimated_cost = report.Solver.objective;
+    estimated_base = Sproblem.eval sp zero;
+  }
+
+(* Per-statement explanation of a recommendation: which template the INUM
+   model picks under the recommended configuration and which index fills
+   each slot. *)
+type explanation = {
+  statement_id : int;
+  cost_before : float;         (* INUM cost under no candidate *)
+  cost_after : float;          (* INUM cost under the recommendation *)
+  picks : (string * Storage.Index.t option) list;  (* table, chosen index *)
+}
+
+let explain (r : recommendation) =
+  List.map
+    (fun (q, _, inum) ->
+      let before = Inum.cost inum Storage.Config.empty in
+      let after, _, picks = Inum.best_instantiation inum r.config in
+      let tables = Inum.tables inum in
+      {
+        statement_id = q.Sqlast.Ast.query_id;
+        cost_before = before;
+        cost_after = after;
+        picks = List.combine tables (Array.to_list picks);
+      })
+    r.cache.Inum.selects

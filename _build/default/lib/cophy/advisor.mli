@@ -1,0 +1,54 @@
+(** CoPhy top-level (paper Fig. 2): INUM -> CGen -> BIPGen -> Solver. *)
+
+type timings = {
+  inum_seconds : float;   (** INUM cache construction *)
+  build_seconds : float;  (** candidate generation + BIP construction *)
+  solve_seconds : float;
+}
+
+type recommendation = {
+  config : Storage.Config.t;      (** the recommended X* *)
+  report : Solver.report;
+  problem : Sproblem.t;
+  cache : Inum.workload_cache;
+  candidates : Storage.Index.t array;
+  timings : timings;
+  estimated_cost : float;  (** INUM workload cost under [config] *)
+  estimated_base : float;  (** INUM workload cost with no candidates *)
+}
+
+val total_seconds : recommendation -> float
+
+(** Run the full pipeline.
+
+    @param constraints hard constraints (the implicit storage budget row
+      is added from [budget_fraction]); soft constraints are explored with
+      {!Pareto} instead.
+    @param candidates overrides CGen's candidate set.
+    @param dba_candidates extends it (the S_DBA of the paper).
+    @param baseline the configuration that query-cost caps are relative to.
+    @param budget_fraction storage budget as a fraction of the database
+      size (the paper's M).
+    @raise Solver.Infeasible when the hard constraints cannot hold. *)
+val advise :
+  ?params:Optimizer.Cost_params.t ->
+  ?constraints:Constr.set ->
+  ?candidates:Storage.Index.t list ->
+  ?dba_candidates:Storage.Index.t list ->
+  ?solver_options:Solver.options ->
+  ?baseline:Storage.Config.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.workload ->
+  budget_fraction:float ->
+  recommendation
+
+(** Per-statement explanation: INUM cost before/after and the index filling
+    each table's slot in the winning template. *)
+type explanation = {
+  statement_id : int;
+  cost_before : float;
+  cost_after : float;
+  picks : (string * Storage.Index.t option) list;
+}
+
+val explain : recommendation -> explanation list

@@ -1,0 +1,579 @@
+(* Structure-aware BIP solver for CoPhy instances, standing in for an
+   industrial solver at scales where our generic simplex-based
+   branch-and-bound would be too slow.
+
+   The BIP of Theorem 1 has a block structure: the only coupling between
+   statements is through the z variables (the linking rows x_qkia <= z_a
+   and the constraints over z).  We apply Lagrangian decomposition — the
+   same relaxation the paper's own Solver applies before calling the BIP
+   solver (Fig. 3) — with multipliers on the linking rows:
+
+   - per-block subproblems pick the cheapest (template, slot choices)
+     with candidate usage priced at gamma + lambda, in closed form;
+   - the z subproblem is a {0,1} knapsack over the storage budget (plus
+     any linear z constraints), solved as an LP for a valid lower bound;
+   - subgradient ascent tightens the bound; rounding plus incremental
+     local search produce incumbents.
+
+   The solver streams (elapsed, incumbent, bound) events — the feedback
+   channel behind CoPhy's early termination — and accepts warm-started
+   multipliers, which is what makes incremental re-tuning and Pareto
+   sweeps fast (Figs. 6b, 6c). *)
+
+type event = {
+  elapsed : float;
+  incumbent : float;
+  bound : float;
+  iteration : int;
+}
+
+(* Multipliers keyed by statement id and candidate index, so they survive
+   re-building the problem with more candidates or changed constraints. *)
+type multipliers = (int * Storage.Index.t, float) Hashtbl.t
+
+type options = {
+  max_iters : int;
+  time_limit : float;
+  gap_tolerance : float;
+  on_event : event -> unit;
+  log_events : bool;
+  warm : multipliers option;
+  local_search_period : int;
+}
+
+let default_options =
+  {
+    max_iters = 400;
+    time_limit = infinity;
+    gap_tolerance = 0.05;     (* the paper's default CPLEX setting *)
+    on_event = ignore;
+    log_events = false;
+    warm = None;
+    local_search_period = 10;
+  }
+
+type result = {
+  z : bool array;
+  obj : float;
+  bound : float;
+  iterations : int;
+  events : event list;      (* reverse chronological *)
+  multipliers : multipliers;
+}
+
+(* --- Block subproblem --- *)
+
+(* Cheapest (template, choices) with usage priced by lam; returns the
+   value and the set of candidates used. *)
+let block_subproblem (b : Sproblem.block) (lam : float array)
+    (pos_in_block : int array) ~excluded =
+  let best = ref infinity in
+  let best_used = ref [] in
+  Array.iter
+    (fun (tpl : Sproblem.template) ->
+      let total = ref (b.Sproblem.weight *. tpl.Sproblem.beta) in
+      let used = ref [] in
+      Array.iter
+        (fun slot ->
+          let m = ref infinity and pick = ref (-1) in
+          Array.iter
+            (fun { Sproblem.cand; gamma } ->
+              if cand < 0 then begin
+                let c = b.Sproblem.weight *. gamma in
+                if c < !m then begin
+                  m := c;
+                  pick := -1
+                end
+              end
+              else if not excluded.(cand) then begin
+                let c =
+                  (b.Sproblem.weight *. gamma) +. lam.(pos_in_block.(cand))
+                in
+                if c < !m then begin
+                  m := c;
+                  pick := cand
+                end
+              end)
+            slot;
+          total := !total +. !m;
+          if !pick >= 0 then used := !pick :: !used)
+        tpl.Sproblem.choices;
+      if !total < !best then begin
+        best := !total;
+        best_used := !used
+      end)
+    b.Sproblem.templates;
+  (!best, !best_used)
+
+(* --- z subproblem --- *)
+
+(* min sum w_a z_a  s.t.  sizes.z <= budget, extra z rows, 0 <= z <= 1.
+   Without extra rows this is a fractional knapsack solved greedily;
+   otherwise we hand the small LP to the simplex. *)
+let z_subproblem ~w ~(sizes : float array) ~budget ~(z_rows : Constr.z_row list)
+    ~forced_one ~forced_zero =
+  let n = Array.length w in
+  if z_rows = [] then begin
+    let z = Array.make n 0.0 in
+    let value = ref 0.0 in
+    let cap = ref budget in
+    (* forced selections first *)
+    for a = 0 to n - 1 do
+      if forced_one.(a) then begin
+        z.(a) <- 1.0;
+        value := !value +. w.(a);
+        cap := !cap -. sizes.(a)
+      end
+    done;
+    let order =
+      List.init n Fun.id
+      |> List.filter (fun a ->
+             (not forced_one.(a)) && (not forced_zero.(a)) && w.(a) < 0.0)
+      |> List.sort (fun a b ->
+             compare (w.(a) /. max 1.0 sizes.(a)) (w.(b) /. max 1.0 sizes.(b)))
+    in
+    List.iter
+      (fun a ->
+        if !cap > 0.0 then begin
+          let frac = min 1.0 (!cap /. max 1.0 sizes.(a)) in
+          z.(a) <- frac;
+          value := !value +. (frac *. w.(a));
+          cap := !cap -. (frac *. sizes.(a))
+        end)
+      order;
+    (!value, z)
+  end
+  else begin
+    let p = Lp.Problem.create () in
+    let vars =
+      Array.init n (fun a ->
+          let lb = if forced_one.(a) then 1.0 else 0.0 in
+          let ub = if forced_zero.(a) then 0.0 else 1.0 in
+          Lp.Problem.add_var ~lb ~ub:(max lb ub) ~obj:w.(a) p)
+    in
+    if budget < infinity then
+      ignore
+        (Lp.Problem.add_row p
+           (Array.to_list (Array.mapi (fun a v -> (v, sizes.(a))) vars))
+           Lp.Problem.Le budget);
+    List.iter
+      (fun (row : Constr.z_row) ->
+        let sense =
+          match row.Constr.row_cmp with
+          | Constr.Le -> Lp.Problem.Le
+          | Constr.Ge -> Lp.Problem.Ge
+          | Constr.Eq -> Lp.Problem.Eq
+        in
+        ignore
+          (Lp.Problem.add_row p
+             (List.map (fun (a, c) -> (vars.(a), c)) row.Constr.row_coeffs)
+             sense row.Constr.row_rhs))
+      z_rows;
+    let r = Lp.Simplex.solve p in
+    match r.Lp.Simplex.status with
+    | Lp.Simplex.Optimal | Lp.Simplex.Iter_limit ->
+        (r.Lp.Simplex.obj, Array.init n (fun a -> r.Lp.Simplex.x.(vars.(a))))
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+        (* infeasible z polytope: signal with +inf bound *)
+        (infinity, Array.make n 0.0)
+  end
+
+(* --- Feasibility repair and local search --- *)
+
+let z_feasible (sp : Sproblem.t) ~budget ~z_rows (z : bool array) =
+  Sproblem.total_size sp z <= budget +. 1e-6
+  && List.for_all (fun row -> Constr.row_holds row z) z_rows
+
+(* Incremental objective deltas: only blocks referencing the toggled
+   candidate change. *)
+let delta_toggle (sp : Sproblem.t) (z : bool array) (bcost : float array) a =
+  let delta =
+    ref (if z.(a) then -.sp.Sproblem.ucost.(a) else sp.Sproblem.ucost.(a))
+  in
+  z.(a) <- not z.(a);
+  let changed = ref [] in
+  Array.iter
+    (fun bi ->
+      let b = sp.Sproblem.blocks.(bi) in
+      let c = Sproblem.block_cost_z b z in
+      delta := !delta +. (b.Sproblem.weight *. (c -. bcost.(bi)));
+      changed := (bi, c) :: !changed)
+    sp.Sproblem.cand_blocks.(a);
+  z.(a) <- not z.(a);
+  (!delta, !changed)
+
+(* Drop selected candidates (smallest cost increase per byte freed first)
+   until feasible.  One delta evaluation per selected candidate against
+   the starting state, then a greedy sweep — an approximation that keeps
+   repair linear, refined later by the local search. *)
+let repair (sp : Sproblem.t) ~budget ~z_rows (z : bool array) =
+  let z = Array.copy z in
+  if z_feasible sp ~budget ~z_rows z then z
+  else begin
+    let bcost =
+      Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+    in
+    let scored = ref [] in
+    Array.iteri
+      (fun a selected ->
+        if selected then begin
+          let d, _ = delta_toggle sp z bcost a in
+          (* dropping increases cost by [d]; prefer small increase per
+             byte freed *)
+          scored := (a, -.d /. max 1.0 sp.Sproblem.sizes.(a)) :: !scored
+        end)
+      z;
+    let order =
+      List.sort (fun (_, s1) (_, s2) -> compare s2 s1) !scored
+      |> List.map fst
+    in
+    let rec drop = function
+      | [] -> ()
+      | a :: rest ->
+          if z_feasible sp ~budget ~z_rows z then ()
+          else begin
+            z.(a) <- false;
+            drop rest
+          end
+    in
+    drop order;
+    z
+  end
+
+let local_search (sp : Sproblem.t) ~budget ~z_rows (z : bool array) obj0 =
+  let z = Array.copy z in
+  let n = Array.length z in
+  let bcost =
+    Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+  in
+  let obj = ref obj0 in
+  let size = ref (Sproblem.total_size sp z) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 6 do
+    improved := false;
+    incr rounds;
+    for a = 0 to n - 1 do
+      let fits =
+        if z.(a) then true else !size +. sp.Sproblem.sizes.(a) <= budget +. 1e-6
+      in
+      if fits then begin
+        let d, changed = delta_toggle sp z bcost a in
+        if d < -1e-6 then begin
+          z.(a) <- not z.(a);
+          if z_feasible sp ~budget ~z_rows z then begin
+            obj := !obj +. d;
+            size :=
+              (if z.(a) then !size +. sp.Sproblem.sizes.(a)
+               else !size -. sp.Sproblem.sizes.(a));
+            List.iter (fun (bi, c) -> bcost.(bi) <- c) changed;
+            improved := true
+          end
+          else z.(a) <- not z.(a)
+        end
+      end
+    done
+  done;
+  (z, !obj)
+
+(* Greedy benefit/size construction for the initial incumbent. *)
+let greedy_initial (sp : Sproblem.t) ~budget ~z_rows =
+  let n = Array.length sp.Sproblem.candidates in
+  let z = Array.make n false in
+  let empty_bcost =
+    Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+  in
+  let scored =
+    List.init n (fun a ->
+        let benefit = ref (-.sp.Sproblem.ucost.(a)) in
+        z.(a) <- true;
+        Array.iter
+          (fun bi ->
+            let b = sp.Sproblem.blocks.(bi) in
+            benefit :=
+              !benefit
+              +. (b.Sproblem.weight
+                  *. (empty_bcost.(bi) -. Sproblem.block_cost_z b z)))
+          sp.Sproblem.cand_blocks.(a);
+        z.(a) <- false;
+        (a, !benefit /. max 1.0 sp.Sproblem.sizes.(a), !benefit))
+    |> List.filter (fun (_, _, ben) -> ben > 0.0)
+    |> List.sort (fun (_, r1, _) (_, r2, _) -> compare r2 r1)
+  in
+  let size = ref 0.0 in
+  List.iter
+    (fun (a, _, _) ->
+      if !size +. sp.Sproblem.sizes.(a) <= budget then begin
+        z.(a) <- true;
+        if z_feasible sp ~budget ~z_rows z then
+          size := !size +. sp.Sproblem.sizes.(a)
+        else z.(a) <- false
+      end)
+    scored;
+  z
+
+(* --- The solver --- *)
+
+let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
+    (sp : Sproblem.t) ~budget ~(z_rows : Constr.z_row list) =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let nblocks = Array.length sp.Sproblem.blocks in
+  let ncand = Array.length sp.Sproblem.candidates in
+  (* forced selections from z rows: mandatory (Ge 1 singleton) and
+     forbidden (Le 0 singleton) get special treatment in the subproblems *)
+  let forced_one = Array.make ncand false in
+  let forced_zero = Array.make ncand false in
+  List.iter
+    (fun (row : Constr.z_row) ->
+      match (row.Constr.row_coeffs, row.Constr.row_cmp) with
+      | [ (a, c) ], Constr.Ge when c > 0.0 && row.Constr.row_rhs /. c >= 1.0 ->
+          forced_one.(a) <- true
+      | [ (a, c) ], Constr.Le when c > 0.0 && row.Constr.row_rhs /. c <= 0.0 ->
+          forced_zero.(a) <- true
+      | _ -> ())
+    z_rows;
+  (* per-block multiplier arrays aligned with cands_used, plus a reverse
+     position map reused across blocks *)
+  let pos_in_block = Array.make ncand (-1) in
+  let lam =
+    Array.map
+      (fun (b : Sproblem.block) ->
+        Array.map
+          (fun pos ->
+            match options.warm with
+            | None -> 0.0
+            | Some tbl ->
+                Option.value ~default:0.0
+                  (Hashtbl.find_opt tbl
+                     (b.Sproblem.qid, sp.Sproblem.candidates.(pos))))
+          b.Sproblem.cands_used)
+      sp.Sproblem.blocks
+  in
+  (* incumbent — black-box (UDF) constraints gate acceptance: the empty
+     selection is the fallback when the heuristics produce only rejected
+     candidates (appendix E.5) *)
+  let empty = Array.make ncand false in
+  let best_z = ref empty in
+  let best_obj =
+    ref (if accept empty then Sproblem.eval sp empty else infinity)
+  in
+  (* When the black box rejects a selection, trim it: drop the least
+     valuable index (cost increase per byte) and retry — this services
+     cardinality-style UDFs and bottoms out at the empty selection. *)
+  let trim_to_acceptance z =
+    let z = Array.copy z in
+    let bcost =
+      Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+    in
+    let any_selected () = Array.exists Fun.id z in
+    while (not (accept z)) && any_selected () do
+      let best_a = ref (-1) and best_score = ref neg_infinity in
+      Array.iteri
+        (fun a selected ->
+          if selected then begin
+            let d, _ = delta_toggle sp z bcost a in
+            let score = -.d /. max 1.0 sp.Sproblem.sizes.(a) in
+            if score > !best_score then begin
+              best_score := score;
+              best_a := a
+            end
+          end)
+        z;
+      if !best_a >= 0 then begin
+        let _, changed = delta_toggle sp z bcost !best_a in
+        z.(!best_a) <- false;
+        List.iter (fun (bi, c) -> bcost.(bi) <- c) changed
+      end
+    done;
+    z
+  in
+  let consider z =
+    let z = if z_feasible sp ~budget ~z_rows z then z else repair sp ~budget ~z_rows z in
+    let z = if accept z then z else trim_to_acceptance z in
+    if z_feasible sp ~budget ~z_rows z && accept z then begin
+      let obj = Sproblem.eval sp z in
+      if obj < !best_obj then begin
+        best_z := z;
+        best_obj := obj
+      end
+    end
+  in
+  consider (greedy_initial sp ~budget ~z_rows);
+  (if !best_obj < infinity then begin
+     let ls_z, ls_obj = local_search sp ~budget ~z_rows !best_z !best_obj in
+     if ls_obj < !best_obj && accept ls_z then begin
+       best_z := ls_z;
+       best_obj := ls_obj
+     end
+   end);
+  let best_bound = ref neg_infinity in
+  let events = ref [] in
+  let emit it =
+    let e =
+      { elapsed = elapsed (); incumbent = !best_obj; bound = !best_bound;
+        iteration = it }
+    in
+    if options.log_events then events := e :: !events;
+    options.on_event e
+  in
+  let theta = ref 2.0 in
+  let no_improve = ref 0 in
+  let w = Array.make ncand 0.0 in
+  let usage = Array.make nblocks [] in
+  let iter = ref 0 in
+  let gap_ok () =
+    !best_bound > neg_infinity
+    && !best_obj -. !best_bound
+       <= options.gap_tolerance *. (abs_float !best_obj +. 1e-9)
+  in
+  emit 0;
+  (try
+     while
+       (not (gap_ok ()))
+       && !iter < options.max_iters
+       && elapsed () < options.time_limit
+     do
+       incr iter;
+       (* z-part costs *)
+       Array.blit sp.Sproblem.ucost 0 w 0 ncand;
+       Array.iteri
+         (fun bi (b : Sproblem.block) ->
+           Array.iteri
+             (fun i pos -> w.(pos) <- w.(pos) -. lam.(bi).(i))
+             b.Sproblem.cands_used)
+         sp.Sproblem.blocks;
+       (* block subproblems *)
+       let lower = ref sp.Sproblem.fixed in
+       Array.iteri
+         (fun bi (b : Sproblem.block) ->
+           Array.iteri
+             (fun i pos -> pos_in_block.(pos) <- i)
+             b.Sproblem.cands_used;
+           let v, used =
+             block_subproblem b lam.(bi) pos_in_block ~excluded:forced_zero
+           in
+           usage.(bi) <- used;
+           lower := !lower +. v)
+         sp.Sproblem.blocks;
+       let zval, zfrac =
+         z_subproblem ~w ~sizes:sp.Sproblem.sizes ~budget ~z_rows ~forced_one
+           ~forced_zero
+       in
+       if zval = infinity then begin
+         (* z polytope infeasible *)
+         best_bound := infinity;
+         raise Exit
+       end;
+       let lower = !lower +. zval in
+       if lower > !best_bound +. 1e-9 then begin
+         best_bound := lower;
+         no_improve := 0
+       end
+       else begin
+         incr no_improve;
+         if !no_improve > 20 then begin
+           theta := !theta /. 2.0;
+           no_improve := 0
+         end
+       end;
+       (* primal: round the z subproblem, enrich with the most-used
+          candidates up to a small budget overshoot, repair, occasionally
+          local-search *)
+       let zr = Array.map (fun v -> v > 0.999) zfrac in
+       let counts = Array.make ncand 0 in
+       Array.iter (List.iter (fun a -> counts.(a) <- counts.(a) + 1)) usage;
+       let used_order =
+         List.init ncand Fun.id
+         |> List.filter (fun a -> counts.(a) > 0 && not zr.(a))
+         |> List.sort (fun a b -> compare counts.(b) counts.(a))
+       in
+       let size_so_far = ref (Sproblem.total_size sp zr) in
+       List.iter
+         (fun a ->
+           if !size_so_far +. sp.Sproblem.sizes.(a) <= 1.3 *. budget then begin
+             zr.(a) <- true;
+             size_so_far := !size_so_far +. sp.Sproblem.sizes.(a)
+           end)
+         used_order;
+       Array.iteri (fun a f -> if f then zr.(a) <- false) forced_zero;
+       let zr = repair sp ~budget ~z_rows zr in
+       let obj = Sproblem.eval sp zr in
+       let candidate_z, candidate_obj =
+         if
+           obj < !best_obj *. 1.02
+           && (!iter mod options.local_search_period = 0 || obj < !best_obj)
+         then local_search sp ~budget ~z_rows zr obj
+         else (zr, obj)
+       in
+       (if accept candidate_z then begin
+          if candidate_obj < !best_obj -. 1e-9 then begin
+            best_z := candidate_z;
+            best_obj := candidate_obj
+          end
+        end
+        else begin
+          (* trim toward the black box and take the result if it wins *)
+          let zt = trim_to_acceptance candidate_z in
+          if accept zt then begin
+            let objt = Sproblem.eval sp zt in
+            if objt < !best_obj -. 1e-9 then begin
+              best_z := zt;
+              best_obj := objt
+            end
+          end
+        end);
+       (* subgradient step *)
+       let gnorm2 = ref 0.0 in
+       Array.iteri
+         (fun bi (b : Sproblem.block) ->
+           Array.iteri
+             (fun i pos ->
+               let u = if List.mem pos usage.(bi) then 1.0 else 0.0 in
+               let g = u -. zfrac.(pos) in
+               ignore i;
+               ignore b;
+               gnorm2 := !gnorm2 +. (g *. g))
+             b.Sproblem.cands_used)
+         sp.Sproblem.blocks;
+       if !gnorm2 > 1e-12 then begin
+         let ub_ref =
+           if !best_obj < infinity then !best_obj
+           else Sproblem.eval sp (Array.make ncand false)
+         in
+         let step = !theta *. (ub_ref -. lower) /. !gnorm2 in
+         let step = max 0.0 step in
+         Array.iteri
+           (fun bi (b : Sproblem.block) ->
+             Array.iteri
+               (fun i pos ->
+                 let u = if List.mem pos usage.(bi) then 1.0 else 0.0 in
+                 let g = u -. zfrac.(pos) in
+                 lam.(bi).(i) <- max 0.0 (lam.(bi).(i) +. (step *. g)))
+               b.Sproblem.cands_used)
+           sp.Sproblem.blocks
+       end;
+       emit !iter
+     done
+   with Exit -> ());
+  (* persist multipliers for warm starts *)
+  let tbl = Hashtbl.create 1024 in
+  Array.iteri
+    (fun bi (b : Sproblem.block) ->
+      Array.iteri
+        (fun i pos ->
+          if lam.(bi).(i) <> 0.0 then
+            Hashtbl.replace tbl
+              (b.Sproblem.qid, sp.Sproblem.candidates.(pos))
+              lam.(bi).(i))
+        b.Sproblem.cands_used)
+    sp.Sproblem.blocks;
+  emit !iter;
+  {
+    z = !best_z;
+    obj = !best_obj;
+    bound = min !best_bound !best_obj;
+    iterations = !iter;
+    events = !events;
+    multipliers = tbl;
+  }

@@ -1,0 +1,53 @@
+(** Structure-aware BIP solver for CoPhy instances: Lagrangian
+    decomposition with multipliers on the x-to-z linking rows, per-block
+    closed-form subproblems, a knapsack/LP z subproblem, subgradient
+    ascent for the lower bound, and rounding + incremental local search
+    for incumbents.  Streams (elapsed, incumbent, bound) events and
+    accepts warm-started multipliers (incremental re-tuning, Pareto
+    sweeps). *)
+
+type event = {
+  elapsed : float;
+  incumbent : float;
+  bound : float;
+  iteration : int;
+}
+
+(** Multipliers keyed by (statement id, candidate index) so they survive
+    rebuilding the problem with more candidates or changed constraints. *)
+type multipliers = (int * Storage.Index.t, float) Hashtbl.t
+
+type options = {
+  max_iters : int;
+  time_limit : float;
+  gap_tolerance : float;  (** the paper's default CPLEX setting is 0.05 *)
+  on_event : event -> unit;
+  log_events : bool;
+  warm : multipliers option;
+  local_search_period : int;
+}
+
+val default_options : options
+
+type result = {
+  z : bool array;
+  obj : float;           (** exact objective of [z] *)
+  bound : float;         (** best Lagrangian lower bound *)
+  iterations : int;
+  events : event list;   (** reverse chronological when [log_events] *)
+  multipliers : multipliers;
+}
+
+(** Solve under a storage [budget] (bytes; [infinity] = none) and linear
+    z rows.  [accept] is the black-box (UDF) gate of appendix E.5:
+    incumbents failing it are rejected (the bound side legitimately
+    ignores it — dropping constraints only lowers the minimum).  The
+    returned [bound] is [infinity] when the z polytope is infeasible;
+    [obj] is [infinity] when no acceptable incumbent was found. *)
+val solve :
+  ?options:options ->
+  ?accept:(bool array -> bool) ->
+  Sproblem.t ->
+  budget:float ->
+  z_rows:Constr.z_row list ->
+  result

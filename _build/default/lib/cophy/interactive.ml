@@ -1,0 +1,111 @@
+(* Interactive tuning (paper §4.2).
+
+   A session keeps everything the advisor computed — the INUM cache, the
+   candidate set, the structured BIP and the solver's multipliers — so
+   that when the DBA tweaks the problem (adds candidate indexes, changes
+   the budget or the constraints, appends statements) only the delta is
+   recomputed: INUM runs only for new statements, the BIP is rebuilt from
+   cached coefficients, and the solver warm-starts from the previous
+   multipliers.  This is what makes re-tuning an order of magnitude
+   faster than solving from scratch (Fig. 6b). *)
+
+type session = {
+  env : Optimizer.Whatif.env;
+  mutable workload : Sqlast.Ast.workload;
+  mutable cache : Inum.workload_cache;
+  mutable candidates : Storage.Index.t array;
+  mutable budget : float;
+  mutable constraints : Constr.t list;
+  mutable baseline : Storage.Config.t;
+  mutable problem : Sproblem.t option;          (* invalidated by deltas *)
+  mutable multipliers : Decomposition.multipliers option;
+  mutable last : Solver.report option;
+}
+
+let create ?(params = Optimizer.Cost_params.default)
+    ?(constraints = [ Constr.At_most_one_clustered ])
+    ?(baseline = Storage.Config.empty) schema workload ~budget =
+  let env = Optimizer.Whatif.make_env ~params schema in
+  let cache = Inum.build_workload env workload in
+  {
+    env;
+    workload;
+    cache;
+    candidates = Array.of_list (Cgen.generate workload);
+    budget;
+    constraints;
+    baseline;
+    problem = None;
+    multipliers = None;
+    last = None;
+  }
+
+let candidates s = Array.to_list s.candidates
+let last_report s = s.last
+
+(* --- Deltas --- *)
+
+let add_candidates s ixs =
+  let existing = Storage.Config.of_list (Array.to_list s.candidates) in
+  let fresh =
+    List.filter (fun ix -> not (Storage.Config.mem ix existing)) ixs
+  in
+  s.candidates <- Array.append s.candidates (Array.of_list fresh);
+  s.problem <- None
+
+let remove_candidates s ixs =
+  s.candidates <-
+    Array.of_list
+      (List.filter
+         (fun c -> not (List.exists (Storage.Index.equal c) ixs))
+         (Array.to_list s.candidates));
+  (* Multipliers are keyed by index identity, so survivors keep theirs. *)
+  s.problem <- None
+
+let set_budget s budget = s.budget <- budget
+
+let set_constraints s cs =
+  s.constraints <- cs;
+  s.problem <- None
+
+(* Append statements: INUM preprocessing runs only for the new ones. *)
+let add_statements s stmts =
+  let delta = Inum.build_workload s.env stmts in
+  s.workload <- s.workload @ stmts;
+  s.cache <-
+    {
+      Inum.selects = s.cache.Inum.selects @ delta.Inum.selects;
+      updates = s.cache.Inum.updates @ delta.Inum.updates;
+      total_init_calls =
+        s.cache.Inum.total_init_calls + delta.Inum.total_init_calls;
+    };
+  s.problem <- None
+
+(* --- Re-tuning --- *)
+
+let problem s =
+  match s.problem with
+  | Some sp -> sp
+  | None ->
+      let sp = Sproblem.build s.env s.cache s.candidates in
+      s.problem <- Some sp;
+      sp
+
+let retune ?(options = Solver.default_options) s =
+  let sp = problem s in
+  let z_rows =
+    Constr.linearize_all s.env.Optimizer.Whatif.schema s.candidates
+      (List.filter Constr.z_only s.constraints)
+  in
+  let accept =
+    if List.exists Constr.is_udf s.constraints then
+      Some (Constr.udf_acceptance s.candidates s.constraints)
+    else None
+  in
+  let options =
+    { options with Solver.warm = s.multipliers; method_ = Solver.Decomposed }
+  in
+  let report = Solver.solve ~options ?accept sp ~budget:s.budget ~z_rows in
+  s.multipliers <- report.Solver.multipliers;
+  s.last <- Some report;
+  report

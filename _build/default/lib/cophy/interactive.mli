@@ -1,0 +1,35 @@
+(** Interactive tuning sessions (paper §4.2): the INUM cache, candidate
+    set, structured BIP and solver multipliers persist across the DBA's
+    tweaks, so only the delta is recomputed on each re-tune. *)
+
+type session
+
+(** Start a session: INUM preprocesses the workload once, CGen builds the
+    initial candidate set. *)
+val create :
+  ?params:Optimizer.Cost_params.t ->
+  ?constraints:Constr.t list ->
+  ?baseline:Storage.Config.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.workload ->
+  budget:float ->
+  session
+
+val candidates : session -> Storage.Index.t list
+val last_report : session -> Solver.report option
+
+(** Extend the candidate set (duplicates ignored).  Existing multipliers
+    are keyed by index identity, so the next re-tune warm-starts. *)
+val add_candidates : session -> Storage.Index.t list -> unit
+
+(** Remove candidates; survivors keep their multipliers. *)
+val remove_candidates : session -> Storage.Index.t list -> unit
+
+val set_budget : session -> float -> unit
+val set_constraints : session -> Constr.t list -> unit
+
+(** Append statements: INUM preprocessing runs only for the new ones. *)
+val add_statements : session -> Sqlast.Ast.workload -> unit
+
+(** Re-solve, warm-starting from the previous multipliers. *)
+val retune : ?options:Solver.options -> session -> Solver.report

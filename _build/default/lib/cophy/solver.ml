@@ -1,0 +1,223 @@
+(* The Solver component (paper §4.1, Fig. 3).
+
+   1. Check the feasibility of the hard constraints (the paper's line 1);
+      an [Infeasible] exception reports which constraints cannot hold.
+   2. Apply the relaxation and hand the program to a BIP solver: the
+      exact simplex + branch-and-bound path for small instances or when
+      requested, and the Lagrangian decomposition path (the "relax"
+      transformation of Fig. 3 taken to its conclusion) for large ones.
+   3. Stream feedback events so the DBA can terminate early; stop at the
+      configured optimality gap (the paper tunes CPLEX to 5%). *)
+
+exception Infeasible of string list
+
+type solve_method = Auto | Exact | Decomposed
+
+type feedback = {
+  elapsed : float;
+  incumbent : float option;  (* best feasible objective so far *)
+  bound : float;             (* proven lower bound *)
+}
+
+type options = {
+  method_ : solve_method;
+  gap_tolerance : float;
+  time_limit : float;
+  max_iters : int;           (* decomposition subgradient iterations *)
+  on_feedback : feedback -> unit;
+  log_events : bool;
+  warm : Decomposition.multipliers option;
+}
+
+let default_options =
+  {
+    method_ = Auto;
+    gap_tolerance = 0.05;
+    time_limit = infinity;
+    max_iters = 400;
+    on_feedback = ignore;
+    log_events = true;
+    warm = None;
+  }
+
+type report = {
+  z : bool array;
+  config : Storage.Config.t;
+  objective : float;          (* INUM-estimated workload cost of [config] *)
+  bound : float;
+  gap : float;
+  events : feedback list;     (* chronological *)
+  used_method : solve_method;
+  multipliers : Decomposition.multipliers option;
+  solve_seconds : float;
+}
+
+(* Above this many BIP variables, Auto switches to the decomposition.
+   The threshold is deliberately low: the decomposition is CoPhy's
+   production path, and the materialized-BIP path mainly serves
+   correctness tests and query-cost-cap constraints. *)
+let exact_variable_limit = 800
+
+(* Feasibility of the z-only polytope (mandatory/forbidden/budget/...). *)
+let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
+  let n = Array.length sp.Sproblem.candidates in
+  let p = Lp.Problem.create () in
+  let vars = Array.init n (fun _ -> Lp.Problem.add_var ~ub:1.0 p) in
+  if budget < infinity then
+    ignore
+      (Lp.Problem.add_row ~name:"storage" p
+         (Array.to_list (Array.mapi (fun a v -> (v, sp.Sproblem.sizes.(a))) vars))
+         Lp.Problem.Le budget);
+  List.iter
+    (fun (row : Constr.z_row) ->
+      let sense =
+        match row.Constr.row_cmp with
+        | Constr.Le -> Lp.Problem.Le
+        | Constr.Ge -> Lp.Problem.Ge
+        | Constr.Eq -> Lp.Problem.Eq
+      in
+      ignore
+        (Lp.Problem.add_row ~name:row.Constr.row_name p
+           (List.map (fun (a, c) -> (vars.(a), c)) row.Constr.row_coeffs)
+           sense row.Constr.row_rhs))
+    z_rows;
+  let r = Lp.Simplex.solve p in
+  match r.Lp.Simplex.status with
+  | Lp.Simplex.Infeasible ->
+      (* Identify offenders: re-test each row alone against the bounds. *)
+      let offenders =
+        List.filter_map
+          (fun (row : Constr.z_row) ->
+            let p1 = Lp.Problem.create () in
+            let vars1 = Array.init n (fun _ -> Lp.Problem.add_var ~ub:1.0 p1) in
+            let sense =
+              match row.Constr.row_cmp with
+              | Constr.Le -> Lp.Problem.Le
+              | Constr.Ge -> Lp.Problem.Ge
+              | Constr.Eq -> Lp.Problem.Eq
+            in
+            ignore
+              (Lp.Problem.add_row p1
+                 (List.map (fun (a, c) -> (vars1.(a), c)) row.Constr.row_coeffs)
+                 sense row.Constr.row_rhs);
+            match (Lp.Simplex.solve p1).Lp.Simplex.status with
+            | Lp.Simplex.Infeasible -> Some row.Constr.row_name
+            | _ -> None)
+          z_rows
+      in
+      let offenders =
+        if offenders = [] then [ "constraint conjunction (no single offender)" ]
+        else offenders
+      in
+      raise (Infeasible offenders)
+  | _ -> ()
+
+let solve ?(options = default_options) ?(block_caps = []) ?accept
+    (sp : Sproblem.t) ~budget ~z_rows =
+  check_feasibility sp ~budget ~z_rows;
+  let t0 = Unix.gettimeofday () in
+  let method_ =
+    match options.method_ with
+    | Auto ->
+        (* Query-cost caps are only encoded in the materialized BIP;
+           black-box (UDF) acceptance is only enforced by the
+           decomposition's incumbent gate. *)
+        if accept <> None then Decomposed
+        else if block_caps <> [] then Exact
+        else if Sproblem.variable_count sp <= exact_variable_limit then Exact
+        else Decomposed
+    | m -> m
+  in
+  match method_ with
+  | Exact | Auto ->
+      let p, vars = Sproblem.to_lp ~budget ~z_rows ~block_caps sp in
+      let events = ref [] in
+      let bb_options =
+        {
+          Lp.Branch_bound.default_options with
+          Lp.Branch_bound.gap_tolerance = options.gap_tolerance;
+          time_limit = options.time_limit;
+          log_events = options.log_events;
+          (* branch on the index-selection variables only; once z is
+             integral the per-block LP is a pure minimum with an integral
+             optimum (Theorem 1's structure) *)
+          decision_vars = Some (Array.to_list vars.Sproblem.z_var);
+          on_event =
+            (fun (e : Lp.Branch_bound.event) ->
+              let f =
+                {
+                  elapsed = e.Lp.Branch_bound.elapsed;
+                  incumbent = e.Lp.Branch_bound.incumbent;
+                  bound = e.Lp.Branch_bound.bound;
+                }
+              in
+              if options.log_events then events := f :: !events;
+              options.on_feedback f);
+        }
+      in
+      let r = Lp.Branch_bound.solve ~options:bb_options p in
+      (match r.Lp.Branch_bound.status with
+      | Lp.Branch_bound.Infeasible ->
+          raise (Infeasible [ "BIP infeasible (query-cost or linking rows)" ])
+      | _ -> ());
+      let x =
+        match r.Lp.Branch_bound.x with
+        | Some x -> x
+        | None -> raise (Infeasible [ "no feasible solution found" ])
+      in
+      let z = Sproblem.z_of_lp_solution sp vars x in
+      let objective = Sproblem.eval sp z in
+      {
+        z;
+        config = Sproblem.config_of sp z;
+        objective;
+        bound = r.Lp.Branch_bound.bound;
+        gap =
+          (objective -. r.Lp.Branch_bound.bound)
+          /. (abs_float objective +. 1e-9);
+        events = List.rev !events;
+        used_method = Exact;
+        multipliers = None;
+        solve_seconds = Unix.gettimeofday () -. t0;
+      }
+  | Decomposed ->
+      let events = ref [] in
+      let d_options =
+        {
+          Decomposition.default_options with
+          Decomposition.max_iters = options.max_iters;
+          gap_tolerance = options.gap_tolerance;
+          time_limit = options.time_limit;
+          warm = options.warm;
+          log_events = options.log_events;
+          on_event =
+            (fun (e : Decomposition.event) ->
+              let f =
+                {
+                  elapsed = e.Decomposition.elapsed;
+                  incumbent = Some e.Decomposition.incumbent;
+                  bound = e.Decomposition.bound;
+                }
+              in
+              if options.log_events then events := f :: !events;
+              options.on_feedback f);
+        }
+      in
+      let r = Decomposition.solve ~options:d_options ?accept sp ~budget ~z_rows in
+      if r.Decomposition.bound = infinity then
+        raise (Infeasible [ "z polytope infeasible" ]);
+      if r.Decomposition.obj = infinity then
+        raise (Infeasible [ "no selection satisfies the black-box constraints" ]);
+      {
+        z = r.Decomposition.z;
+        config = Sproblem.config_of sp r.Decomposition.z;
+        objective = r.Decomposition.obj;
+        bound = r.Decomposition.bound;
+        gap =
+          (r.Decomposition.obj -. r.Decomposition.bound)
+          /. (abs_float r.Decomposition.obj +. 1e-9);
+        events = List.rev !events;
+        used_method = Decomposed;
+        multipliers = Some r.Decomposition.multipliers;
+        solve_seconds = Unix.gettimeofday () -. t0;
+      }

@@ -1,0 +1,62 @@
+(** The Solver component (paper §4.1, Fig. 3): feasibility check, the
+    relaxation, dispatch to a BIP solving path, and the continuous
+    feedback stream behind early termination. *)
+
+(** Raised when the hard constraints cannot be satisfied; carries the
+    names of the offending constraints (paper: the DBA then removes them
+    or converts them to soft constraints). *)
+exception Infeasible of string list
+
+type solve_method =
+  | Auto  (** exact for small instances / query-cost caps, else decomposed *)
+  | Exact  (** materialized BIP, simplex + branch and bound *)
+  | Decomposed  (** Lagrangian decomposition (large instances) *)
+
+type feedback = {
+  elapsed : float;
+  incumbent : float option;  (** best feasible objective so far *)
+  bound : float;  (** proven lower bound *)
+}
+
+type options = {
+  method_ : solve_method;
+  gap_tolerance : float;  (** early-termination gap; the paper uses 0.05 *)
+  time_limit : float;
+  max_iters : int;  (** decomposition subgradient iterations *)
+  on_feedback : feedback -> unit;
+  log_events : bool;
+  warm : Decomposition.multipliers option;  (** warm start (re-tuning) *)
+}
+
+val default_options : options
+
+type report = {
+  z : bool array;
+  config : Storage.Config.t;
+  objective : float;  (** INUM-estimated workload cost of [config] *)
+  bound : float;
+  gap : float;
+  events : feedback list;  (** chronological *)
+  used_method : solve_method;
+  multipliers : Decomposition.multipliers option;
+  solve_seconds : float;
+}
+
+(** Check that the z polytope (budget + linear z rows) is non-empty.
+    @raise Infeasible with offender names otherwise. *)
+val check_feasibility :
+  Sproblem.t -> budget:float -> z_rows:Constr.z_row list -> unit
+
+(** Solve the tuning BIP.  [block_caps] are per-statement cost caps
+    (query-cost constraints), which force the exact path; [accept] is the
+    black-box (UDF) acceptance gate of appendix E.5, which forces the
+    decomposed path.
+    @raise Infeasible when constraints cannot hold. *)
+val solve :
+  ?options:options ->
+  ?block_caps:(int * float) list ->
+  ?accept:(bool array -> bool) ->
+  Sproblem.t ->
+  budget:float ->
+  z_rows:Constr.z_row list ->
+  report

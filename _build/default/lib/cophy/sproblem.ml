@@ -1,0 +1,348 @@
+(* The structured form of the CoPhy BIP (Theorem 1).
+
+   For each statement (block) and each INUM template we store the internal
+   cost beta and, per slot, the list of admissible (candidate, gamma)
+   choices — already pruned losslessly: a candidate is dropped from a slot
+   when its gamma is infinite (order-incompatible) or no better than the
+   no-index gamma.  The z variables, sizes, and update-maintenance costs
+   complete the program.
+
+   The structure is what both solver paths consume: [to_lp] materializes
+   the exact BIP of Theorem 1 for the generic simplex + branch-and-bound
+   solver, while [Decomposition] exploits the block structure directly. *)
+
+type slot_choice = { cand : int; gamma : float }  (* cand = -1: no index *)
+
+type template = {
+  beta : float;
+  (* one entry per referenced table: admissible choices, no-index first *)
+  choices : slot_choice array array;
+}
+
+type block = {
+  qid : int;
+  weight : float;
+  templates : template array;
+  (* candidate positions appearing anywhere in this block, sorted *)
+  cands_used : int array;
+}
+
+type t = {
+  schema : Catalog.Schema.t;
+  candidates : Storage.Index.t array;
+  sizes : float array;                (* bytes *)
+  ucost : float array;                (* weighted maintenance cost, per candidate *)
+  fixed : float;                      (* weighted base-update cost sum *)
+  blocks : block array;
+  (* candidate position -> blocks that reference it *)
+  cand_blocks : int array array;
+}
+
+let num_candidates t = Array.length t.candidates
+let num_blocks t = Array.length t.blocks
+
+(* Total number of (y, x, z) variables the materialized BIP would have —
+   the paper's measure of BIP compactness. *)
+let variable_count t =
+  let yx =
+    Array.fold_left
+      (fun acc b ->
+        Array.fold_left
+          (fun acc tpl ->
+            Array.fold_left (fun acc slot -> acc + Array.length slot) (acc + 1)
+              tpl.choices)
+          acc b.templates)
+      0 t.blocks
+  in
+  yx + Array.length t.candidates
+
+(* --- Construction --- *)
+
+(* [prune = false] disables the lossless slot-level dominance pruning, for
+   ablation: every finite-gamma candidate is kept in every slot. *)
+let build ?(prune = true) (env : Optimizer.Whatif.env)
+    (cache : Inum.workload_cache) (candidates : Storage.Index.t array) =
+  let schema = env.Optimizer.Whatif.schema in
+  let params = env.Optimizer.Whatif.params in
+  let ncand = Array.length candidates in
+  (* candidate positions per table *)
+  let by_table = Hashtbl.create 16 in
+  Array.iteri
+    (fun pos ix ->
+      let tb = Storage.Index.table ix in
+      Hashtbl.replace by_table tb
+        (pos :: Option.value ~default:[] (Hashtbl.find_opt by_table tb)))
+    candidates;
+  let table_cands tb = Option.value ~default:[] (Hashtbl.find_opt by_table tb) in
+  let blocks =
+    List.map
+      (fun (q, weight, inum) ->
+        let tables = Inum.tables inum in
+        let used = Hashtbl.create 16 in
+        let templates =
+          List.map
+            (fun (tpl : Inum.template) ->
+              let choices =
+                List.mapi
+                  (fun ti table ->
+                    let req = tpl.Inum.slot_reqs.(ti) in
+                    let g0 =
+                      match
+                        Optimizer.Access.slot_fill_cost params schema q table
+                          None req
+                      with
+                      | Some c -> c
+                      | None -> infinity
+                    in
+                    let cands =
+                      List.filter_map
+                        (fun pos ->
+                          match
+                            Optimizer.Access.slot_fill_cost params schema q
+                              table
+                              (Some candidates.(pos))
+                              req
+                          with
+                          | Some g when (not prune) || g < g0 -. 1e-9 ->
+                              Hashtbl.replace used pos ();
+                              Some { cand = pos; gamma = g }
+                          | _ -> None)
+                        (table_cands table)
+                    in
+                    Array.of_list ({ cand = -1; gamma = g0 } :: cands))
+                  tables
+              in
+              { beta = tpl.Inum.beta; choices = Array.of_list choices })
+            (Inum.templates inum)
+        in
+        let cands_used =
+          Hashtbl.fold (fun pos () acc -> pos :: acc) used []
+          |> List.sort compare |> Array.of_list
+        in
+        {
+          qid = q.Sqlast.Ast.query_id;
+          weight;
+          templates = Array.of_list templates;
+          cands_used;
+        })
+      cache.Inum.selects
+    |> Array.of_list
+  in
+  let sizes = Array.map (fun ix -> Storage.Index.size_bytes schema ix) candidates in
+  let ucost = Array.make ncand 0.0 in
+  let fixed = ref 0.0 in
+  List.iter
+    (fun (u, weight) ->
+      fixed := !fixed +. (weight *. Optimizer.Whatif.update_base_cost env u);
+      Array.iteri
+        (fun pos ix ->
+          let c = Optimizer.Whatif.update_cost env u ix in
+          if c > 0.0 then ucost.(pos) <- ucost.(pos) +. (weight *. c))
+        candidates)
+    cache.Inum.updates;
+  let cand_blocks = Array.make ncand [] in
+  Array.iteri
+    (fun bi b ->
+      Array.iter (fun pos -> cand_blocks.(pos) <- bi :: cand_blocks.(pos)) b.cands_used)
+    blocks;
+  {
+    schema;
+    candidates;
+    sizes;
+    ucost;
+    fixed = !fixed;
+    blocks;
+    cand_blocks = Array.map (fun l -> Array.of_list (List.rev l)) cand_blocks;
+  }
+
+(* --- Evaluation --- *)
+
+(* Query-cost part of one block under selection [z] (1 = selected). *)
+let block_cost_z (b : block) (z : bool array) =
+  let best = ref infinity in
+  Array.iter
+    (fun tpl ->
+      let total = ref tpl.beta in
+      Array.iter
+        (fun slot ->
+          let m = ref infinity in
+          Array.iter
+            (fun { cand; gamma } ->
+              if (cand < 0 || z.(cand)) && gamma < !m then m := gamma)
+            slot;
+          total := !total +. !m)
+        tpl.choices;
+      if !total < !best then best := !total)
+    b.templates;
+  !best
+
+(* Full objective of a selection: weighted query costs + maintenance +
+   fixed update costs. *)
+let eval t (z : bool array) =
+  let acc = ref t.fixed in
+  Array.iter (fun b -> acc := !acc +. (b.weight *. block_cost_z b z)) t.blocks;
+  Array.iteri (fun pos u -> if z.(pos) then acc := !acc +. u) t.ucost;
+  !acc
+
+let total_size t (z : bool array) =
+  let acc = ref 0.0 in
+  Array.iteri (fun pos s -> if z.(pos) then acc := !acc +. s) t.sizes;
+  !acc
+
+let config_of t (z : bool array) =
+  let acc = ref [] in
+  Array.iteri (fun pos ix -> if z.(pos) then acc := ix :: !acc) t.candidates;
+  Storage.Config.of_list !acc
+
+let z_of_config t config =
+  Array.map (fun ix -> Storage.Config.mem ix config) t.candidates
+
+(* --- Materialization as an explicit BIP (Theorem 1) --- *)
+
+type lp_vars = {
+  z_var : int array;                       (* candidate position -> z var *)
+  y_var : (int * int, int) Hashtbl.t;      (* (block, template) -> y var *)
+  x_var : (int * int * int * int, int) Hashtbl.t;
+      (* (block, template, slot, choice) -> x var *)
+}
+
+(* Build the explicit BIP: continuous relaxation is obtained by the caller
+   via Branch_bound / Simplex.  Extra z-rows (constraints from the
+   language), per-statement cost caps (query-cost constraints), and the
+   storage budget are appended when given.  [naive_links = true] emits one
+   x <= z row per x variable instead of the per-(block, candidate)
+   aggregation — the weaker textbook form, kept for ablation. *)
+let to_lp ?(budget = infinity) ?(z_rows = []) ?(block_caps = [])
+    ?(naive_links = false) t =
+  let p = Lp.Problem.create () in
+  let ncand = Array.length t.candidates in
+  let z_var =
+    Array.init ncand (fun pos ->
+        Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:t.ucost.(pos)
+          ~name:(Printf.sprintf "z_%d" pos) p)
+  in
+  let y_var = Hashtbl.create 256 in
+  let x_var = Hashtbl.create 1024 in
+  Lp.Problem.add_obj_offset p t.fixed;
+  Array.iteri
+    (fun bi b ->
+      let y_ids =
+        Array.mapi
+          (fun k tpl ->
+            let y =
+              Lp.Problem.add_var ~kind:Lp.Problem.Binary
+                ~obj:(b.weight *. tpl.beta)
+                ~name:(Printf.sprintf "y_%d_%d" bi k)
+                p
+            in
+            Hashtbl.replace y_var (bi, k) y;
+            y)
+          b.templates
+      in
+      (* sum_k y = 1 *)
+      ignore
+        (Lp.Problem.add_row
+           ~name:(Printf.sprintf "one_tpl_%d" bi)
+           p
+           (Array.to_list (Array.map (fun y -> (y, 1.0)) y_ids))
+           Lp.Problem.Eq 1.0);
+      (* Linking rows are aggregated per (block, candidate):
+           sum over all x of this block using candidate a  <=  z_a.
+         Valid because sum_k y_qk = 1 makes at most one such x equal 1 in
+         any integral solution, and *tighter* than per-variable x <= z
+         rows in the LP relaxation (fractional template mixtures must pay
+         for their full combined usage). *)
+      let links = Hashtbl.create 32 in
+      Array.iteri
+        (fun k tpl ->
+          Array.iteri
+            (fun si slot ->
+              let xs =
+                Array.mapi
+                  (fun ci { cand; gamma } ->
+                    let x =
+                      Lp.Problem.add_var ~kind:Lp.Problem.Binary
+                        ~obj:(b.weight *. gamma)
+                        ~name:(Printf.sprintf "x_%d_%d_%d_%d" bi k si ci)
+                        p
+                    in
+                    Hashtbl.replace x_var (bi, k, si, ci) x;
+                    if cand >= 0 then
+                      if naive_links then
+                        ignore
+                          (Lp.Problem.add_row p
+                             [ (x, 1.0); (z_var.(cand), -1.0) ]
+                             Lp.Problem.Le 0.0)
+                      else
+                        Hashtbl.replace links cand
+                          (x
+                          :: Option.value ~default:[]
+                               (Hashtbl.find_opt links cand));
+                    x)
+                  slot
+              in
+              (* sum_choices x = y *)
+              ignore
+                (Lp.Problem.add_row p
+                   ((Hashtbl.find y_var (bi, k), -1.0)
+                   :: Array.to_list (Array.map (fun x -> (x, 1.0)) xs))
+                   Lp.Problem.Eq 0.0))
+            tpl.choices)
+        b.templates;
+      Hashtbl.iter
+        (fun cand xs ->
+          ignore
+            (Lp.Problem.add_row p
+               ((z_var.(cand), -1.0) :: List.map (fun x -> (x, 1.0)) xs)
+               Lp.Problem.Le 0.0))
+        links)
+    t.blocks;
+  if budget < infinity then
+    ignore
+      (Lp.Problem.add_row ~name:"storage" p
+         (Array.to_list (Array.mapi (fun pos zv -> (zv, t.sizes.(pos))) z_var))
+         Lp.Problem.Le budget);
+  List.iter
+    (fun (row : Constr.z_row) ->
+      let sense =
+        match row.Constr.row_cmp with
+        | Constr.Le -> Lp.Problem.Le
+        | Constr.Ge -> Lp.Problem.Ge
+        | Constr.Eq -> Lp.Problem.Eq
+      in
+      ignore
+        (Lp.Problem.add_row ~name:row.Constr.row_name p
+           (List.map (fun (pos, c) -> (z_var.(pos), c)) row.Constr.row_coeffs)
+           sense row.Constr.row_rhs))
+    z_rows;
+  (* per-statement cost caps: sum_k beta y + sum gamma x <= cap *)
+  List.iter
+    (fun (qid, cap) ->
+      Array.iteri
+        (fun bi b ->
+          if b.qid = qid then begin
+            let coeffs = ref [] in
+            Array.iteri
+              (fun k tpl ->
+                coeffs := (Hashtbl.find y_var (bi, k), tpl.beta) :: !coeffs;
+                Array.iteri
+                  (fun si slot ->
+                    Array.iteri
+                      (fun ci { gamma; _ } ->
+                        coeffs :=
+                          (Hashtbl.find x_var (bi, k, si, ci), gamma) :: !coeffs)
+                      slot)
+                  tpl.choices)
+              b.templates;
+            ignore
+              (Lp.Problem.add_row
+                 ~name:(Printf.sprintf "cost_cap_%d" qid)
+                 p !coeffs Lp.Problem.Le cap)
+          end)
+        t.blocks)
+    block_caps;
+  (p, { z_var; y_var; x_var })
+
+(* Read a configuration out of an LP/BIP solution vector. *)
+let z_of_lp_solution t vars x =
+  Array.init (Array.length t.candidates) (fun pos -> x.(vars.z_var.(pos)) > 0.5)

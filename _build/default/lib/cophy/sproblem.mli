@@ -1,0 +1,84 @@
+(** The structured form of the CoPhy BIP (Theorem 1): per statement
+    (block), per INUM template, the internal cost beta and per-slot
+    admissible (candidate, gamma) choices — losslessly pruned (a slot
+    choice is dropped only when its gamma is infinite or no better than
+    the no-index gamma; the candidate's z variable always survives).
+
+    Both solver paths consume this structure: {!to_lp} materializes the
+    explicit BIP for simplex + branch-and-bound, while {!Decomposition}
+    exploits the block structure directly. *)
+
+type slot_choice = { cand : int; gamma : float }
+(** [cand = -1] is the no-index choice. *)
+
+type template = {
+  beta : float;
+  choices : slot_choice array array;  (** per slot; no-index entry first *)
+}
+
+type block = {
+  qid : int;
+  weight : float;  (** f_q *)
+  templates : template array;
+  cands_used : int array;  (** candidate positions in this block, sorted *)
+}
+
+type t = {
+  schema : Catalog.Schema.t;
+  candidates : Storage.Index.t array;
+  sizes : float array;  (** bytes *)
+  ucost : float array;  (** weighted update-maintenance cost per candidate *)
+  fixed : float;  (** weighted base-update costs (c_q sums) *)
+  blocks : block array;
+  cand_blocks : int array array;  (** candidate -> referencing blocks *)
+}
+
+val num_candidates : t -> int
+val num_blocks : t -> int
+
+(** Number of (y, x, z) variables of the materialized BIP — the paper's
+    measure of compactness (grows linearly with the input). *)
+val variable_count : t -> int
+
+(** Build from an INUM workload cache and a candidate set.
+    [prune = false] disables the lossless slot dominance pruning
+    (ablation only). *)
+val build :
+  ?prune:bool ->
+  Optimizer.Whatif.env ->
+  Inum.workload_cache ->
+  Storage.Index.t array ->
+  t
+
+(** Query-cost part of one block given a selection. *)
+val block_cost_z : block -> bool array -> float
+
+(** Full objective of a selection (query costs + maintenance + fixed). *)
+val eval : t -> bool array -> float
+
+(** Total size in bytes of the selected candidates. *)
+val total_size : t -> bool array -> float
+
+val config_of : t -> bool array -> Storage.Config.t
+val z_of_config : t -> Storage.Config.t -> bool array
+
+type lp_vars = {
+  z_var : int array;
+  y_var : (int * int, int) Hashtbl.t;
+  x_var : (int * int * int * int, int) Hashtbl.t;
+}
+
+(** Materialize the BIP of Theorem 1.  Linking rows are aggregated per
+    (block, candidate) — valid by [sum_k y = 1] and tighter than
+    per-variable links.  [budget] adds the storage row; [z_rows] the
+    constraint-language rows; [block_caps] per-statement cost caps. *)
+val to_lp :
+  ?budget:float ->
+  ?z_rows:Constr.z_row list ->
+  ?block_caps:(int * float) list ->
+  ?naive_links:bool ->
+  t ->
+  Lp.Problem.t * lp_vars
+
+(** Read the selection out of a BIP solution vector. *)
+val z_of_lp_solution : t -> lp_vars -> float array -> bool array

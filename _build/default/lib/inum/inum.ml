@@ -1,0 +1,332 @@
+(* INUM — the fast what-if layer of Papadomanolakis, Dash & Ailamaki (VLDB
+   2007), rebuilt over our own optimizer.
+
+   For each query we enumerate combinations of per-table access specs —
+   unordered, one of the table's interesting orders, or nested-loop inner
+   on a join column — and ask the optimizer for the optimal *template
+   plan* of each combination: a plan whose leaves are abstract slots with
+   zero access cost.  The plan's cost is the internal plan cost beta_qk;
+   the cost of instantiating slot i with index a is gamma_qkia (infinite
+   when the index cannot satisfy the slot's requirement).  cost(q, X) is
+   then min over templates and atomic configurations of beta + sum gamma —
+   the linearly composable form of Definition 1, which is what makes index
+   tuning a BIP (Theorem 1). *)
+
+open Sqlast
+
+type template = {
+  beta : float;
+  (* Requirement per referenced table, aligned with [tables]. *)
+  slot_reqs : Optimizer.Plan.slot_req array;
+  plan : Optimizer.Plan.t;
+}
+
+type t = {
+  query : Ast.query;
+  tables : string array;
+  templates : template array;
+  (* Number of optimizer calls spent building the cache. *)
+  init_calls : int;
+  env : Optimizer.Whatif.env;
+}
+
+let query t = t.query
+let templates t = Array.to_list t.templates
+let template_count t = Array.length t.templates
+let init_calls t = t.init_calls
+let tables t = Array.to_list t.tables
+
+(* --- Interesting orders --- *)
+
+(* Candidate orders for [table] in [q]: join columns, the group-by columns
+   on the table (as a unit), and the order-by prefix on the table. *)
+let interesting_orders (q : Ast.query) table =
+  let joins =
+    List.map (fun (c : Ast.col_ref) -> [ c.Ast.column ]) (Ast.join_columns q table)
+  in
+  let groups =
+    match
+      List.filter_map
+        (fun (c : Ast.col_ref) ->
+          if c.Ast.table = table then Some c.Ast.column else None)
+        q.Ast.group_by
+    with
+    | [] -> []
+    | cols -> [ cols ]
+  in
+  let orders =
+    match
+      List.filter_map
+        (fun ((c : Ast.col_ref), _) ->
+          if c.Ast.table = table then Some c.Ast.column else None)
+        q.Ast.order_by
+    with
+    | [] -> []
+    | cols -> [ cols ]
+  in
+  let all = joins @ groups @ orders in
+  List.fold_left (fun acc o -> if List.mem o acc then acc else o :: acc) [] all
+  |> List.rev
+  |> List.filteri (fun i _ -> i < 3)
+
+(* Join columns of [table] usable as nested-loop probe targets. *)
+let nlj_columns (q : Ast.query) table =
+  if List.length q.Ast.tables < 2 then []
+  else
+    List.map (fun (c : Ast.col_ref) -> c.Ast.column) (Ast.join_columns q table)
+    |> List.sort_uniq String.compare
+    |> List.filteri (fun i _ -> i < 2)
+
+(* Per-table specs: unordered, each interesting order, each NLJ column. *)
+let table_specs q table =
+  Optimizer.Whatif.Spec_any
+  :: (List.map (fun o -> Optimizer.Whatif.Spec_ordered o) (interesting_orders q table)
+     @ List.map (fun c -> Optimizer.Whatif.Spec_nlj c) (nlj_columns q table))
+
+(* Enumerate spec combinations, bounding the number of simultaneously
+   constrained tables (long merge/NLJ chains blow up the template count)
+   and the total number of optimizer probes per query.  Enumeration
+   visits less-constrained combinations first, so truncation drops the
+   most exotic templates — mirroring how INUM bounds its plan cache. *)
+let max_constrained_tables = 3
+let max_combinations = 160
+
+let spec_combinations (q : Ast.query) tables =
+  let per_table = Array.map (table_specs q) tables in
+  let n = Array.length tables in
+  let rec go i acc_rev constrained =
+    if i = n then [ List.rev acc_rev ]
+    else
+      List.concat_map
+        (fun s ->
+          let constrained' =
+            if s = Optimizer.Whatif.Spec_any then constrained else constrained + 1
+          in
+          if constrained' > max_constrained_tables then []
+          else go (i + 1) (s :: acc_rev) constrained')
+        per_table.(i)
+  in
+  let all = go 0 [] 0 in
+  let constrained_count combo =
+    List.fold_left
+      (fun acc s -> if s = Optimizer.Whatif.Spec_any then acc else acc + 1)
+      0 combo
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare (constrained_count a) (constrained_count b))
+      all
+  in
+  List.filteri (fun i _ -> i < max_combinations) sorted
+
+(* --- Requirement comparison for template domination --- *)
+
+let order_weaker_eq (o1 : string list) (o2 : string list) =
+  (* o1 is a prefix of o2 *)
+  let rec prefix = function
+    | [], _ -> true
+    | _, [] -> false
+    | a :: xs, b :: ys -> a = b && prefix (xs, ys)
+  in
+  prefix (o1, o2)
+
+let req_weaker_eq (r1 : Optimizer.Plan.slot_req) (r2 : Optimizer.Plan.slot_req) =
+  match (r1, r2) with
+  | Optimizer.Plan.Any_order, _ -> true
+  | Optimizer.Plan.Ordered o1, Optimizer.Plan.Ordered o2 -> order_weaker_eq o1 o2
+  | ( Optimizer.Plan.Nlj_inner { join_col = c1; outer_rows = r1 },
+      Optimizer.Plan.Nlj_inner { join_col = c2; outer_rows = r2 } ) ->
+      c1 = c2 && r1 <= r2
+  | _ -> false
+
+(* t1 makes t2 redundant when it is no more expensive internally and
+   requires no more from every slot. *)
+let dominates t1 t2 =
+  t1.beta <= t2.beta
+  && Array.for_all2 req_weaker_eq t1.slot_reqs t2.slot_reqs
+
+(* --- Cache construction --- *)
+
+let build env (q : Ast.query) =
+  let tables = Array.of_list q.Ast.tables in
+  let combos = spec_combinations q tables in
+  let raw =
+    List.filter_map
+      (fun combo ->
+        let specs =
+          List.mapi (fun i s -> (tables.(i), s)) combo
+          |> List.filter (fun (_, s) -> s <> Optimizer.Whatif.Spec_any)
+        in
+        match Optimizer.Whatif.template_plan env q ~slot_specs:specs with
+        | None -> None
+        | Some plan ->
+            (* Recover each slot's actual requirement (NLJ slots now carry
+               their outer cardinality). *)
+            let slot_list = Optimizer.Plan.slots plan in
+            let slot_reqs =
+              Array.map
+                (fun t ->
+                  match List.find_opt (fun (tb, _, _) -> tb = t) slot_list with
+                  | Some (_, _, req) -> req
+                  | None -> Optimizer.Plan.Any_order)
+                tables
+            in
+            Some { beta = Optimizer.Plan.cost plan; slot_reqs; plan })
+      combos
+  in
+  let kept =
+    List.filter
+      (fun t -> not (List.exists (fun t' -> t' != t && dominates t' t) raw))
+      raw
+  in
+  (* Drop exact duplicates that survive mutual domination. *)
+  let kept =
+    List.fold_left
+      (fun acc t ->
+        if
+          List.exists
+            (fun t' -> t'.beta = t.beta && t'.slot_reqs = t.slot_reqs)
+            acc
+        then acc
+        else t :: acc)
+      [] kept
+    |> List.rev
+  in
+  {
+    query = q;
+    tables;
+    templates = Array.of_list kept;
+    init_calls = List.length combos;
+    env;
+  }
+
+(* --- Costs --- *)
+
+(* gamma_qkia: cost of instantiating the slot of [table] in template [k]
+   with [index] ([None] = no index).  A [None] result encodes an infinite
+   coefficient. *)
+let gamma t k ~table index =
+  let ti =
+    let rec find i = if t.tables.(i) = table then i else find (i + 1) in
+    find 0
+  in
+  let req = t.templates.(k).slot_reqs.(ti) in
+  Optimizer.Access.slot_fill_cost t.env.Optimizer.Whatif.params
+    t.env.Optimizer.Whatif.schema t.query table index req
+
+(* Minimum gamma over the indexes of [config] on [table] (and no-index). *)
+let best_slot_cost t (template : template) ti config =
+  let table = t.tables.(ti) in
+  let req = template.slot_reqs.(ti) in
+  let params = t.env.Optimizer.Whatif.params in
+  let schema = t.env.Optimizer.Whatif.schema in
+  let base =
+    match Optimizer.Access.slot_fill_cost params schema t.query table None req with
+    | Some c -> c
+    | None -> infinity
+  in
+  List.fold_left
+    (fun acc ix ->
+      match
+        Optimizer.Access.slot_fill_cost params schema t.query table (Some ix) req
+      with
+      | Some c -> min acc c
+      | None -> acc)
+    base
+    (Storage.Config.on_table config table)
+
+(* INUM's approximation of cost(q, X): min over templates of beta plus the
+   per-slot minima (the inner min over atomic configurations decomposes
+   per slot). *)
+let cost t config =
+  let best = ref infinity in
+  Array.iter
+    (fun template ->
+      let total = ref template.beta in
+      Array.iteri
+        (fun ti _ -> total := !total +. best_slot_cost t template ti config)
+        t.tables;
+      if !total < !best then best := !total)
+    t.templates;
+  !best
+
+(* The template index and atomic configuration (at most one index per
+   table) the minimum is attained at, for explanation output. *)
+let best_instantiation t config =
+  let params = t.env.Optimizer.Whatif.params in
+  let schema = t.env.Optimizer.Whatif.schema in
+  let best = ref (infinity, 0, [||]) in
+  Array.iteri
+    (fun k template ->
+      let picks =
+        Array.mapi
+          (fun ti table ->
+            let req = template.slot_reqs.(ti) in
+            let base =
+              match
+                Optimizer.Access.slot_fill_cost params schema t.query table None req
+              with
+              | Some c -> (c, None)
+              | None -> (infinity, None)
+            in
+            List.fold_left
+              (fun (bc, bix) ix ->
+                match
+                  Optimizer.Access.slot_fill_cost params schema t.query table
+                    (Some ix) req
+                with
+                | Some c when c < bc -> (c, Some ix)
+                | _ -> (bc, bix))
+              base
+              (Storage.Config.on_table config table))
+          t.tables
+      in
+      let total =
+        Array.fold_left (fun acc (c, _) -> acc +. c) template.beta picks
+      in
+      let bcost, _, _ = !best in
+      if total < bcost then best := (total, k, Array.map snd picks))
+    t.templates;
+  let cost, k, picks = !best in
+  (cost, k, picks)
+
+(* --- Workload-level cache --- *)
+
+type workload_cache = {
+  selects : (Ast.query * float * t) list;  (* query or update shell, weight *)
+  updates : (Ast.update * float) list;
+  total_init_calls : int;
+}
+
+let build_workload env (w : Ast.workload) =
+  let selects =
+    List.map (fun (q, weight) -> (q, weight, build env q)) (Ast.selects w)
+  in
+  let updates = Ast.updates w in
+  let total_init_calls =
+    List.fold_left (fun acc (_, _, c) -> acc + c.init_calls) 0 selects
+  in
+  { selects; updates; total_init_calls }
+
+(* INUM approximation of the total workload cost under [config], including
+   index-maintenance and base-update costs. *)
+let workload_cost env cache config =
+  let select_part =
+    List.fold_left
+      (fun acc (_, weight, c) -> acc +. (weight *. cost c config))
+      0.0 cache.selects
+  in
+  let update_part =
+    List.fold_left
+      (fun acc (u, weight) ->
+        let maintenance =
+          List.fold_left
+            (fun m ix -> m +. Optimizer.Whatif.update_cost env u ix)
+            0.0
+            (Storage.Config.on_table config u.Ast.target)
+        in
+        acc
+        +. (weight *. (maintenance +. Optimizer.Whatif.update_base_cost env u)))
+      0.0 cache.updates
+  in
+  select_part +. update_part

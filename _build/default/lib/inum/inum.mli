@@ -1,0 +1,65 @@
+(** INUM — the fast what-if layer (Papadomanolakis, Dash & Ailamaki, VLDB
+    2007) rebuilt over this repository's optimizer.
+
+    A per-query cache of {e template plans}: physical plans whose
+    base-table accesses are abstract slots.  A template carries its
+    internal-operator cost [beta]; the cost of filling a slot with a
+    concrete index is [gamma] (infinite when the index cannot satisfy the
+    slot's requirement).  [cost q X = min over templates and atomic
+    configurations of beta + sum gamma] — the linearly composable form of
+    the paper's Definition 1, which is what turns index tuning into a
+    compact BIP (Theorem 1). *)
+
+type template = {
+  beta : float;  (** internal plan cost (joins, sorts, aggregation) *)
+  slot_reqs : Optimizer.Plan.slot_req array;
+      (** per referenced table, aligned with [tables] *)
+  plan : Optimizer.Plan.t;  (** the template plan, with [Slot] leaves *)
+}
+
+type t
+(** The INUM cache of one query. *)
+
+(** Build the cache by probing the optimizer once per interesting-order /
+    nested-loop spec combination (the "few carefully selected what-if
+    calls" of the paper). *)
+val build : Optimizer.Whatif.env -> Sqlast.Ast.query -> t
+
+val query : t -> Sqlast.Ast.query
+val templates : t -> template list
+val template_count : t -> int
+
+(** Tables referenced by the query, in slot order. *)
+val tables : t -> string list
+
+(** Optimizer calls spent building the cache. *)
+val init_calls : t -> int
+
+(** [gamma t k ~table index] — the cost of instantiating [table]'s slot in
+    template [k] with [index] ([None] = no index).  [None] result encodes
+    an infinite coefficient (incompatible requirement). *)
+val gamma : t -> int -> table:string -> Storage.Index.t option -> float option
+
+(** INUM's approximation of [cost (q, X)]: an upper bound on (and in this
+    implementation, typically equal to) the direct what-if cost. *)
+val cost : t -> Storage.Config.t -> float
+
+(** The (cost, template index, per-table index picks) the minimum is
+    attained at — for explain output. *)
+val best_instantiation :
+  t -> Storage.Config.t -> float * int * Storage.Index.t option array
+
+(** Caches for a whole workload: SELECTs and update query shells, plus the
+    update statements for maintenance costing. *)
+type workload_cache = {
+  selects : (Sqlast.Ast.query * float * t) list;
+  updates : (Sqlast.Ast.update * float) list;
+  total_init_calls : int;
+}
+
+val build_workload : Optimizer.Whatif.env -> Sqlast.Ast.workload -> workload_cache
+
+(** Total INUM-approximated workload cost under a configuration, including
+    index maintenance and base-update costs. *)
+val workload_cost :
+  Optimizer.Whatif.env -> workload_cache -> Storage.Config.t -> float

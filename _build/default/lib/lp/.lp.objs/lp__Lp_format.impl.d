@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Array Buffer Fmt Hashtbl List Printf Problem String

@@ -1,0 +1,1 @@
+lib/lp/lp_format.mli: Problem

@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Fmt Hashtbl List Option Printf

@@ -1,0 +1,331 @@
+(* Branch & bound for binary/mixed-integer programs over the simplex
+   relaxation.  Best-first exploration with an initial depth-first dive,
+   most-fractional branching, a rounding heuristic for early incumbents,
+   and the continuous feedback stream (time, incumbent, best bound) that
+   CoPhy's early-termination feature consumes. *)
+
+type event = {
+  elapsed : float;           (* seconds since solve started *)
+  incumbent : float option;  (* best integer objective so far *)
+  bound : float;             (* proven lower bound *)
+  nodes : int;
+}
+
+type options = {
+  gap_tolerance : float;     (* stop when (inc - bound)/|inc| <= this *)
+  time_limit : float;        (* seconds; infinity = none *)
+  node_limit : int;
+  on_event : event -> unit;
+  (* Optional known-feasible starting point (warm start). *)
+  initial_incumbent : float array option;
+  log_events : bool;
+  (* When set, branch only on these variables and accept an LP solution
+     as an incumbent once they are integral.  Sound only when fixing
+     these variables makes the remaining LP have an integral optimum of
+     equal objective — which holds for selection-style programs like the
+     CoPhy and ILP BIPs, where the y/x part is a per-block minimum. *)
+  decision_vars : int list option;
+}
+
+let default_options =
+  {
+    gap_tolerance = 1e-6;
+    time_limit = infinity;
+    node_limit = 200_000;
+    on_event = ignore;
+    initial_incumbent = None;
+    log_events = false;
+    decision_vars = None;
+  }
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Limit
+
+type result = {
+  status : status;
+  x : float array option;    (* best integer solution *)
+  obj : float;               (* objective of [x] (with problem offset) *)
+  bound : float;             (* proven lower bound (with offset) *)
+  nodes : int;
+  events : event list;       (* reverse-chronological feedback trace *)
+}
+
+let int_tol = 1e-6
+
+let _is_integral v = abs_float (v -. Float.round v) <= int_tol
+
+(* Most-fractional integer variable of the relaxation solution. *)
+let branch_var int_vars x =
+  let best = ref (-1) and best_frac = ref int_tol in
+  List.iter
+    (fun v ->
+      let f = abs_float (x.(v) -. Float.round x.(v)) in
+      if f > !best_frac then begin
+        best := v;
+        best_frac := f
+      end)
+    int_vars;
+  if !best >= 0 then Some !best else None
+
+(* A node is a set of tightened variable bounds. *)
+type node = {
+  node_bound : float;                (* parent LP bound (without offset) *)
+  fixings : (int * float * float) list;
+  depth : int;
+}
+
+module Heap = struct
+  (* Simple pairing-heap keyed by node bound (min-first). *)
+  type t = Empty | Node of node * t list
+
+  let empty = Empty
+  let is_empty h = h = Empty
+
+  let merge a b =
+    match (a, b) with
+    | Empty, x | x, Empty -> x
+    | Node (na, ca), Node (nb, cb) ->
+        if na.node_bound <= nb.node_bound then Node (na, b :: ca)
+        else Node (nb, a :: cb)
+
+  let insert n h = merge (Node (n, [])) h
+
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (n, children) -> Some (n, merge_pairs children)
+
+  let min_bound = function
+    | Empty -> infinity
+    | Node (n, _) -> n.node_bound
+
+  let _ = min_bound
+end
+
+(* Round a relaxation solution and test feasibility — a cheap primal
+   heuristic that often produces the first incumbent immediately. *)
+let rounding_heuristic p int_vars x =
+  let x' = Array.copy x in
+  List.iter (fun v -> x'.(v) <- Float.round x.(v)) int_vars;
+  if Problem.feasible p x' then Some x' else None
+
+let solve ?(options = default_options) (p : Problem.t) =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let int_vars =
+    match options.decision_vars with
+    | Some vs -> vs
+    | None -> Problem.integer_vars p
+  in
+  let restricted = options.decision_vars <> None in
+  let offset = Problem.obj_offset p in
+  (* Save original bounds so we can restore after each node. *)
+  let orig_bounds =
+    Array.init (Problem.nvars p) (fun v ->
+        let vr = Problem.var p v in
+        (vr.Problem.lb, vr.Problem.ub))
+  in
+  let restore_bounds () =
+    Array.iteri (fun v (lb, ub) -> Problem.set_bounds p v ~lb ~ub) orig_bounds
+  in
+  let apply_fixings fx =
+    restore_bounds ();
+    List.iter (fun (v, lb, ub) -> Problem.set_bounds p v ~lb ~ub) fx
+  in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  (match options.initial_incumbent with
+  | Some x0 when Problem.feasible p x0 ->
+      incumbent := Some (Array.copy x0);
+      incumbent_obj := Problem.objective_value p x0 -. offset
+  | _ -> ());
+  let events = ref [] in
+  let nodes = ref 0 in
+  let emit bound =
+    let e =
+      {
+        elapsed = elapsed ();
+        incumbent =
+          (if !incumbent_obj < infinity then Some (!incumbent_obj +. offset)
+           else None);
+        bound = bound +. offset;
+        nodes = !nodes;
+      }
+    in
+    if options.log_events then events := e :: !events;
+    options.on_event e
+  in
+  let try_incumbent x obj =
+    if obj < !incumbent_obj -. 1e-9 then begin
+      incumbent := Some (Array.copy x);
+      incumbent_obj := obj;
+      true
+    end
+    else false
+  in
+  let gap_ok bound =
+    !incumbent_obj < infinity
+    && (!incumbent_obj -. bound) <= options.gap_tolerance *. (abs_float !incumbent_obj +. 1e-9)
+  in
+  (* Root relaxation. *)
+  restore_bounds ();
+  let root = Simplex.solve p in
+  match root.Simplex.status with
+  | Simplex.Infeasible ->
+      { status = Infeasible; x = None; obj = infinity; bound = infinity;
+        nodes = 0; events = [] }
+  | Simplex.Unbounded ->
+      { status = Unbounded; x = None; obj = neg_infinity; bound = neg_infinity;
+        nodes = 0; events = [] }
+  | Simplex.Iter_limit | Simplex.Optimal ->
+      let global_bound = ref root.Simplex.obj in
+      (* Open nodes: a best-first heap, plus a dive stack used while no
+         incumbent exists yet (depth-first toward a first feasible
+         solution, without which best-first cannot prune anything). *)
+      let queue = ref Heap.empty in
+      let dive = ref [] in
+      let push_dive n = dive := n :: !dive in
+      let push_heap n = queue := Heap.insert n !queue in
+      let flush_dive () =
+        List.iter push_heap !dive;
+        dive := []
+      in
+      let pop_node () =
+        if !incumbent = None then
+          match !dive with
+          | n :: rest ->
+              dive := rest;
+              Some n
+          | [] -> (
+              match Heap.pop !queue with
+              | Some (n, rest) ->
+                  queue := rest;
+                  Some n
+              | None -> None)
+        else begin
+          flush_dive ();
+          match Heap.pop !queue with
+          | Some (n, rest) ->
+              queue := rest;
+              Some n
+          | None -> None
+        end
+      in
+      let no_open () = !dive = [] && Heap.is_empty !queue in
+      push_heap { node_bound = root.Simplex.obj; fixings = []; depth = 0 };
+      let status = ref Feasible in
+      let finished = ref false in
+      while not !finished do
+        match pop_node () with
+        | None ->
+            (* proven: bound = incumbent (or infeasible) *)
+            global_bound := !incumbent_obj;
+            finished := true;
+            status := if !incumbent_obj < infinity then Optimal else Infeasible
+        | Some node ->
+            if node.node_bound >= !incumbent_obj -. 1e-9 then begin
+              (* pruned by bound; if the queue empties we are optimal *)
+              if no_open () then begin
+                global_bound := !incumbent_obj;
+                status := Optimal;
+                finished := true
+              end
+            end
+            else begin
+              (* the dive stack may hold nodes whose parent bound is worse
+                 than the heap minimum; the proven bound is their min *)
+              global_bound :=
+                List.fold_left
+                  (fun acc n -> min acc n.node_bound)
+                  (min node.node_bound (Heap.min_bound !queue))
+                  !dive;
+              if gap_ok !global_bound then begin
+                status := Feasible;
+                finished := true
+              end
+              else if elapsed () > options.time_limit || !nodes >= options.node_limit
+              then begin
+                status := Limit;
+                finished := true
+              end
+              else begin
+                incr nodes;
+                apply_fixings node.fixings;
+                let r = Simplex.solve p in
+                (match r.Simplex.status with
+                | Simplex.Infeasible -> ()
+                | Simplex.Unbounded ->
+                    (* cannot happen if root is bounded, but keep safe *)
+                    ()
+                | Simplex.Iter_limit | Simplex.Optimal -> (
+                    let lp_obj = r.Simplex.obj in
+                    if lp_obj < !incumbent_obj -. 1e-9 then begin
+                      match branch_var int_vars r.Simplex.x with
+                      | None ->
+                          (* decision variables integral: the LP objective
+                             is achievable integrally (see decision_vars) *)
+                          if try_incumbent r.Simplex.x lp_obj then emit !global_bound
+                      | Some v ->
+                          (* rounding heuristic for an early incumbent
+                             (skipped in restricted mode, where rounding
+                             the non-decision block would break rows) *)
+                          (if not restricted then
+                             match rounding_heuristic p int_vars r.Simplex.x with
+                             | Some xr ->
+                                 let objr = Problem.objective_value p xr -. offset in
+                                 if try_incumbent xr objr then emit !global_bound
+                             | None -> ());
+                          let lo = floor r.Simplex.x.(v) in
+                          let frac = r.Simplex.x.(v) -. lo in
+                          let ob = orig_bounds.(v) in
+                          let down_node =
+                            { node_bound = lp_obj;
+                              fixings = (v, fst ob, min (snd ob) lo) :: node.fixings;
+                              depth = node.depth + 1 }
+                          in
+                          let up_node =
+                            { node_bound = lp_obj;
+                              fixings =
+                                (v, max (fst ob) (lo +. 1.0), snd ob)
+                                :: node.fixings;
+                              depth = node.depth + 1 }
+                          in
+                          (* dive toward the rounded LP value first *)
+                          if frac >= 0.5 then begin
+                            push_dive up_node;
+                            push_heap down_node
+                          end
+                          else begin
+                            push_dive down_node;
+                            push_heap up_node
+                          end
+                    end));
+                if !nodes mod 16 = 0 then emit !global_bound;
+                if no_open () then begin
+                  global_bound := !incumbent_obj;
+                  status := if !incumbent_obj < infinity then Optimal else Infeasible;
+                  finished := true
+                end
+              end
+            end
+      done;
+      restore_bounds ();
+      emit !global_bound;
+      let best_x = !incumbent in
+      {
+        status =
+          (match (!status, best_x) with
+          | Infeasible, _ -> Infeasible
+          | s, Some _ -> s
+          | (Optimal | Feasible), None -> Infeasible
+          | Limit, None -> Limit
+          | Unbounded, None -> Unbounded);
+        x = best_x;
+        obj = !incumbent_obj +. offset;
+        bound = !global_bound +. offset;
+        nodes = !nodes;
+        events = !events;
+      }

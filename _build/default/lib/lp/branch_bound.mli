@@ -1,0 +1,41 @@
+(** Branch and bound over the simplex relaxation: best-first exploration
+    with an initial depth-first dive toward a first incumbent,
+    most-fractional branching, a rounding heuristic, and a continuous
+    (time, incumbent, bound) feedback stream — the facility CoPhy's
+    early-termination feature builds on. *)
+
+type event = {
+  elapsed : float;
+  incumbent : float option;  (** best integer objective so far *)
+  bound : float;  (** proven lower bound *)
+  nodes : int;
+}
+
+type options = {
+  gap_tolerance : float;  (** stop when (inc - bound)/|inc| <= this *)
+  time_limit : float;
+  node_limit : int;
+  on_event : event -> unit;
+  initial_incumbent : float array option;  (** warm start *)
+  log_events : bool;
+  decision_vars : int list option;
+      (** Branch only on these variables, and accept an LP solution as an
+          incumbent once they are integral.  Sound when fixing them makes
+          the remaining LP have an integral optimum of equal objective —
+          the structure of the CoPhy and ILP BIPs. *)
+}
+
+val default_options : options
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Limit
+
+type result = {
+  status : status;
+  x : float array option;  (** best integer solution found *)
+  obj : float;  (** objective of [x], including the problem offset *)
+  bound : float;  (** proven lower bound, including the offset *)
+  nodes : int;
+  events : event list;  (** reverse chronological when [log_events] *)
+}
+
+val solve : ?options:options -> Problem.t -> result

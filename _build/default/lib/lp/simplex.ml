@@ -1,0 +1,360 @@
+(* Bounded-variable primal simplex (revised form, dense basis inverse).
+
+   The problem is canonicalized as
+
+       minimize c'x    s.t.  A x + s = b,   l <= (x, s) <= u
+
+   with one slack per row (equality rows get a slack fixed at zero), plus
+   phase-1 artificials.  Nonbasic variables rest at one of their bounds;
+   the ratio test handles bound-to-bound "flips" without basis changes.
+   The basis inverse is kept dense and updated by elementary row
+   operations — adequate for the small-to-medium programs our generic MIP
+   path solves (the structured CoPhy instances go through the Lagrangian
+   decomposition solver instead). *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+type result = {
+  status : status;
+  x : float array;          (* structural variable values *)
+  obj : float;              (* c'x (without the problem's offset) *)
+  duals : float array;      (* one per row *)
+  iterations : int;
+}
+
+let tol = 1e-7
+let pivot_tol = 1e-9
+
+type state = {
+  m : int;                      (* rows *)
+  total : int;                  (* structural + slack + artificial *)
+  nstruct : int;
+  cols : (int * float) array array;   (* sparse column entries (row, coeff) *)
+  lb : float array;
+  ub : float array;
+  cost : float array;           (* phase-dependent *)
+  value : float array;
+  basis : int array;            (* var in basis position i *)
+  in_basis : int array;         (* var -> basis position, -1 if nonbasic *)
+  binv : float array;           (* m*m row-major *)
+  mutable iters : int;
+}
+
+let binv_get s i j = Array.unsafe_get s.binv ((i * s.m) + j)
+
+(* y = c_B' B^-1 *)
+let compute_duals s y =
+  Array.fill y 0 s.m 0.0;
+  for i = 0 to s.m - 1 do
+    let cb = s.cost.(s.basis.(i)) in
+    if cb <> 0.0 then begin
+      let base = i * s.m in
+      for j = 0 to s.m - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j
+          +. (cb *. Array.unsafe_get s.binv (base + j)))
+      done
+    end
+  done
+
+let reduced_cost s y j =
+  let d = ref s.cost.(j) in
+  Array.iter (fun (i, a) -> d := !d -. (y.(i) *. a)) s.cols.(j);
+  !d
+
+(* w = B^-1 A_j *)
+let ftran s j w =
+  Array.fill w 0 s.m 0.0;
+  Array.iter
+    (fun (i, a) ->
+      if a <> 0.0 then
+        for r = 0 to s.m - 1 do
+          Array.unsafe_set w r
+            (Array.unsafe_get w r +. (binv_get s r i *. a))
+        done)
+    s.cols.(j)
+
+(* Entering-variable direction: +1 when it will increase from its current
+   value, -1 when it will decrease. *)
+let entering_direction s j d =
+  let v = s.value.(j) in
+  let at_lb = v <= s.lb.(j) +. tol in
+  let at_ub = v >= s.ub.(j) -. tol in
+  if at_lb && d < -.tol then Some 1
+  else if at_ub && d > tol then Some (-1)
+  else if (not at_lb) && (not at_ub) && abs_float d > tol then
+    Some (if d < 0.0 then 1 else -1)
+  else None
+
+exception Found of int * int  (* var, direction *)
+
+let price s y ~bland =
+  try
+    if bland then
+      for j = 0 to s.total - 1 do
+        if s.in_basis.(j) < 0 && s.lb.(j) < s.ub.(j) then begin
+          let d = reduced_cost s y j in
+          match entering_direction s j d with
+          | Some dir -> raise (Found (j, dir))
+          | None -> ()
+        end
+      done
+    else begin
+      let best = ref (-1) and best_dir = ref 0 and best_score = ref tol in
+      for j = 0 to s.total - 1 do
+        if s.in_basis.(j) < 0 && s.lb.(j) < s.ub.(j) then begin
+          let d = reduced_cost s y j in
+          match entering_direction s j d with
+          | Some dir ->
+              if abs_float d > !best_score then begin
+                best := j;
+                best_dir := dir;
+                best_score := abs_float d
+              end
+          | None -> ()
+        end
+      done;
+      if !best >= 0 then raise (Found (!best, !best_dir))
+    end;
+    None
+  with Found (j, dir) -> Some (j, dir)
+
+(* Update B^-1 after variable [enter] replaces basis position [r], where
+   [w] = B^-1 A_enter. *)
+let update_binv s r w =
+  let piv = w.(r) in
+  let rbase = r * s.m in
+  for j = 0 to s.m - 1 do
+    Array.unsafe_set s.binv (rbase + j)
+      (Array.unsafe_get s.binv (rbase + j) /. piv)
+  done;
+  for i = 0 to s.m - 1 do
+    let f = Array.unsafe_get w i in
+    if i <> r && abs_float f > 1e-13 then begin
+      let ibase = i * s.m in
+      for j = 0 to s.m - 1 do
+        Array.unsafe_set s.binv (ibase + j)
+          (Array.unsafe_get s.binv (ibase + j)
+          -. (f *. Array.unsafe_get s.binv (rbase + j)))
+      done
+    end
+  done
+
+(* One phase of the primal simplex; returns final status. *)
+let run_phase s ~max_iters =
+  let y = Array.make s.m 0.0 in
+  let w = Array.make s.m 0.0 in
+  let stall = ref 0 in
+  let last_obj = ref infinity in
+  let rec loop () =
+    if s.iters >= max_iters then Iter_limit
+    else begin
+      s.iters <- s.iters + 1;
+      compute_duals s y;
+      let bland = !stall > 200 in
+      match price s y ~bland with
+      | None -> Optimal
+      | Some (enter, dir) ->
+          ftran s enter w;
+          let fdir = float_of_int dir in
+          (* Ratio test: smallest step that hits a bound. *)
+          let t_limit = ref infinity and leave = ref (-1) in
+          (* entering variable's own opposite bound *)
+          let own_span = s.ub.(enter) -. s.lb.(enter) in
+          if own_span < !t_limit then begin
+            t_limit := own_span;
+            leave := -2 (* bound flip *)
+          end;
+          for i = 0 to s.m - 1 do
+            let rate = -.fdir *. w.(i) in
+            if rate > pivot_tol then begin
+              let room = s.ub.(s.basis.(i)) -. s.value.(s.basis.(i)) in
+              let t = max 0.0 (room /. rate) in
+              if t < !t_limit -. 1e-12
+                 || (t < !t_limit +. 1e-12 && !leave >= 0
+                     && s.basis.(i) < s.basis.(!leave))
+              then begin
+                t_limit := t;
+                leave := i
+              end
+            end
+            else if rate < -.pivot_tol then begin
+              let room = s.value.(s.basis.(i)) -. s.lb.(s.basis.(i)) in
+              let t = max 0.0 (room /. -.rate) in
+              if t < !t_limit -. 1e-12
+                 || (t < !t_limit +. 1e-12 && !leave >= 0
+                     && s.basis.(i) < s.basis.(!leave))
+              then begin
+                t_limit := t;
+                leave := i
+              end
+            end
+          done;
+          if !t_limit = infinity then Unbounded
+          else begin
+            let t = !t_limit in
+            (* apply the step *)
+            s.value.(enter) <- s.value.(enter) +. (fdir *. t);
+            if t > 0.0 then
+              for i = 0 to s.m - 1 do
+                let b = s.basis.(i) in
+                s.value.(b) <- s.value.(b) -. (fdir *. t *. w.(i))
+              done;
+            (* stall detection for Bland's rule *)
+            let obj =
+              let acc = ref 0.0 in
+              for j = 0 to s.total - 1 do
+                if s.cost.(j) <> 0.0 then acc := !acc +. (s.cost.(j) *. s.value.(j))
+              done;
+              !acc
+            in
+            if obj < !last_obj -. 1e-10 then begin
+              last_obj := obj;
+              stall := 0
+            end
+            else incr stall;
+            (match !leave with
+            | -2 -> () (* bound flip: no basis change *)
+            | r ->
+                let leaving = s.basis.(r) in
+                (* snap the leaving variable onto the bound it hit *)
+                let rate = -.fdir *. w.(r) in
+                s.value.(leaving) <-
+                  (if rate > 0.0 then s.ub.(leaving) else s.lb.(leaving));
+                s.in_basis.(leaving) <- -1;
+                s.basis.(r) <- enter;
+                s.in_basis.(enter) <- r;
+                update_binv s r w);
+            loop ()
+          end
+    end
+  in
+  loop ()
+
+(* --- Public entry point --- *)
+
+let solve ?(max_iters = 0) (p : Problem.t) =
+  let m = Problem.nrows p in
+  let n = Problem.nvars p in
+  let rows = Problem.rows p in
+  let max_iters = if max_iters > 0 then max_iters else 2000 + (60 * (m + n)) in
+  let total = n + m + m in
+  (* columns *)
+  let cols = Array.make total [||] in
+  let tmp = Array.make m [] in
+  Array.iteri
+    (fun i (r : Problem.row) ->
+      Array.iter (fun (v, c) -> tmp.(i) <- (v, c) :: tmp.(i)) r.Problem.coeffs)
+    rows;
+  let per_var = Array.make n [] in
+  Array.iteri
+    (fun i entries ->
+      List.iter (fun (v, c) -> per_var.(v) <- (i, c) :: per_var.(v)) entries)
+    tmp;
+  for v = 0 to n - 1 do
+    cols.(v) <- Array.of_list per_var.(v)
+  done;
+  for i = 0 to m - 1 do
+    cols.(n + i) <- [| (i, 1.0) |]  (* slack *)
+  done;
+  (* bounds *)
+  let lb = Array.make total 0.0 and ub = Array.make total 0.0 in
+  for v = 0 to n - 1 do
+    lb.(v) <- (Problem.var p v).Problem.lb;
+    ub.(v) <- (Problem.var p v).Problem.ub
+  done;
+  Array.iteri
+    (fun i (r : Problem.row) ->
+      match r.Problem.sense with
+      | Problem.Le ->
+          lb.(n + i) <- 0.0;
+          ub.(n + i) <- infinity
+      | Problem.Ge ->
+          lb.(n + i) <- neg_infinity;
+          ub.(n + i) <- 0.0
+      | Problem.Eq ->
+          lb.(n + i) <- 0.0;
+          ub.(n + i) <- 0.0)
+    rows;
+  (* initial nonbasic values *)
+  let value = Array.make total 0.0 in
+  for j = 0 to n + m - 1 do
+    value.(j) <-
+      (if lb.(j) > neg_infinity then lb.(j)
+       else if ub.(j) < infinity then ub.(j)
+       else 0.0)
+  done;
+  (* residuals and artificials *)
+  let resid = Array.make m 0.0 in
+  Array.iteri (fun i (r : Problem.row) -> resid.(i) <- r.Problem.rhs) rows;
+  for j = 0 to n + m - 1 do
+    if value.(j) <> 0.0 then
+      Array.iter (fun (i, c) -> resid.(i) <- resid.(i) -. (c *. value.(j))) cols.(j)
+  done;
+  let basis = Array.make m 0 in
+  let in_basis = Array.make total (-1) in
+  let binv = Array.make (m * m) 0.0 in
+  for i = 0 to m - 1 do
+    let a = n + m + i in
+    let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
+    cols.(a) <- [| (i, sigma) |];
+    lb.(a) <- 0.0;
+    ub.(a) <- infinity;
+    value.(a) <- abs_float resid.(i);
+    basis.(i) <- a;
+    in_basis.(a) <- i;
+    binv.((i * m) + i) <- sigma
+  done;
+  let cost = Array.make total 0.0 in
+  let s = { m; total; nstruct = n; cols; lb; ub; cost; value; basis; in_basis;
+            binv; iters = 0 } in
+  (* Phase 1: minimize the artificial sum. *)
+  let need_phase1 = Array.exists (fun r -> abs_float r > tol) resid in
+  let phase1_status =
+    if not need_phase1 then Optimal
+    else begin
+      for i = 0 to m - 1 do
+        cost.(n + m + i) <- 1.0
+      done;
+      let st = run_phase s ~max_iters in
+      for i = 0 to m - 1 do
+        cost.(n + m + i) <- 0.0
+      done;
+      st
+    end
+  in
+  let infeasible =
+    let art_sum = ref 0.0 in
+    for i = 0 to m - 1 do
+      art_sum := !art_sum +. s.value.(n + m + i)
+    done;
+    !art_sum > 1e-6
+  in
+  let extract status =
+    let x = Array.sub s.value 0 n in
+    let obj = ref 0.0 in
+    for v = 0 to n - 1 do
+      obj := !obj +. ((Problem.var p v).Problem.obj *. x.(v))
+    done;
+    let y = Array.make m 0.0 in
+    for v = 0 to n - 1 do
+      s.cost.(v) <- (Problem.var p v).Problem.obj
+    done;
+    compute_duals s y;
+    { status; x; obj = !obj; duals = y; iterations = s.iters }
+  in
+  match phase1_status with
+  | Iter_limit -> extract Iter_limit
+  | Unbounded | Optimal | Infeasible ->
+      if infeasible then extract Infeasible
+      else begin
+        (* Pin artificials to zero for phase 2. *)
+        for i = 0 to m - 1 do
+          ub.(n + m + i) <- 0.0
+        done;
+        for v = 0 to n - 1 do
+          cost.(v) <- (Problem.var p v).Problem.obj
+        done;
+        let st = run_phase s ~max_iters in
+        extract st
+      end

@@ -1,0 +1,20 @@
+(** Bounded-variable primal simplex (revised form, dense basis inverse).
+
+    Two phases: artificial variables establish feasibility, then the real
+    objective is minimized.  Nonbasic variables rest at a bound; the
+    ratio test includes bound-to-bound flips.  Dantzig pricing with a
+    Bland's-rule fallback after stalling guards against cycling. *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+type result = {
+  status : status;
+  x : float array;  (** structural variable values *)
+  obj : float;  (** c'x, without the problem's objective offset *)
+  duals : float array;  (** one per row *)
+  iterations : int;
+}
+
+(** Solve the LP relaxation (integrality marks are ignored).
+    [max_iters = 0] picks a default proportional to the problem size. *)
+val solve : ?max_iters:int -> Problem.t -> result

@@ -1,0 +1,1 @@
+lib/optimizer/access.ml: Ast Card Catalog Cost_params List Option Plan Sqlast Storage

@@ -1,0 +1,1 @@
+lib/optimizer/access.mli: Catalog Cost_params Plan Sqlast Storage

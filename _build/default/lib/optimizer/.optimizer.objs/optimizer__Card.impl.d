@@ -1,0 +1,1 @@
+lib/optimizer/card.ml: Ast Catalog List Sqlast

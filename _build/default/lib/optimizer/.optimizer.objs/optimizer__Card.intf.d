@@ -1,0 +1,1 @@
+lib/optimizer/card.mli: Catalog Sqlast

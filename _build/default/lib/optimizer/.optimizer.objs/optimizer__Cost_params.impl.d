@@ -1,0 +1,1 @@
+lib/optimizer/cost_params.ml: Catalog

@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Ast Fmt Printf Sqlast Storage String

@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Fmt Sqlast Storage

@@ -1,0 +1,1 @@
+lib/optimizer/whatif.mli: Catalog Cost_params Plan Sqlast Storage

@@ -1,0 +1,204 @@
+(* Access-path selection: the ways to read one table's filtered rows, with
+   their costs and delivered sort orders.  This is also where INUM's gamma
+   coefficients come from (cost of filling a template slot with an index). *)
+
+open Sqlast
+
+type path = {
+  index : Storage.Index.t option;   (* None = sequential scan *)
+  path_cost : float;
+  output_order : string list;       (* full key of the index, [] for scans *)
+  covering : bool;
+}
+
+(* Column names with equality predicates in [q] on [tbl_name]. *)
+let equality_columns (q : Ast.query) tbl_name =
+  List.filter_map
+    (fun p ->
+      if p.Ast.is_equality then Some p.Ast.pred_col.Ast.column else None)
+    (Ast.table_predicates q tbl_name)
+
+(* [satisfies ~eq_cols ~required output]: does a stream ordered by [output]
+   also deliver [required]?  Equality-bound columns may be skipped inside
+   the output order (all surviving rows share one value for them). *)
+let satisfies ~eq_cols ~required output =
+  let rec walk required output =
+    match (required, output) with
+    | [], _ -> true
+    | _, [] -> false
+    | r :: rs, o :: os ->
+        if r = o then walk rs os
+        else if List.mem o eq_cols then walk required os
+        else false
+  in
+  walk required output
+
+let seq_scan_cost (p : Cost_params.t) schema (q : Ast.query) tbl_name =
+  let tbl = Catalog.Schema.find_table schema tbl_name in
+  let pages = float_of_int (Catalog.Schema.table_pages tbl) in
+  let rows = float_of_int tbl.Catalog.Schema.row_count in
+  let npreds = List.length (Ast.table_predicates q tbl_name) in
+  (pages *. p.seq_page_cost)
+  +. (rows *. p.cpu_tuple_cost)
+  +. (rows *. float_of_int npreds *. p.cpu_operator_cost)
+
+let seq_scan p schema q tbl_name =
+  {
+    index = None;
+    path_cost = seq_scan_cost p schema q tbl_name;
+    output_order = [];
+    covering = true;
+  }
+
+(* The seek prefix an index offers a query: leading key columns bound by
+   equality predicates, then at most one range predicate.  Returns the
+   combined selectivity of the matched predicates and how many were
+   matched. *)
+let seek_selectivity (q : Ast.query) tbl_name key_columns =
+  let preds = Ast.table_predicates q tbl_name in
+  let eq_on c =
+    List.find_opt
+      (fun pr -> pr.Ast.is_equality && pr.Ast.pred_col.Ast.column = c)
+      preds
+  in
+  let range_on c =
+    List.find_opt
+      (fun pr -> (not pr.Ast.is_equality) && pr.Ast.pred_col.Ast.column = c)
+      preds
+  in
+  let rec walk cols sel matched =
+    match cols with
+    | [] -> (sel, matched)
+    | c :: rest -> (
+        match eq_on c with
+        | Some pr -> walk rest (sel *. pr.Ast.selectivity) (matched + 1)
+        | None -> (
+            match range_on c with
+            | Some pr -> (sel *. pr.Ast.selectivity, matched + 1)
+            | None -> (sel, matched)))
+  in
+  walk key_columns 1.0 0
+
+(* Cost of reading the table through [ix] (a seek when predicates match a
+   key prefix, otherwise a full index scan), filtering the remaining
+   predicates, and fetching base rows when the index does not cover the
+   query's columns on this table. *)
+let index_path (p : Cost_params.t) schema (q : Ast.query) tbl_name ix =
+  if Storage.Index.table ix <> tbl_name then None
+  else begin
+    let tbl = Catalog.Schema.find_table schema tbl_name in
+    let rows = float_of_int tbl.Catalog.Schema.row_count in
+    let needed = Ast.referenced_columns q tbl_name in
+    let covering =
+      Storage.Index.clustered ix
+      || List.for_all
+           (fun c -> List.mem c (Storage.Index.covered_columns ix))
+           needed
+    in
+    let sel, matched = seek_selectivity q tbl_name (Storage.Index.key_columns ix) in
+    let leaf_pages = float_of_int (Storage.Index.leaf_pages schema ix) in
+    let height = float_of_int (Storage.Index.height schema ix) in
+    let descend, scanned_frac =
+      if matched > 0 then (height *. p.random_page_cost, sel) else (0.0, 1.0)
+    in
+    let leaf_io = scanned_frac *. leaf_pages *. p.seq_page_cost in
+    let index_cpu = scanned_frac *. rows *. p.cpu_index_tuple_cost in
+    let fetch =
+      if covering then 0.0
+      else scanned_frac *. rows *. p.random_page_cost
+    in
+    let residual_filter =
+      (* Remaining predicates evaluated on the fetched rows. *)
+      let npreds = List.length (Ast.table_predicates q tbl_name) in
+      scanned_frac *. rows *. float_of_int (max 0 (npreds - matched))
+      *. p.cpu_operator_cost
+    in
+    Some
+      {
+        index = Some ix;
+        path_cost = descend +. leaf_io +. index_cpu +. fetch +. residual_filter;
+        output_order = Storage.Index.key_columns ix;
+        covering;
+      }
+  end
+
+(* All access paths for [tbl_name] under configuration [config]. *)
+let paths p schema q tbl_name config =
+  let index_paths =
+    List.filter_map
+      (fun ix -> index_path p schema q tbl_name ix)
+      (Storage.Config.on_table config tbl_name)
+  in
+  seq_scan p schema q tbl_name :: index_paths
+
+(* Cost of one nested-loop probe into [tbl_name] through [index]: the
+   index's leading key column must be the join column.  [None] when the
+   index cannot serve the probe; probing without an index degenerates to a
+   scan of the table per probe (finite but enormous). *)
+let nlj_probe_cost (p : Cost_params.t) schema (q : Ast.query) tbl_name index
+    ~join_col =
+  let tbl = Catalog.Schema.find_table schema tbl_name in
+  let rows = float_of_int tbl.Catalog.Schema.row_count in
+  match index with
+  | None -> Some (seq_scan_cost p schema q tbl_name)
+  | Some ix -> (
+      if Storage.Index.table ix <> tbl_name then None
+      else
+        match Storage.Index.key_columns ix with
+        | lead :: _ when lead = join_col ->
+            let col = Catalog.Schema.find_column tbl join_col in
+            let ndv = float_of_int (max 1 col.Catalog.Schema.distinct) in
+            let matched = max 1.0 (rows /. ndv) in
+            let needed = Ast.referenced_columns q tbl_name in
+            let covering =
+              Storage.Index.clustered ix
+              || List.for_all
+                   (fun c -> List.mem c (Storage.Index.covered_columns ix))
+                   needed
+            in
+            let height = float_of_int (Storage.Index.height schema ix) in
+            Some
+              ((height *. p.random_page_cost)
+              +. (matched *. p.cpu_index_tuple_cost)
+              +. (if covering then 0.0 else matched *. p.random_page_cost)
+              +. matched
+                 *. float_of_int (List.length (Ast.table_predicates q tbl_name))
+                 *. p.cpu_operator_cost)
+        | _ -> None)
+
+(* Cost to satisfy an INUM slot — deliver the table's filtered rows in
+   [required_order] — through [index] ([None] = no index on the table).
+   Returns [None] (gamma = infinity per Lemma 1) when the access method
+   cannot deliver the order; a trailing sort only applies to the scan,
+   since a template slot instantiated with an incompatible index is
+   declared infeasible by INUM's interesting-order validity rule. *)
+let slot_cost (p : Cost_params.t) schema (q : Ast.query) tbl_name index
+    ~required_order =
+  let eq_cols = equality_columns q tbl_name in
+  match index with
+  | None ->
+      let base = seq_scan_cost p schema q tbl_name in
+      if required_order = [] then Some base
+      else begin
+        let rows = Card.filtered_rows schema q tbl_name in
+        let width = Card.output_width schema q [ tbl_name ] in
+        Some (base +. Cost_params.sort_cost p ~rows ~width)
+      end
+  | Some ix -> (
+      match index_path p schema q tbl_name ix with
+      | None -> None
+      | Some path ->
+          if satisfies ~eq_cols ~required:required_order path.output_order
+          then Some path.path_cost
+          else None)
+
+(* Unified slot-filling cost dispatching on the template's requirement —
+   this is gamma_qkia of the paper ([None] = infinite). *)
+let slot_fill_cost p schema q tbl_name index (req : Plan.slot_req) =
+  match req with
+  | Plan.Any_order -> slot_cost p schema q tbl_name index ~required_order:[]
+  | Plan.Ordered o -> slot_cost p schema q tbl_name index ~required_order:o
+  | Plan.Nlj_inner { join_col; outer_rows } ->
+      Option.map
+        (fun c -> outer_rows *. c)
+        (nlj_probe_cost p schema q tbl_name index ~join_col)

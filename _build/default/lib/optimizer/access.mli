@@ -1,0 +1,77 @@
+(** Access-path selection: the ways to read one table's filtered rows
+    under a hypothetical index configuration, with their costs and
+    delivered sort orders.  Also the source of INUM's gamma coefficients
+    (the cost of filling a template slot with an index). *)
+
+type path = {
+  index : Storage.Index.t option;  (** [None] = sequential scan *)
+  path_cost : float;
+  output_order : string list;  (** full index key; [[]] for scans *)
+  covering : bool;  (** no base-table lookup needed *)
+}
+
+(** [satisfies ~eq_cols ~required given]: does a stream ordered by [given]
+    also deliver [required]?  Equality-bound columns may be skipped (all
+    surviving rows share one value for them). *)
+val satisfies :
+  eq_cols:string list -> required:string list -> string list -> bool
+
+(** Cost of a sequential scan plus predicate evaluation. *)
+val seq_scan_cost :
+  Cost_params.t -> Catalog.Schema.t -> Sqlast.Ast.query -> string -> float
+
+(** The seek cost of reading the table through the index, filtering
+    residual predicates and fetching base rows when not covering.  [None]
+    when the index is on a different table. *)
+val index_path :
+  Cost_params.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.query ->
+  string ->
+  Storage.Index.t ->
+  path option
+
+(** All access paths for the table under the configuration (sequential
+    scan first). *)
+val paths :
+  Cost_params.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.query ->
+  string ->
+  Storage.Config.t ->
+  path list
+
+(** Cost of one nested-loop probe through [index] on [join_col]; [None]
+    when the index cannot serve the probe.  Probing without an index
+    degenerates to a per-probe scan (finite but enormous). *)
+val nlj_probe_cost :
+  Cost_params.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.query ->
+  string ->
+  Storage.Index.t option ->
+  join_col:string ->
+  float option
+
+(** Cost of satisfying an ordered INUM slot through [index] ([None] = no
+    index: scan plus sort).  [None] result = infinite gamma (the index
+    cannot deliver the required order). *)
+val slot_cost :
+  Cost_params.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.query ->
+  string ->
+  Storage.Index.t option ->
+  required_order:string list ->
+  float option
+
+(** Unified slot-filling cost dispatching on the requirement — this is
+    gamma_qkia of the paper ([None] = infinite). *)
+val slot_fill_cost :
+  Cost_params.t ->
+  Catalog.Schema.t ->
+  Sqlast.Ast.query ->
+  string ->
+  Storage.Index.t option ->
+  Plan.slot_req ->
+  float option

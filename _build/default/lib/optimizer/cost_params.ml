@@ -1,0 +1,49 @@
+(* Cost-model constants, PostgreSQL-flavoured: costs are in abstract units
+   where one sequential page read is 1.0. *)
+
+type t = {
+  seq_page_cost : float;
+  random_page_cost : float;
+  cpu_tuple_cost : float;
+  cpu_index_tuple_cost : float;
+  cpu_operator_cost : float;
+  (* Memory available to sorts and hashes, in pages; spilling multiplies
+     the cost of these operators. *)
+  work_mem_pages : int;
+}
+
+let default =
+  {
+    seq_page_cost = 1.0;
+    random_page_cost = 4.0;
+    cpu_tuple_cost = 0.01;
+    cpu_index_tuple_cost = 0.005;
+    cpu_operator_cost = 0.0025;
+    work_mem_pages = 2048;
+  }
+
+(* n log2 n comparisons, with an extra spill factor when the input exceeds
+   work_mem — one of the deliberate non-linearities of the model (the
+   paper stresses that linear composability does NOT require a linear
+   optimizer cost model; the non-linearity hides in the constants). *)
+let sort_cost t ~rows ~width =
+  if rows <= 1.0 then t.cpu_operator_cost
+  else begin
+    let comparisons = rows *. (log rows /. log 2.0) in
+    let pages = rows *. float_of_int width /. float_of_int Catalog.Schema.page_size in
+    let spill =
+      if pages <= float_of_int t.work_mem_pages then 0.0
+      else 2.0 *. pages *. t.seq_page_cost
+    in
+    (2.0 *. comparisons *. t.cpu_operator_cost) +. spill
+  end
+
+let hash_build_cost t ~rows ~width =
+  let pages = rows *. float_of_int width /. float_of_int Catalog.Schema.page_size in
+  let spill =
+    if pages <= float_of_int t.work_mem_pages then 0.0
+    else 2.0 *. pages *. t.seq_page_cost
+  in
+  (rows *. (t.cpu_operator_cost +. t.cpu_tuple_cost)) +. spill
+
+let hash_probe_cost t ~rows = rows *. 2.0 *. t.cpu_operator_cost

@@ -1,0 +1,24 @@
+(** Cost-model constants, PostgreSQL-flavoured.  Costs are abstract units
+    where one sequential page read is 1.0. *)
+
+type t = {
+  seq_page_cost : float;
+  random_page_cost : float;
+  cpu_tuple_cost : float;
+  cpu_index_tuple_cost : float;
+  cpu_operator_cost : float;
+  work_mem_pages : int;
+      (** memory for sorts/hashes, in pages; exceeding it adds spill I/O *)
+}
+
+val default : t
+
+(** [sort_cost t ~rows ~width]: n·log n comparison cost plus spill I/O
+    when the input exceeds [work_mem_pages] — deliberately non-linear. *)
+val sort_cost : t -> rows:float -> width:int -> float
+
+(** Cost of building a hash table over [rows] rows of [width] bytes. *)
+val hash_build_cost : t -> rows:float -> width:int -> float
+
+(** Cost of probing a hash table with [rows] rows. *)
+val hash_probe_cost : t -> rows:float -> float

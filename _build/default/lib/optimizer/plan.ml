@@ -1,0 +1,121 @@
+(* Physical plan trees.  Costs are cumulative (a node's cost includes its
+   children).  [Slot] leaves appear only in INUM template plans: they stand
+   for "access this table in this order" and carry zero cost. *)
+
+open Sqlast
+
+type agg_kind = Hash_agg | Sorted_agg | Plain_agg
+
+(* What an INUM template requires from the access method that fills a
+   slot.  [Nlj_inner] slots are probed [outer_rows] times through an index
+   whose leading key column is the join column. *)
+type slot_req =
+  | Any_order
+  | Ordered of string list
+  | Nlj_inner of { join_col : string; outer_rows : float }
+
+type t =
+  | Seq_scan of { table : string; rows : float; cost : float }
+  | Index_scan of {
+      index : Storage.Index.t;
+      table : string;
+      rows : float;
+      cost : float;
+      covering : bool;
+    }
+  | Slot of { table : string; rows : float; req : slot_req }
+  (* [inner] is the per-probe access: an [Index_scan] whose cost is the
+     cost of one probe (direct plans), or a [Slot] with an [Nlj_inner]
+     requirement (template plans). *)
+  | Nest_loop of { outer : t; inner : t; rows : float; cost : float }
+  | Hash_join of { build : t; probe : t; rows : float; cost : float }
+  | Merge_join of { left : t; right : t; rows : float; cost : float }
+  | Sort of { child : t; keys : Ast.col_ref list; rows : float; cost : float }
+  | Aggregate of { child : t; kind : agg_kind; rows : float; cost : float }
+
+let cost = function
+  | Seq_scan s -> s.cost
+  | Index_scan s -> s.cost
+  | Slot _ -> 0.0
+  | Nest_loop j -> j.cost
+  | Hash_join j -> j.cost
+  | Merge_join j -> j.cost
+  | Sort s -> s.cost
+  | Aggregate a -> a.cost
+
+let rows = function
+  | Seq_scan s -> s.rows
+  | Index_scan s -> s.rows
+  | Slot s -> s.rows
+  | Nest_loop j -> j.rows
+  | Hash_join j -> j.rows
+  | Merge_join j -> j.rows
+  | Sort s -> s.rows
+  | Aggregate a -> a.rows
+
+(* Leaf access nodes, left to right. *)
+let rec leaves = function
+  | Seq_scan _ | Index_scan _ | Slot _ as l -> [ l ]
+  | Nest_loop j -> leaves j.outer @ leaves j.inner
+  | Hash_join j -> leaves j.build @ leaves j.probe
+  | Merge_join j -> leaves j.left @ leaves j.right
+  | Sort s -> leaves s.child
+  | Aggregate a -> leaves a.child
+
+(* Indexes used anywhere in the plan. *)
+let rec indexes_used = function
+  | Seq_scan _ | Slot _ -> []
+  | Index_scan s -> [ s.index ]
+  | Nest_loop j -> indexes_used j.outer @ indexes_used j.inner
+  | Hash_join j -> indexes_used j.build @ indexes_used j.probe
+  | Merge_join j -> indexes_used j.left @ indexes_used j.right
+  | Sort s -> indexes_used s.child
+  | Aggregate a -> indexes_used a.child
+
+(* Template slots (table, filtered rows, requirement), for INUM. *)
+let rec slots = function
+  | Seq_scan _ | Index_scan _ -> []
+  | Slot s -> [ (s.table, s.rows, s.req) ]
+  | Nest_loop j -> slots j.outer @ slots j.inner
+  | Hash_join j -> slots j.build @ slots j.probe
+  | Merge_join j -> slots j.left @ slots j.right
+  | Sort s -> slots s.child
+  | Aggregate a -> slots a.child
+
+let rec pp ppf t =
+  let open Fmt in
+  match t with
+  | Seq_scan s -> pf ppf "SeqScan(%s) rows=%.0f cost=%.1f" s.table s.rows s.cost
+  | Index_scan s ->
+      pf ppf "IndexScan(%a)%s rows=%.0f cost=%.1f" Storage.Index.pp s.index
+        (if s.covering then " covering" else "")
+        s.rows s.cost
+  | Slot s ->
+      pf ppf "Slot(%s%s) rows=%.0f" s.table
+        (match s.req with
+        | Any_order -> ""
+        | Ordered o -> " order " ^ String.concat "," o
+        | Nlj_inner { join_col; outer_rows } ->
+            Printf.sprintf " nlj %s x%.0f" join_col outer_rows)
+        s.rows
+  | Nest_loop j ->
+      pf ppf "@[<v 2>NestLoop rows=%.0f cost=%.1f@ %a@ inner: %a@]" j.rows
+        j.cost pp j.outer pp j.inner
+  | Hash_join j ->
+      pf ppf "@[<v 2>HashJoin rows=%.0f cost=%.1f@ %a@ %a@]" j.rows j.cost pp
+        j.build pp j.probe
+  | Merge_join j ->
+      pf ppf "@[<v 2>MergeJoin rows=%.0f cost=%.1f@ %a@ %a@]" j.rows j.cost pp
+        j.left pp j.right
+  | Sort s ->
+      pf ppf "@[<v 2>Sort(%a) rows=%.0f cost=%.1f@ %a@]"
+        (list ~sep:comma (fun ppf (c : Ast.col_ref) ->
+             pf ppf "%s.%s" c.Ast.table c.Ast.column))
+        s.keys s.rows s.cost pp s.child
+  | Aggregate a ->
+      pf ppf "@[<v 2>%s rows=%.0f cost=%.1f@ %a@]"
+        (match a.kind with
+        | Hash_agg -> "HashAgg"
+        | Sorted_agg -> "SortedAgg"
+        | Plain_agg -> "Agg")
+        a.rows a.cost pp a.child

@@ -1,0 +1,47 @@
+(** Physical plan trees.  Node costs are cumulative (a node includes its
+    children).  [Slot] leaves appear only in INUM template plans. *)
+
+type agg_kind = Hash_agg | Sorted_agg | Plain_agg
+
+(** What an INUM template requires from the access method filling a slot. *)
+type slot_req =
+  | Any_order
+  | Ordered of string list
+      (** the slot must deliver this column order *)
+  | Nlj_inner of { join_col : string; outer_rows : float }
+      (** the slot is probed [outer_rows] times on [join_col] *)
+
+type t =
+  | Seq_scan of { table : string; rows : float; cost : float }
+  | Index_scan of {
+      index : Storage.Index.t;
+      table : string;
+      rows : float;
+      cost : float;
+      covering : bool;
+    }
+  | Slot of { table : string; rows : float; req : slot_req }
+  | Nest_loop of { outer : t; inner : t; rows : float; cost : float }
+      (** [inner] is the per-probe access: an [Index_scan] whose cost is
+          one probe (direct plans) or an [Nlj_inner] [Slot] (templates) *)
+  | Hash_join of { build : t; probe : t; rows : float; cost : float }
+  | Merge_join of { left : t; right : t; rows : float; cost : float }
+  | Sort of { child : t; keys : Sqlast.Ast.col_ref list; rows : float; cost : float }
+  | Aggregate of { child : t; kind : agg_kind; rows : float; cost : float }
+
+(** Cumulative cost of the plan ([Slot] leaves contribute zero). *)
+val cost : t -> float
+
+(** Output cardinality estimate. *)
+val rows : t -> float
+
+(** Leaf access nodes, left to right. *)
+val leaves : t -> t list
+
+(** Indexes used anywhere in the plan (including nested-loop inners). *)
+val indexes_used : t -> Storage.Index.t list
+
+(** Template slots as (table, filtered rows, requirement), for INUM. *)
+val slots : t -> (string * float * slot_req) list
+
+val pp : t Fmt.t

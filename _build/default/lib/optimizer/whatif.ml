@@ -1,0 +1,546 @@
+(* System-R style what-if optimizer: dynamic programming over join orders
+   with interesting orders, access-path selection against a hypothetical
+   index configuration, and hash / merge / index-nested-loop joins.
+
+   Two modes share the DP:
+   - direct optimization of a query under a configuration (the classic
+     what-if call, [optimize] / [cost]);
+   - template construction for INUM ([template_plan]): base-table accesses
+     are abstract zero-cost slots constrained by a per-table spec (deliver
+     a sort order, or serve as a nested-loop inner probed on a join
+     column), so the resulting plan cost is exactly the "internal plan
+     cost" beta_qk of the paper. *)
+
+open Sqlast
+
+type env = {
+  params : Cost_params.t;
+  schema : Catalog.Schema.t;
+  mutable whatif_calls : int;  (* number of direct optimizations performed *)
+}
+
+let make_env ?(params = Cost_params.default) schema =
+  { params; schema; whatif_calls = 0 }
+
+let whatif_calls env = env.whatif_calls
+let reset_calls env = env.whatif_calls <- 0
+
+(* What a template requires of each table's access. *)
+type slot_spec =
+  | Spec_any
+  | Spec_ordered of string list
+  | Spec_nlj of string  (* must be a nested-loop inner on this join column *)
+
+(* --- Sort-order bookkeeping --- *)
+
+(* Orders are column-reference lists.  Equality-bound columns are constant
+   across surviving rows, so they are dropped from both delivered and
+   required orders; satisfaction is then a plain prefix test. *)
+
+let normalize_order ~eq_cols (cols : Ast.col_ref list) =
+  List.filter (fun (c : Ast.col_ref) -> not (List.mem c eq_cols)) cols
+
+let order_satisfies ~required ~given =
+  let rec prefix = function
+    | [], _ -> true
+    | _, [] -> false
+    | (r : Ast.col_ref) :: rs, g :: gs -> r = g && prefix (rs, gs)
+  in
+  prefix (required, given)
+
+(* Group-by can exploit any permutation of the grouping set that forms a
+   prefix of the delivered order. *)
+let order_satisfies_group ~group ~given =
+  let n = List.length group in
+  if n = 0 then true
+  else if List.length given < n then false
+  else begin
+    let prefix = List.filteri (fun i _ -> i < n) given in
+    let sort = List.sort compare in
+    sort prefix = sort group
+  end
+
+(* --- DP entries --- *)
+
+(* [pending] marks a leaf slot that may only be consumed as a nested-loop
+   inner; it cannot participate in other joins or be a final plan. *)
+type entry = { order : Ast.col_ref list; plan : Plan.t; pending : bool }
+
+let entry_cost e = Plan.cost e.plan
+
+(* Keep the Pareto frontier over (cost, order): an entry is dominated when
+   a cheaper-or-equal entry delivers an order extending its own. *)
+let prune_entries entries =
+  let dominated e =
+    (not e.pending)
+    && List.exists
+         (fun e' ->
+           e' != e
+           && (not e'.pending)
+           && entry_cost e' <= entry_cost e
+           && order_satisfies ~required:e.order ~given:e'.order
+           && (entry_cost e' < entry_cost e
+              || List.length e'.order > List.length e.order
+              || e' < e))
+         entries
+  in
+  let kept = List.filter (fun e -> not (dominated e)) entries in
+  let sorted = List.sort (fun a b -> compare (entry_cost a) (entry_cost b)) kept in
+  (* Safety cap to bound DP width. *)
+  List.filteri (fun i _ -> i < 12) sorted
+
+(* --- Context shared across one optimization --- *)
+
+type mode =
+  | Direct of Storage.Config.t
+  | Template of (string * slot_spec) list
+
+type ctx = {
+  env : env;
+  q : Ast.query;
+  tables : string array;
+  eq_cols : Ast.col_ref list;          (* equality-bound columns, all tables *)
+  frows : float array;                 (* filtered rows per table *)
+  mode : mode;
+}
+
+let make_ctx env q mode =
+  let tables = Array.of_list q.Ast.tables in
+  let eq_cols =
+    List.filter_map
+      (fun p -> if p.Ast.is_equality then Some p.Ast.pred_col else None)
+      q.Ast.predicates
+  in
+  let frows = Array.map (fun t -> Card.filtered_rows env.schema q t) tables in
+  { env; q; tables; eq_cols; frows; mode }
+
+let col_refs_of_names table names =
+  List.map (fun c -> { Ast.table; Ast.column = c }) names
+
+let table_index ctx t =
+  let rec find i = if ctx.tables.(i) = t then i else find (i + 1) in
+  find 0
+
+(* Width of the tuples flowing out of the tables in bitmask [mask]. *)
+let mask_tables ctx mask =
+  let acc = ref [] in
+  Array.iteri (fun i t -> if mask land (1 lsl i) <> 0 then acc := t :: !acc) ctx.tables;
+  !acc
+
+let mask_width ctx mask =
+  Card.output_width ctx.env.schema ctx.q (mask_tables ctx mask)
+
+(* --- Base-table entries --- *)
+
+let leaf_entries ctx i =
+  let t = ctx.tables.(i) in
+  let rows = ctx.frows.(i) in
+  match ctx.mode with
+  | Template specs ->
+      let spec =
+        match List.assoc_opt t specs with Some s -> s | None -> Spec_any
+      in
+      let req, order, pending =
+        match spec with
+        | Spec_any -> (Plan.Any_order, [], false)
+        | Spec_ordered o ->
+            ( Plan.Ordered o,
+              normalize_order ~eq_cols:ctx.eq_cols (col_refs_of_names t o),
+              false )
+        | Spec_nlj jc ->
+            (* outer_rows is patched when the nested loop is formed *)
+            (Plan.Nlj_inner { join_col = jc; outer_rows = 0.0 }, [], true)
+      in
+      [ { order; plan = Plan.Slot { table = t; rows; req }; pending } ]
+  | Direct config ->
+      let paths = Access.paths ctx.env.params ctx.env.schema ctx.q t config in
+      List.map
+        (fun (p : Access.path) ->
+          let order =
+            normalize_order ~eq_cols:ctx.eq_cols
+              (col_refs_of_names t p.Access.output_order)
+          in
+          let plan =
+            match p.Access.index with
+            | None -> Plan.Seq_scan { table = t; rows; cost = p.Access.path_cost }
+            | Some ix ->
+                Plan.Index_scan
+                  {
+                    index = ix;
+                    table = t;
+                    rows;
+                    cost = p.Access.path_cost;
+                    covering = p.Access.covering;
+                  }
+          in
+          { order; plan; pending = false })
+        paths
+
+(* --- Joins --- *)
+
+(* Join conjuncts with one side in [lmask] and the other in [rmask];
+   results oriented as (left_col, right_col). *)
+let joins_between ctx lmask rmask =
+  let side (c : Ast.col_ref) =
+    let i = table_index ctx c.Ast.table in
+    if lmask land (1 lsl i) <> 0 then `L
+    else if rmask land (1 lsl i) <> 0 then `R
+    else `Out
+  in
+  List.filter_map
+    (fun (j : Ast.join) ->
+      match (side j.Ast.left, side j.Ast.right) with
+      | `L, `R -> Some (j, j.Ast.left, j.Ast.right)
+      | `R, `L -> Some (j, j.Ast.right, j.Ast.left)
+      | _ -> None)
+    ctx.q.Ast.joins
+
+let join_output_rows ctx l r js =
+  Card.join_rows ctx.env.schema ~left_rows:(Plan.rows l.plan)
+    ~right_rows:(Plan.rows r.plan)
+    (List.map (fun (j, _, _) -> j) js)
+
+let maybe_sort ctx e ~required ~mask =
+  if order_satisfies ~required ~given:e.order then Some e
+  else begin
+    let rows = Plan.rows e.plan in
+    let width = mask_width ctx mask in
+    let c = Cost_params.sort_cost ctx.env.params ~rows ~width in
+    Some
+      {
+        order = required;
+        plan =
+          Plan.Sort
+            { child = e.plan; keys = required; rows; cost = Plan.cost e.plan +. c };
+        pending = false;
+      }
+  end
+
+let hash_join ctx l r out_rows =
+  if l.pending || r.pending then []
+  else begin
+    let p = ctx.env.params in
+    let build_rows = Plan.rows r.plan in
+    let cost =
+      Plan.cost l.plan +. Plan.cost r.plan
+      +. Cost_params.hash_build_cost p ~rows:build_rows ~width:16
+      +. Cost_params.hash_probe_cost p ~rows:(Plan.rows l.plan)
+      +. (out_rows *. p.cpu_tuple_cost)
+    in
+    [ { order = [];
+        plan =
+          Plan.Hash_join { build = r.plan; probe = l.plan; rows = out_rows; cost };
+        pending = false } ]
+  end
+
+let merge_join ctx lmask rmask l r (lc : Ast.col_ref) (rc : Ast.col_ref) out_rows =
+  if l.pending || r.pending then []
+  else begin
+    let p = ctx.env.params in
+    let lkey = normalize_order ~eq_cols:ctx.eq_cols [ lc ] in
+    let rkey = normalize_order ~eq_cols:ctx.eq_cols [ rc ] in
+    match
+      ( maybe_sort ctx l ~required:lkey ~mask:lmask,
+        maybe_sort ctx r ~required:rkey ~mask:rmask )
+    with
+    | Some l', Some r' ->
+        let cost =
+          Plan.cost l'.plan +. Plan.cost r'.plan
+          +. ((Plan.rows l'.plan +. Plan.rows r'.plan) *. p.cpu_operator_cost)
+          +. (out_rows *. p.cpu_tuple_cost)
+        in
+        let plan =
+          Plan.Merge_join { left = l'.plan; right = r'.plan; rows = out_rows; cost }
+        in
+        (* The output delivers both join keys' orders. *)
+        [ { order = lkey; plan; pending = false };
+          { order = rkey; plan; pending = false } ]
+    | _ -> []
+  end
+
+(* Index nested-loop join: the inner side is a single base table probed on
+   the join column.  In Direct mode the probe goes through a configuration
+   index; in Template mode through a pending NLJ slot whose spec names the
+   same join column. *)
+let nest_loop ctx l rmask r (jcol : Ast.col_ref) out_rows =
+  if l.pending then []
+  else begin
+    let t = jcol.Ast.table in
+    let i = table_index ctx t in
+    if rmask <> 1 lsl i then []
+    else begin
+      let p = ctx.env.params in
+      let schema = ctx.env.schema in
+      match ctx.mode with
+      | Template _ -> (
+          match r.plan with
+          | Plan.Slot { table; rows; req = Plan.Nlj_inner { join_col; _ } }
+            when table = t && join_col = jcol.Ast.column ->
+              let outer_rows = Plan.rows l.plan in
+              let inner =
+                Plan.Slot
+                  { table; rows; req = Plan.Nlj_inner { join_col; outer_rows } }
+              in
+              let cost = Plan.cost l.plan +. (out_rows *. p.cpu_tuple_cost) in
+              [ { order = l.order;
+                  plan =
+                    Plan.Nest_loop
+                      { outer = l.plan; inner; rows = out_rows; cost };
+                  pending = false } ]
+          | _ -> [])
+      | Direct config ->
+          if r.pending then []
+          else
+            List.filter_map
+              (fun ix ->
+                match
+                  Access.nlj_probe_cost p schema ctx.q t (Some ix)
+                    ~join_col:jcol.Ast.column
+                with
+                | None -> None
+                | Some per_probe ->
+                    let needed = Ast.referenced_columns ctx.q t in
+                    let covering =
+                      Storage.Index.clustered ix
+                      || List.for_all
+                           (fun c ->
+                             List.mem c (Storage.Index.covered_columns ix))
+                           needed
+                    in
+                    let inner =
+                      Plan.Index_scan
+                        {
+                          index = ix;
+                          table = t;
+                          rows = ctx.frows.(i);
+                          cost = per_probe;
+                          covering;
+                        }
+                    in
+                    let cost =
+                      Plan.cost l.plan
+                      +. (Plan.rows l.plan *. per_probe)
+                      +. (out_rows *. p.cpu_tuple_cost)
+                    in
+                    Some
+                      { order = l.order;
+                        plan =
+                          Plan.Nest_loop
+                            { outer = l.plan; inner; rows = out_rows; cost };
+                        pending = false })
+              (Storage.Config.on_table config t)
+    end
+  end
+
+(* --- The DP --- *)
+
+let plan_joins ctx =
+  let n = Array.length ctx.tables in
+  let memo = Array.make (1 lsl n) [] in
+  for i = 0 to n - 1 do
+    memo.(1 lsl i) <- prune_entries (leaf_entries ctx i)
+  done;
+  let full = (1 lsl n) - 1 in
+  for mask = 1 to full do
+    if memo.(mask) = [] && mask land (mask - 1) <> 0 then begin
+      let acc = ref [] in
+      (* enumerate proper submasks *)
+      let sub = ref ((mask - 1) land mask) in
+      while !sub > 0 do
+        let lmask = !sub and rmask = mask land lnot !sub in
+        if lmask < mask && rmask > 0 && memo.(lmask) <> [] && memo.(rmask) <> []
+        then begin
+          let js = joins_between ctx lmask rmask in
+          let connected = js <> [] in
+          (* Avoid cross products unless the query graph forces one. *)
+          let allow_cross = ctx.q.Ast.joins = [] in
+          if connected || allow_cross then
+            List.iter
+              (fun l ->
+                List.iter
+                  (fun r ->
+                    let out_rows = join_output_rows ctx l r js in
+                    acc := hash_join ctx l r out_rows @ !acc;
+                    match js with
+                    | (_, lc, rc) :: _ ->
+                        acc :=
+                          merge_join ctx lmask rmask l r lc rc out_rows @ !acc;
+                        acc := nest_loop ctx l rmask r rc out_rows @ !acc
+                    | [] -> ())
+                  memo.(rmask))
+              memo.(lmask)
+        end;
+        sub := (!sub - 1) land mask
+      done;
+      memo.(mask) <- prune_entries !acc
+    end
+  done;
+  List.filter (fun e -> not e.pending) memo.(full)
+
+(* --- Aggregation, ordering, and the final choice --- *)
+
+let has_aggregate q =
+  List.exists (function Ast.Agg _ -> true | Ast.Col _ -> false) q.Ast.select
+
+let finalize ctx entries =
+  let p = ctx.env.params in
+  let full_mask = (1 lsl Array.length ctx.tables) - 1 in
+  let group = normalize_order ~eq_cols:ctx.eq_cols ctx.q.Ast.group_by in
+  let apply_group e =
+    if ctx.q.Ast.group_by = [] then
+      if has_aggregate ctx.q then begin
+        let rows_in = Plan.rows e.plan in
+        [ { e with
+            order = [];
+            plan =
+              Plan.Aggregate
+                {
+                  child = e.plan;
+                  kind = Plan.Plain_agg;
+                  rows = 1.0;
+                  cost = Plan.cost e.plan +. (rows_in *. p.cpu_operator_cost);
+                } } ]
+      end
+      else [ e ]
+    else begin
+      let rows_in = Plan.rows e.plan in
+      let rows_out =
+        Card.group_cardinality ctx.env.schema ctx.q.Ast.group_by ~rows:rows_in
+      in
+      let sorted_variant =
+        if order_satisfies_group ~group ~given:e.order then
+          [ { e with
+              plan =
+                Plan.Aggregate
+                  {
+                    child = e.plan;
+                    kind = Plan.Sorted_agg;
+                    rows = rows_out;
+                    cost = Plan.cost e.plan +. (rows_in *. p.cpu_operator_cost);
+                  } } ]
+        else begin
+          (* sort then aggregate *)
+          let width = mask_width ctx full_mask in
+          let sc = Cost_params.sort_cost p ~rows:rows_in ~width in
+          [ { e with
+              order = group;
+              plan =
+                Plan.Aggregate
+                  {
+                    child =
+                      Plan.Sort
+                        {
+                          child = e.plan;
+                          keys = group;
+                          rows = rows_in;
+                          cost = Plan.cost e.plan +. sc;
+                        };
+                    kind = Plan.Sorted_agg;
+                    rows = rows_out;
+                    cost =
+                      Plan.cost e.plan +. sc +. (rows_in *. p.cpu_operator_cost);
+                  } } ]
+        end
+      in
+      let hash_variant =
+        { e with
+          order = [];
+          plan =
+            Plan.Aggregate
+              {
+                child = e.plan;
+                kind = Plan.Hash_agg;
+                rows = rows_out;
+                cost =
+                  Plan.cost e.plan
+                  +. Cost_params.hash_build_cost p ~rows:rows_in ~width:16;
+              } }
+      in
+      hash_variant :: sorted_variant
+    end
+  in
+  let apply_order e =
+    let required =
+      normalize_order ~eq_cols:ctx.eq_cols (List.map fst ctx.q.Ast.order_by)
+    in
+    if order_satisfies ~required ~given:e.order then e
+    else if required = [] then e
+    else begin
+      let rows = Plan.rows e.plan in
+      let width = mask_width ctx full_mask in
+      let c = Cost_params.sort_cost p ~rows ~width in
+      { e with
+        order = required;
+        plan =
+          Plan.Sort
+            { child = e.plan; keys = required; rows; cost = Plan.cost e.plan +. c };
+      }
+    end
+  in
+  let finals = List.concat_map apply_group entries |> List.map apply_order in
+  match List.sort (fun a b -> compare (entry_cost a) (entry_cost b)) finals with
+  | best :: _ -> Some best.plan
+  | [] -> None
+
+(* --- Public API --- *)
+
+let optimize env (q : Ast.query) (config : Storage.Config.t) =
+  env.whatif_calls <- env.whatif_calls + 1;
+  let ctx = make_ctx env q (Direct config) in
+  match finalize ctx (plan_joins ctx) with
+  | Some plan -> plan
+  | None -> invalid_arg "Optimizer.optimize: no plan found"
+
+let cost env q config = Plan.cost (optimize env q config)
+
+(* Template construction for INUM: optimize with abstract slots that must
+   obey [slot_specs].  The plan cost is the internal cost beta.  [None]
+   when the specs admit no plan (e.g. an NLJ spec with no matching join). *)
+let template_plan env (q : Ast.query) ~slot_specs =
+  let ctx = make_ctx env q (Template slot_specs) in
+  finalize ctx (plan_joins ctx)
+
+(* --- Update statements --- *)
+
+(* Maintenance cost of index [ix] under update [u]: for each affected row,
+   descend the tree and write back a leaf. *)
+let update_cost env (u : Ast.update) ix =
+  if Storage.Index.table ix <> u.Ast.target then 0.0
+  else if
+    not (Storage.Index.affected_by_update ix ~set_columns:u.Ast.set_columns)
+  then 0.0
+  else begin
+    let p = env.params in
+    let shell = Ast.query_shell u in
+    let rows = Card.filtered_rows env.schema shell u.Ast.target in
+    let height = float_of_int (Storage.Index.height env.schema ix) in
+    rows *. (((height +. 1.0) *. p.random_page_cost) +. p.cpu_index_tuple_cost)
+  end
+
+(* Cost of touching the base tuples themselves (c_q of the paper):
+   independent of the configuration. *)
+let update_base_cost env (u : Ast.update) =
+  let shell = Ast.query_shell u in
+  let rows = Card.filtered_rows env.schema shell u.Ast.target in
+  rows *. (env.params.random_page_cost +. env.params.cpu_tuple_cost)
+
+(* Full cost of a statement under a configuration, per the paper's model:
+   cost(q_r, X) + sum over affected indexes in X + c_q for updates. *)
+let statement_cost env (s : Ast.statement) config =
+  match s with
+  | Ast.Select q -> cost env q config
+  | Ast.Update u ->
+      let shell_cost = cost env (Ast.query_shell u) config in
+      let maintenance =
+        List.fold_left
+          (fun acc ix -> acc +. update_cost env u ix)
+          0.0
+          (Storage.Config.on_table config u.Ast.target)
+      in
+      shell_cost +. maintenance +. update_base_cost env u
+
+let workload_cost env (w : Ast.workload) config =
+  List.fold_left
+    (fun acc { Ast.stmt; Ast.weight } ->
+      acc +. (weight *. statement_cost env stmt config))
+    0.0 w

@@ -1,0 +1,59 @@
+(** The what-if optimizer: System-R dynamic programming over join orders
+    with interesting orders, access-path selection against a hypothetical
+    index configuration, and hash / merge / index-nested-loop joins.
+
+    [optimize] / [cost] are the classic what-if calls an index advisor
+    makes; [template_plan] builds INUM template plans by optimizing with
+    abstract zero-cost slots, so the resulting plan cost is exactly the
+    internal plan cost beta of the paper. *)
+
+type env = {
+  params : Cost_params.t;
+  schema : Catalog.Schema.t;
+  mutable whatif_calls : int;  (** direct optimizations performed so far *)
+}
+
+val make_env : ?params:Cost_params.t -> Catalog.Schema.t -> env
+
+(** Number of direct what-if optimizations performed (the quantity the
+    paper's time accounting tracks for the commercial advisors). *)
+val whatif_calls : env -> int
+
+val reset_calls : env -> unit
+
+(** What a template requires of one table's access. *)
+type slot_spec =
+  | Spec_any
+  | Spec_ordered of string list
+  | Spec_nlj of string  (** nested-loop inner probed on this join column *)
+
+(** Optimize the query under the configuration; counts one what-if call.
+    @raise Invalid_argument if no plan exists (cannot happen for valid
+    queries). *)
+val optimize : env -> Sqlast.Ast.query -> Storage.Config.t -> Plan.t
+
+(** [cost env q x] = [Plan.cost (optimize env q x)]. *)
+val cost : env -> Sqlast.Ast.query -> Storage.Config.t -> float
+
+(** Build the optimal template plan under per-table slot specs; the plan's
+    cost is INUM's beta.  [None] when the specs admit no plan (e.g. an
+    NLJ spec with no matching join). *)
+val template_plan :
+  env ->
+  Sqlast.Ast.query ->
+  slot_specs:(string * slot_spec) list ->
+  Plan.t option
+
+(** ucost(a, q): maintenance cost of the index under the update (0 when
+    the index is unaffected). *)
+val update_cost : env -> Sqlast.Ast.update -> Storage.Index.t -> float
+
+(** c_q: the configuration-independent cost of updating the base tuples. *)
+val update_base_cost : env -> Sqlast.Ast.update -> float
+
+(** Full statement cost under a configuration: for updates,
+    [cost(q_r, X) + sum ucost + c_q] per the paper's model (§2). *)
+val statement_cost : env -> Sqlast.Ast.statement -> Storage.Config.t -> float
+
+(** Weighted total over the workload. *)
+val workload_cost : env -> Sqlast.Ast.workload -> Storage.Config.t -> float

@@ -1,0 +1,1 @@
+lib/sqlast/ast.ml: Catalog List Printf Result String

@@ -1,0 +1,1 @@
+lib/sqlast/ast.mli: Catalog

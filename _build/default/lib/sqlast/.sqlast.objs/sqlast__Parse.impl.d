@@ -1,0 +1,1 @@
+lib/sqlast/parse.ml: Array Ast Catalog Fmt List Option Printf String

@@ -1,0 +1,1 @@
+lib/sqlast/parse.mli: Ast Catalog

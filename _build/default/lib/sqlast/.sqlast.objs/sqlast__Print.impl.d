@@ -1,0 +1,1 @@
+lib/sqlast/print.ml: Ast Fmt List

@@ -1,0 +1,1 @@
+lib/sqlast/print.mli: Ast Fmt

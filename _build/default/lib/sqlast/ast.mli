@@ -1,0 +1,77 @@
+(** Abstract syntax for the SQL subset the advisor understands:
+    conjunctive SELECT-PROJECT-JOIN queries with group-by, aggregation
+    and order-by, plus single-table UPDATE statements.  Each statement
+    references a given table at most once (the paper's §2
+    simplification), and predicates carry their estimated selectivity so
+    the optimizer never needs actual data. *)
+
+type col_ref = { table : string; column : string }
+
+val col_ref : string -> string -> col_ref
+
+type comparison = Eq | Lt | Le | Gt | Ge | Between | Like
+
+type predicate = {
+  pred_col : col_ref;
+  cmp : comparison;
+  selectivity : float;  (** estimated fraction of rows satisfying it *)
+  is_equality : bool;  (** pins an exact value (index prefix can extend) *)
+}
+
+(** @raise Invalid_argument when selectivity is outside [0, 1]. *)
+val predicate : ?selectivity:float -> col_ref -> comparison -> predicate
+
+(** Equi-join between two tables. *)
+type join = { left : col_ref; right : col_ref }
+
+type direction = Asc | Desc
+type agg_fn = Count | Sum | Avg | Min | Max
+type select_item = Col of col_ref | Agg of agg_fn * col_ref
+
+type query = {
+  query_id : int;
+  tables : string list;
+  select : select_item list;
+  predicates : predicate list;
+  joins : join list;
+  group_by : col_ref list;
+  order_by : (col_ref * direction) list;
+}
+
+type update = {
+  update_id : int;
+  target : string;
+  set_columns : string list;
+  where : predicate list;
+}
+
+type statement = Select of query | Update of update
+
+(** A workload statement with its weight f_q. *)
+type weighted = { stmt : statement; weight : float }
+
+type workload = weighted list
+
+val statement_id : statement -> int
+
+(** The query shell of an update: the SELECT choosing the affected rows
+    (paper §2's update model). *)
+val query_shell : update -> query
+
+(** SELECT statements and update query shells, with weights. *)
+val selects : workload -> (query * float) list
+
+val updates : workload -> (update * float) list
+
+(** The query's predicates on one table. *)
+val table_predicates : query -> string -> predicate list
+
+(** The query's join columns belonging to one table. *)
+val join_columns : query -> string -> col_ref list
+
+(** All column names of one table the query touches (select, predicates,
+    joins, group-by, order-by), sorted and deduplicated. *)
+val referenced_columns : query -> string -> string list
+
+(** Check tables/columns exist and no table is referenced twice. *)
+val validate : Catalog.Schema.t -> query -> (unit, string) result

@@ -1,0 +1,91 @@
+(* SQL text rendering of the AST.  The emitted text round-trips through
+   [Parse] (modulo selectivity estimates, which the parser re-derives from
+   catalog statistics). *)
+
+open Ast
+
+let pp_col ppf (c : col_ref) = Fmt.pf ppf "%s.%s" c.table c.column
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Between -> "BETWEEN"
+  | Like -> "LIKE"
+
+let pp_predicate ppf p =
+  match p.cmp with
+  | Between ->
+      Fmt.pf ppf "%a BETWEEN ? AND ? /*sel=%.6g*/" pp_col p.pred_col
+        p.selectivity
+  | Like -> Fmt.pf ppf "%a LIKE ? /*sel=%.6g*/" pp_col p.pred_col p.selectivity
+  | _ ->
+      Fmt.pf ppf "%a %s ? /*sel=%.6g*/" pp_col p.pred_col
+        (cmp_to_string p.cmp) p.selectivity
+
+let pp_join ppf (j : join) = Fmt.pf ppf "%a = %a" pp_col j.left pp_col j.right
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let pp_select_item ppf = function
+  | Col c -> pp_col ppf c
+  | Agg (f, c) -> Fmt.pf ppf "%s(%a)" (agg_name f) pp_col c
+
+let pp_direction ppf = function
+  | Asc -> Fmt.string ppf "ASC"
+  | Desc -> Fmt.string ppf "DESC"
+
+let pp_query ppf (q : query) =
+  let comma = Fmt.any ",@ " in
+  Fmt.pf ppf "@[<v>SELECT @[%a@]@ FROM @[%a@]"
+    (Fmt.list ~sep:comma pp_select_item)
+    q.select
+    (Fmt.list ~sep:comma Fmt.string)
+    q.tables;
+  (match q.joins @ [], q.predicates with
+  | [], [] -> ()
+  | joins, preds ->
+      let conjuncts =
+        List.map (Fmt.to_to_string pp_join) joins
+        @ List.map (Fmt.to_to_string pp_predicate) preds
+      in
+      Fmt.pf ppf "@ WHERE @[%a@]"
+        (Fmt.list ~sep:(Fmt.any "@ AND ") Fmt.string)
+        conjuncts);
+  if q.group_by <> [] then
+    Fmt.pf ppf "@ GROUP BY @[%a@]" (Fmt.list ~sep:comma pp_col) q.group_by;
+  if q.order_by <> [] then
+    Fmt.pf ppf "@ ORDER BY @[%a@]"
+      (Fmt.list ~sep:comma (fun ppf (c, d) ->
+           Fmt.pf ppf "%a %a" pp_col c pp_direction d))
+      q.order_by;
+  Fmt.pf ppf "@]"
+
+let pp_update ppf (u : update) =
+  Fmt.pf ppf "@[<v>UPDATE %s@ SET @[%a@]" u.target
+    (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf c -> Fmt.pf ppf "%s = ?" c))
+    u.set_columns;
+  if u.where <> [] then
+    Fmt.pf ppf "@ WHERE @[%a@]"
+      (Fmt.list ~sep:(Fmt.any "@ AND ") pp_predicate)
+      u.where;
+  Fmt.pf ppf "@]"
+
+let pp_statement ppf = function
+  | Select q -> pp_query ppf q
+  | Update u -> pp_update ppf u
+
+let statement_to_string s = Fmt.str "%a" pp_statement s
+
+let pp_workload ppf (w : workload) =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf { stmt; weight } ->
+         Fmt.pf ppf "-- weight %.3g@,%a;" weight pp_statement stmt))
+    w

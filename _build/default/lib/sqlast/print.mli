@@ -1,0 +1,14 @@
+(** SQL text rendering.  Output round-trips through {!Parse}; predicate
+    selectivities travel in [/*sel=...*/] hints. *)
+
+val pp_col : Ast.col_ref Fmt.t
+val pp_predicate : Ast.predicate Fmt.t
+val pp_join : Ast.join Fmt.t
+val pp_select_item : Ast.select_item Fmt.t
+val pp_query : Ast.query Fmt.t
+val pp_update : Ast.update Fmt.t
+val pp_statement : Ast.statement Fmt.t
+val pp_workload : Ast.workload Fmt.t
+val statement_to_string : Ast.statement -> string
+val cmp_to_string : Ast.comparison -> string
+val agg_name : Ast.agg_fn -> string

@@ -1,0 +1,1 @@
+lib/storage/config.ml: Fmt Fun Hashtbl Index List Option Set

@@ -1,0 +1,1 @@
+lib/storage/config.mli: Catalog Fmt Index

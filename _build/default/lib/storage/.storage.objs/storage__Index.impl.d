@@ -1,0 +1,1 @@
+lib/storage/index.ml: Catalog Fmt Hashtbl List Printf Stdlib String

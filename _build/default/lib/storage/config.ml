@@ -1,0 +1,64 @@
+(* Index configurations: sets of indexes, and the atomic configurations of
+   Finkelstein et al. (at most one index per table) that INUM plans draw
+   their access methods from. *)
+
+module Index_set = Set.Make (Index)
+
+type t = Index_set.t
+
+let empty = Index_set.empty
+let of_list = Index_set.of_list
+let to_list = Index_set.elements
+let add = Index_set.add
+let remove = Index_set.remove
+let mem = Index_set.mem
+let union = Index_set.union
+let cardinal = Index_set.cardinal
+let is_empty = Index_set.is_empty
+let subset = Index_set.subset
+let fold = Index_set.fold
+let filter = Index_set.filter
+let iter = Index_set.iter
+let equal = Index_set.equal
+let compare = Index_set.compare
+
+(* Indexes of the configuration defined on a given table. *)
+let on_table t table =
+  Index_set.filter (fun ix -> Index.table ix = table) t |> Index_set.elements
+
+let total_size schema t =
+  Index_set.fold (fun ix acc -> acc +. Index.size_bytes schema ix) t 0.0
+
+(* At most one clustered index per table? *)
+let clustered_valid t =
+  let tbl = Hashtbl.create 8 in
+  try
+    Index_set.iter
+      (fun ix ->
+        if Index.clustered ix then begin
+          if Hashtbl.mem tbl (Index.table ix) then raise Exit;
+          Hashtbl.add tbl (Index.table ix) ()
+        end)
+      t;
+    true
+  with Exit -> false
+
+(* Enumerate the atomic configurations of [t] restricted to [tables]: every
+   way of picking at most one index per listed table.  Exponential — only
+   used in tests and by the ILP baseline on pruned candidate sets. *)
+let atomic_configurations t ~tables =
+  let per_table =
+    List.map (fun tb -> None :: List.map Option.some (on_table t tb)) tables
+  in
+  let rec cross = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        let tails = cross rest in
+        List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  List.map (fun picks -> of_list (List.filter_map Fun.id picks)) (cross per_table)
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") Index.pp)
+    (Index_set.elements t)

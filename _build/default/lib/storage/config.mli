@@ -1,0 +1,35 @@
+(** Index configurations (sets of {!Index.t}) and atomic-configuration
+    enumeration. *)
+
+type t
+
+val empty : t
+val of_list : Index.t list -> t
+val to_list : t -> Index.t list
+val add : Index.t -> t -> t
+val remove : Index.t -> t -> t
+val mem : Index.t -> t -> bool
+val union : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val fold : (Index.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Index.t -> bool) -> t -> t
+val iter : (Index.t -> unit) -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Indexes defined on the given table. *)
+val on_table : t -> string -> Index.t list
+
+(** Sum of estimated index sizes in bytes. *)
+val total_size : Catalog.Schema.t -> t -> float
+
+(** True when no table carries more than one clustered index. *)
+val clustered_valid : t -> bool
+
+(** Every way to pick at most one index per listed table — [atom(X)] of the
+    paper.  Exponential; for tests and the ILP baseline only. *)
+val atomic_configurations : t -> tables:string list -> t list
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Ast Catalog List Random Sqlast

@@ -1,0 +1,38 @@
+(** Workload generators mirroring the paper's evaluation inputs, all
+    deterministic in the seed.  Predicate selectivities are drawn from the
+    catalog's per-column Zipf distributions, so data skew shapes the
+    workloads the way tpcdskew shaped the paper's. *)
+
+(** W^hom: random instantiations of 15 fixed TPC-H-like templates. *)
+val hom : Catalog.Schema.t -> n:int -> seed:int -> Sqlast.Ast.workload
+
+(** W^het: randomly structured SPJ queries with group-by/aggregation in
+    the style of the online index-selection benchmark (C2 suite). *)
+val het : Catalog.Schema.t -> n:int -> seed:int -> Sqlast.Ast.workload
+
+(** A random single-table UPDATE statement. *)
+val update : Catalog.Schema.t -> Random.State.t -> int -> Sqlast.Ast.update
+
+(** Replace a [fraction] of the statements with UPDATEs (ids and weights
+    preserved).  @raise Invalid_argument when fraction is out of [0, 1]. *)
+val with_updates :
+  Catalog.Schema.t ->
+  fraction:float ->
+  seed:int ->
+  Sqlast.Ast.workload ->
+  Sqlast.Ast.workload
+
+(** Selectivity samplers, exposed for tests and custom generators. *)
+
+val eq_sel : Catalog.Schema.t -> Random.State.t -> string -> string -> float
+
+val range_sel :
+  Catalog.Schema.t -> Random.State.t -> string -> string -> frac:float -> float
+
+(** The TPC-H foreign-key join graph as
+    (left table, left column, right table, right column). *)
+val fk_edges : (string * string * string * string) list
+
+(** Non-comment attributes eligible for predicates and grouping.
+    @raise Invalid_argument for unknown tables. *)
+val predicate_columns : string -> string list

@@ -1,0 +1,1 @@
+test/test_advisors.ml: Advisors Alcotest Array Catalog Cophy List Optimizer Printf Storage Workload

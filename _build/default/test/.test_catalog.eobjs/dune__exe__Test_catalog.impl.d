@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog List Printf QCheck QCheck_alcotest Schema Tpch Zipf

@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Array Catalog Constr List QCheck QCheck_alcotest Storage

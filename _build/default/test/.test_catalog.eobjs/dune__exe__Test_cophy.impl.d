@@ -1,0 +1,1 @@
+test/test_cophy.ml: Alcotest Array Ast Catalog Constr Cophy Inum List Lp Optimizer Printf QCheck QCheck_alcotest Random Sqlast Storage Workload

@@ -1,0 +1,1 @@
+test/test_inum.ml: Alcotest Array Ast Catalog Cophy Inum List Optimizer QCheck QCheck_alcotest Sqlast Storage Workload

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Lp QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Ast Catalog Cophy Fmt List Optimizer Printf QCheck QCheck_alcotest Sqlast Storage String Workload

@@ -1,0 +1,1 @@
+test/test_sqlast.ml: Alcotest Ast Catalog List Parse Print QCheck QCheck_alcotest Result Sqlast String Workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Cophy List QCheck QCheck_alcotest Result Storage

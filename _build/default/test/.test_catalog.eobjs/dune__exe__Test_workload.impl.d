@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ast Catalog List Print QCheck QCheck_alcotest Sqlast Workload

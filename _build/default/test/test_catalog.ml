@@ -1,0 +1,210 @@
+(* Tests for the catalog substrate: Zipf distributions, schema statistics,
+   and the TPC-H instance. *)
+
+open Catalog
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Zipf --- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:100 ~z:0.0 in
+  check_float "uniform mass" 0.01 (Zipf.mass z 1);
+  check_float "uniform mass tail" 0.01 (Zipf.mass z 100);
+  check_float "uniform cumulative" 0.5 (Zipf.cumulative z 50);
+  check_float "uniform eq sel" 0.01 (Zipf.equality_selectivity z)
+
+let test_zipf_skewed () =
+  let z = Zipf.create ~n:1000 ~z:1.0 in
+  Alcotest.(check bool) "head heavier than tail" true
+    (Zipf.mass z 1 > 100.0 *. Zipf.mass z 1000);
+  Alcotest.(check bool) "eq sel exceeds uniform" true
+    (Zipf.equality_selectivity z > 1.0 /. 1000.0)
+
+let test_zipf_cumulative_monotone () =
+  let z = Zipf.create ~n:500 ~z:2.0 in
+  let prev = ref 0.0 in
+  for r = 1 to 500 do
+    let c = Zipf.cumulative z r in
+    Alcotest.(check bool) "monotone" true (c >= !prev -. 1e-12);
+    prev := c
+  done;
+  check_float ~eps:1e-6 "total mass" 1.0 (Zipf.cumulative z 500)
+
+let test_zipf_interval () =
+  let z = Zipf.create ~n:100 ~z:0.5 in
+  let total =
+    Zipf.interval_mass z ~lo:1 ~hi:30
+    +. Zipf.interval_mass z ~lo:31 ~hi:100
+  in
+  check_float ~eps:1e-9 "partition" 1.0 total;
+  check_float "empty interval" 0.0 (Zipf.interval_mass z ~lo:10 ~hi:9)
+
+let test_zipf_quantile () =
+  let z = Zipf.create ~n:100 ~z:1.0 in
+  for i = 1 to 19 do
+    let u = float_of_int i /. 20.0 in
+    let r = Zipf.rank_of_quantile z u in
+    Alcotest.(check bool) "quantile in range" true (r >= 1 && r <= 100);
+    (* smallest rank whose cumulative reaches u *)
+    Alcotest.(check bool) "cumulative reaches u" true (Zipf.cumulative z r >= u -. 1e-9);
+    if r > 1 then
+      Alcotest.(check bool) "predecessor below u" true
+        (Zipf.cumulative z (r - 1) < u +. 1e-9)
+  done
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~n:0 ~z:1.0));
+  Alcotest.check_raises "z<0" (Invalid_argument "Zipf.create: z must be >= 0")
+    (fun () -> ignore (Zipf.create ~n:5 ~z:(-1.0)))
+
+(* qcheck: large-n harmonic approximation stays close to exact summation *)
+let prop_harmonic_tail =
+  QCheck.Test.make ~name:"zipf cumulative is a valid CDF" ~count:100
+    QCheck.(pair (int_range 1 50_000) (float_range 0.0 3.0))
+    (fun (n, z) ->
+      let d = Zipf.create ~n ~z in
+      let c_half = Zipf.cumulative d (n / 2) in
+      let c_full = Zipf.cumulative d n in
+      c_half >= 0.0 && c_half <= c_full +. 1e-9 && abs_float (c_full -. 1.0) < 1e-6)
+
+let prop_mass_sums =
+  QCheck.Test.make ~name:"zipf masses sum to cumulative" ~count:50
+    QCheck.(pair (int_range 1 200) (float_range 0.0 2.5))
+    (fun (n, z) ->
+      let d = Zipf.create ~n ~z in
+      let sum = ref 0.0 in
+      for r = 1 to n do
+        sum := !sum +. Zipf.mass d r
+      done;
+      abs_float (!sum -. 1.0) < 1e-6)
+
+(* --- Schema --- *)
+
+let small_schema () =
+  Schema.create "s"
+    [
+      Schema.table "t" ~rows:10_000
+        [
+          Schema.column ~distinct:10_000 "a" Schema.Int;
+          Schema.column ~distinct:50 ~skew:1.0 "b" (Schema.Char 10);
+        ];
+    ]
+
+let test_schema_lookup () =
+  let s = small_schema () in
+  let t = Schema.find_table s "t" in
+  Alcotest.(check int) "rows" 10_000 t.Schema.row_count;
+  Alcotest.(check string) "col" "a" (Schema.find_column t "a").Schema.col_name;
+  Alcotest.(check bool) "mem" true (Schema.mem_column t "b");
+  Alcotest.(check bool) "not mem" false (Schema.mem_column t "zz");
+  Alcotest.(check bool) "find_table_opt none" true
+    (Schema.find_table_opt s "nope" = None)
+
+let test_schema_duplicates () =
+  Alcotest.check_raises "dup column"
+    (Invalid_argument "Schema.table: duplicate column a") (fun () ->
+      ignore
+        (Schema.table "t" ~rows:1
+           [ Schema.column ~distinct:1 "a" Schema.Int;
+             Schema.column ~distinct:1 "a" Schema.Int ]))
+
+let test_schema_pages () =
+  let s = small_schema () in
+  let t = Schema.find_table s "t" in
+  let width = Schema.row_width t in
+  Alcotest.(check bool) "row width includes header" true (width > 14);
+  let pages = Schema.table_pages t in
+  Alcotest.(check bool) "pages positive" true (pages >= 1);
+  (* 10000 rows * width bytes / 8192 *)
+  let expect = (10_000 * width / 8192) + 1 in
+  Alcotest.(check bool) "pages close" true (abs (pages - expect) <= 1)
+
+let test_equality_selectivity_skew () =
+  let s = small_schema () in
+  let t = Schema.find_table s "t" in
+  let a = Schema.find_column t "a" in
+  let b = Schema.find_column t "b" in
+  check_float ~eps:1e-9 "uniform pk" (1.0 /. 10_000.0) (Schema.equality_selectivity a);
+  Alcotest.(check bool) "skewed col more selective mass" true
+    (Schema.equality_selectivity b > 1.0 /. 50.0)
+
+(* --- TPC-H --- *)
+
+let test_tpch_shape () =
+  let s = Tpch.schema () in
+  Alcotest.(check int) "8 tables" 8 (List.length (Schema.tables s));
+  let li = Schema.find_table s "lineitem" in
+  Alcotest.(check int) "lineitem rows" 6_000_000 li.Schema.row_count;
+  let o = Schema.find_table s "orders" in
+  Alcotest.(check int) "orders rows" 1_500_000 o.Schema.row_count
+
+let test_tpch_scaling () =
+  let s = Tpch.schema ~sf:0.1 () in
+  let li = Schema.find_table s "lineitem" in
+  Alcotest.(check int) "lineitem sf 0.1" 600_000 li.Schema.row_count;
+  let r = Schema.find_table s "region" in
+  Alcotest.(check int) "region fixed" 5 r.Schema.row_count
+
+let test_tpch_size () =
+  let s = Tpch.schema () in
+  let bytes = Tpch.database_size s in
+  (* sf=1 is the paper's ~1GB database *)
+  Alcotest.(check bool) "about 1GB" true (bytes > 0.5e9 && bytes < 2.5e9)
+
+let test_tpch_skew_applied () =
+  let s = Tpch.schema ~z:2.0 () in
+  let li = Schema.find_table s "lineitem" in
+  let c = Schema.find_column li "l_shipdate" in
+  check_float "skew recorded" 2.0 c.Schema.skew;
+  let pk = Schema.find_column li "l_linenumber" in
+  check_float "keys stay uniform" 0.0 pk.Schema.skew
+
+let test_tpch_primary_keys () =
+  let s = Tpch.schema () in
+  List.iter
+    (fun (t, cols) ->
+      let tbl = Schema.find_table s t in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pk col %s.%s exists" t c)
+            true (Schema.mem_column tbl c))
+        cols)
+    Tpch.primary_keys
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          Alcotest.test_case "skewed" `Quick test_zipf_skewed;
+          Alcotest.test_case "cumulative monotone" `Quick test_zipf_cumulative_monotone;
+          Alcotest.test_case "interval mass" `Quick test_zipf_interval;
+          Alcotest.test_case "quantiles" `Quick test_zipf_quantile;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
+          QCheck_alcotest.to_alcotest prop_harmonic_tail;
+          QCheck_alcotest.to_alcotest prop_mass_sums;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "duplicate detection" `Quick test_schema_duplicates;
+          Alcotest.test_case "page estimation" `Quick test_schema_pages;
+          Alcotest.test_case "skewed selectivity" `Quick test_equality_selectivity_skew;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "shape" `Quick test_tpch_shape;
+          Alcotest.test_case "scale factor" `Quick test_tpch_scaling;
+          Alcotest.test_case "database size" `Quick test_tpch_size;
+          Alcotest.test_case "skew" `Quick test_tpch_skew_applied;
+          Alcotest.test_case "primary keys valid" `Quick test_tpch_primary_keys;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the constraint language and its linearization. *)
+
+let schema = Catalog.Tpch.schema ()
+
+let ix ?clustered table keys = Storage.Index.create ?clustered ~table keys
+
+let candidates =
+  [|
+    ix "lineitem" [ "l_shipdate" ];
+    ix "lineitem" [ "l_shipdate"; "l_quantity"; "l_extendedprice"; "l_discount"; "l_tax"; "l_shipmode" ];
+    ix "orders" [ "o_orderdate" ];
+    ix ~clustered:true "orders" [ "o_custkey" ];
+    ix ~clustered:true "orders" [ "o_orderdate" ];
+  |]
+
+let test_storage_budget_row () =
+  let rows = Constr.linearize schema candidates (Constr.Storage_budget 1e9) in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check int) "all candidates" 5 (List.length row.Constr.row_coeffs);
+  List.iter
+    (fun (i, c) ->
+      Alcotest.(check (float 1.0)) "coefficient is size"
+        (Storage.Index.size_bytes schema candidates.(i))
+        c)
+    row.Constr.row_coeffs
+
+let test_index_sum_scoped () =
+  let c =
+    Constr.Index_sum
+      { scope = Constr.on_table "lineitem"; metric = Constr.Count;
+        cmp = Constr.Le; bound = 1.0 }
+  in
+  let rows = Constr.linearize schema candidates c in
+  let row = List.hd rows in
+  Alcotest.(check int) "only lineitem candidates" 2
+    (List.length row.Constr.row_coeffs);
+  (* selecting both lineitem indexes violates it *)
+  let z = [| true; true; false; false; false |] in
+  Alcotest.(check bool) "violated" false (Constr.row_holds row z);
+  let z1 = [| true; false; false; false; false |] in
+  Alcotest.(check bool) "satisfied" true (Constr.row_holds row z1)
+
+let test_key_width_filter () =
+  let c =
+    Constr.Index_sum
+      { scope = Constr.wide_indexes 5; metric = Constr.Count;
+        cmp = Constr.Le; bound = 0.0 }
+  in
+  let rows = Constr.linearize schema candidates c in
+  let row = List.hd rows in
+  (* only the 6-column lineitem index is wide *)
+  Alcotest.(check int) "one wide candidate" 1 (List.length row.Constr.row_coeffs);
+  Alcotest.(check int) "it is candidate 1" 1 (fst (List.hd row.Constr.row_coeffs))
+
+let test_clustered_rows () =
+  let rows = Constr.linearize schema candidates Constr.At_most_one_clustered in
+  (* only orders has clustered candidates -> one row with 2 entries *)
+  Alcotest.(check int) "one table" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check int) "two clustered" 2 (List.length row.Constr.row_coeffs);
+  let z_both = [| false; false; false; true; true |] in
+  Alcotest.(check bool) "both clustered violates" false (Constr.row_holds row z_both)
+
+let test_mandatory_forbidden () =
+  let m = Constr.Mandatory [ candidates.(0) ] in
+  let f = Constr.Forbidden [ candidates.(2) ] in
+  let mrow = List.hd (Constr.linearize schema candidates m) in
+  let frow = List.hd (Constr.linearize schema candidates f) in
+  let z = [| true; false; false; false; false |] in
+  Alcotest.(check bool) "mandatory ok" true (Constr.row_holds mrow z);
+  Alcotest.(check bool) "forbidden ok" true (Constr.row_holds frow z);
+  let z2 = [| false; false; true; false; false |] in
+  Alcotest.(check bool) "mandatory violated" false (Constr.row_holds mrow z2);
+  Alcotest.(check bool) "forbidden violated" false (Constr.row_holds frow z2);
+  (* unknown indexes are ignored in linearization *)
+  let unknown = Constr.Mandatory [ ix "part" [ "p_brand" ] ] in
+  Alcotest.(check int) "unknown skipped" 0
+    (List.length (Constr.linearize schema candidates unknown))
+
+let test_query_cost_cap_evaluation () =
+  let cap = Constr.Query_cost_cap { query_pred = (fun _ -> true); factor = 0.75 } in
+  let sat =
+    Constr.satisfied schema candidates [| false; false; false; false; false |]
+      ~query_cost:(fun _ -> 50.0)
+      ~baseline_cost:(fun _ -> 100.0)
+      ~statement_ids:[ 1; 2 ] cap
+  in
+  Alcotest.(check bool) "under cap" true sat;
+  let unsat =
+    Constr.satisfied schema candidates [| false; false; false; false; false |]
+      ~query_cost:(fun qid -> if qid = 2 then 90.0 else 10.0)
+      ~baseline_cost:(fun _ -> 100.0)
+      ~statement_ids:[ 1; 2 ] cap
+  in
+  Alcotest.(check bool) "over cap" false unsat
+
+let test_generators () =
+  (match Constr.for_all_queries 0.5 with
+  | Constr.Query_cost_cap { query_pred; factor } ->
+      Alcotest.(check (float 0.0)) "factor" 0.5 factor;
+      Alcotest.(check bool) "covers all" true (query_pred 123)
+  | _ -> Alcotest.fail "wrong constructor");
+  match Constr.for_query 7 0.5 with
+  | Constr.Query_cost_cap { query_pred; _ } ->
+      Alcotest.(check bool) "only 7" true (query_pred 7 && not (query_pred 8))
+  | _ -> Alcotest.fail "wrong constructor"
+
+let test_classification_and_set () =
+  Alcotest.(check bool) "budget is z-only" true
+    (Constr.z_only (Constr.Storage_budget 1.0));
+  Alcotest.(check bool) "cap is not" false
+    (Constr.z_only (Constr.for_all_queries 0.5));
+  let set =
+    Constr.with_budget 5e8
+    |> Constr.add_hard (Constr.Forbidden [ candidates.(0) ])
+    |> Constr.add_soft ~label:"space" (Constr.Storage_budget 1e8)
+  in
+  Alcotest.(check int) "hard count" 3 (List.length set.Constr.hard);
+  Alcotest.(check int) "soft count" 1 (List.length set.Constr.soft)
+
+let test_linearize_rejects_caps () =
+  Alcotest.check_raises "caps need full BIP"
+    (Invalid_argument "Constr.linearize: query-cost constraints need the full BIP")
+    (fun () ->
+      ignore (Constr.linearize schema candidates (Constr.for_all_queries 0.5)))
+
+(* linearization soundness: a selection satisfies the constraint object iff
+   it satisfies all its rows *)
+let prop_linearization_sound =
+  QCheck.Test.make ~name:"linearize rows match direct semantics" ~count:100
+    QCheck.(int_range 0 31)
+    (fun mask ->
+      let z = Array.init 5 (fun i -> mask land (1 lsl i) <> 0) in
+      let budget_holds =
+        let total =
+          Array.to_list candidates
+          |> List.mapi (fun i ix -> if z.(i) then Storage.Index.size_bytes schema ix else 0.0)
+          |> List.fold_left ( +. ) 0.0
+        in
+        total <= 2e8
+      in
+      let rows = Constr.linearize schema candidates (Constr.Storage_budget 2e8) in
+      List.for_all (fun r -> Constr.row_holds r z) rows = budget_holds)
+
+let () =
+  Alcotest.run "constr"
+    [
+      ( "linearize",
+        [
+          Alcotest.test_case "storage budget" `Quick test_storage_budget_row;
+          Alcotest.test_case "scoped index sum" `Quick test_index_sum_scoped;
+          Alcotest.test_case "key-width filter" `Quick test_key_width_filter;
+          Alcotest.test_case "clustered" `Quick test_clustered_rows;
+          Alcotest.test_case "mandatory/forbidden" `Quick test_mandatory_forbidden;
+          Alcotest.test_case "caps rejected" `Quick test_linearize_rejects_caps;
+          QCheck_alcotest.to_alcotest prop_linearization_sound;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "query cost caps" `Quick test_query_cost_cap_evaluation;
+          Alcotest.test_case "generators" `Quick test_generators;
+          Alcotest.test_case "classification" `Quick test_classification_and_set;
+        ] );
+    ]

@@ -1,0 +1,540 @@
+(* Tests for the CoPhy core: candidate generation, the structured BIP, the
+   central Theorem-1 equivalence, both solver paths, soft-constraint
+   Pareto sweeps, and interactive re-tuning. *)
+
+open Sqlast
+
+let schema = Catalog.Tpch.schema ()
+
+let env () = Optimizer.Whatif.make_env schema
+
+let small_workload ?(n = 6) ?(seed = 3) () = Workload.Gen.hom schema ~n ~seed
+
+let db_size = Catalog.Tpch.database_size schema
+
+(* --- CGen --- *)
+
+let test_cgen_generates_candidates () =
+  let w = small_workload ~n:15 () in
+  let cands = Cophy.Cgen.generate w in
+  Alcotest.(check bool) "a large candidate set" true (List.length cands > 50);
+  (* all candidates valid and deduplicated *)
+  List.iter
+    (fun ix ->
+      match Storage.Index.validate schema ix with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    cands;
+  let as_set = Storage.Config.of_list cands in
+  Alcotest.(check int) "no duplicates" (List.length cands)
+    (Storage.Config.cardinal as_set)
+
+let test_cgen_covers_predicates () =
+  let w = small_workload ~n:15 () in
+  let cands = Cophy.Cgen.generate w in
+  (* every equality predicate column appears as some index's leading key *)
+  List.iter
+    (fun (q, _) ->
+      List.iter
+        (fun p ->
+          if p.Ast.is_equality then begin
+            let covered =
+              List.exists
+                (fun ix ->
+                  Storage.Index.table ix = p.Ast.pred_col.Ast.table
+                  && List.hd (Storage.Index.key_columns ix)
+                     = p.Ast.pred_col.Ast.column)
+                cands
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "candidate leads with %s"
+                 p.Ast.pred_col.Ast.column)
+              true covered
+          end)
+        q.Ast.predicates)
+    (Ast.selects w)
+
+let test_cgen_dba_candidates () =
+  let w = small_workload () in
+  let dba = [ Storage.Index.create ~table:"region" [ "r_name" ] ] in
+  let cands = Cophy.Cgen.generate ~dba w in
+  Alcotest.(check bool) "dba set included" true
+    (List.exists (Storage.Index.equal (List.hd dba)) cands)
+
+let test_cgen_random () =
+  let cands = Cophy.Cgen.random_candidates schema ~n:50 ~seed:1 in
+  Alcotest.(check bool) "about n (deduped)" true (List.length cands > 30);
+  List.iter
+    (fun ix ->
+      match Storage.Index.validate schema ix with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    cands
+
+(* --- Sproblem --- *)
+
+let build_problem ?(n = 4) ?(seed = 3) ?(cand_cap = 10) () =
+  let e = env () in
+  let w = small_workload ~n ~seed () in
+  let cache = Inum.build_workload e w in
+  let cands =
+    Cophy.Cgen.generate w |> List.filteri (fun i _ -> i mod 7 < cand_cap)
+    |> Array.of_list
+  in
+  (e, w, cache, Cophy.Sproblem.build e cache cands)
+
+let test_sproblem_eval_matches_inum () =
+  let e, _, cache, sp = build_problem () in
+  (* evaluating the structured problem at z must equal the INUM workload
+     cost of the corresponding configuration *)
+  let ncand = Cophy.Sproblem.num_candidates sp in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 10 do
+    let z = Array.init ncand (fun _ -> Random.State.bool rng) in
+    let config = Cophy.Sproblem.config_of sp z in
+    let via_sp = Cophy.Sproblem.eval sp z in
+    let via_inum = Inum.workload_cost e cache config in
+    Alcotest.(check (float 1.0)) "eval = INUM cost" via_inum via_sp
+  done
+
+let test_sproblem_slot_pruning () =
+  let _, _, _, sp = build_problem () in
+  (* every slot has the no-index choice first and only improving gammas *)
+  Array.iter
+    (fun (b : Cophy.Sproblem.block) ->
+      Array.iter
+        (fun (t : Cophy.Sproblem.template) ->
+          Array.iter
+            (fun slot ->
+              Alcotest.(check bool) "no-index first" true
+                (Array.length slot > 0 && slot.(0).Cophy.Sproblem.cand = -1);
+              let g0 = slot.(0).Cophy.Sproblem.gamma in
+              Array.iteri
+                (fun i c ->
+                  if i > 0 then
+                    Alcotest.(check bool) "dominated pruned" true
+                      (c.Cophy.Sproblem.gamma < g0))
+                slot)
+            t.Cophy.Sproblem.choices)
+        b.Cophy.Sproblem.templates)
+    sp.Cophy.Sproblem.blocks
+
+(* --- Theorem 1: the BIP optimum equals exhaustive search --- *)
+
+let exhaustive_optimum sp ~budget =
+  let ncand = Cophy.Sproblem.num_candidates sp in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl ncand) - 1 do
+    let z = Array.init ncand (fun i -> mask land (1 lsl i) <> 0) in
+    if Cophy.Sproblem.total_size sp z <= budget then begin
+      let c = Cophy.Sproblem.eval sp z in
+      if c < !best then best := c
+    end
+  done;
+  !best
+
+let test_theorem1_equivalence () =
+  (* small instance so 2^|S| enumeration is feasible *)
+  let e = env () in
+  let w = small_workload ~n:3 ~seed:11 () in
+  let cache = Inum.build_workload e w in
+  let cands =
+    Cophy.Cgen.generate w |> List.filteri (fun i _ -> i mod 11 = 0)
+    |> Array.of_list
+  in
+  let sp = Cophy.Sproblem.build e cache cands in
+  Alcotest.(check bool) "enumerable" true (Array.length cands <= 12);
+  let budget = 0.4 *. db_size in
+  let expected = exhaustive_optimum sp ~budget in
+  let p, vars = Cophy.Sproblem.to_lp ~budget sp in
+  let options =
+    { Lp.Branch_bound.default_options with Lp.Branch_bound.gap_tolerance = 1e-9 }
+  in
+  let r = Lp.Branch_bound.solve ~options p in
+  (match r.Lp.Branch_bound.x with
+  | Some x ->
+      let z = Cophy.Sproblem.z_of_lp_solution sp vars x in
+      Alcotest.(check (float 1.0)) "BIP optimum = exhaustive" expected
+        (Cophy.Sproblem.eval sp z);
+      Alcotest.(check (float 1.0)) "objective consistent" expected
+        r.Lp.Branch_bound.obj
+  | None -> Alcotest.fail "BIP should be feasible")
+
+let prop_theorem1_random_instances =
+  QCheck.Test.make ~name:"Theorem 1 on random small instances" ~count:6
+    QCheck.(pair (int_range 0 1000) (float_range 0.2 0.8))
+    (fun (seed, frac) ->
+      let e = env () in
+      let w = Workload.Gen.het schema ~n:3 ~seed in
+      let cache = Inum.build_workload e w in
+      let cands =
+        Cophy.Cgen.generate w |> List.filteri (fun i _ -> i mod 13 = 0)
+        |> fun l -> List.filteri (fun i _ -> i < 10) l |> Array.of_list
+      in
+      let sp = Cophy.Sproblem.build e cache cands in
+      let budget = frac *. db_size in
+      let expected = exhaustive_optimum sp ~budget in
+      let p, vars = Cophy.Sproblem.to_lp ~budget sp in
+      let options =
+        { Lp.Branch_bound.default_options with
+          Lp.Branch_bound.gap_tolerance = 1e-9 }
+      in
+      let r = Lp.Branch_bound.solve ~options p in
+      match r.Lp.Branch_bound.x with
+      | Some x ->
+          let z = Cophy.Sproblem.z_of_lp_solution sp vars x in
+          abs_float (Cophy.Sproblem.eval sp z -. expected) < 1.0
+      | None -> expected = infinity)
+
+(* --- Decomposition solver --- *)
+
+let test_decomposition_respects_budget () =
+  let _, _, _, sp = build_problem ~n:8 () in
+  let budget = 0.3 *. db_size in
+  let r = Cophy.Decomposition.solve sp ~budget ~z_rows:[] in
+  Alcotest.(check bool) "within budget" true
+    (Cophy.Sproblem.total_size sp r.Cophy.Decomposition.z <= budget +. 1.0);
+  Alcotest.(check bool) "bound <= obj" true
+    (r.Cophy.Decomposition.bound <= r.Cophy.Decomposition.obj +. 1e-6);
+  Alcotest.(check (float 1.0)) "obj = eval(z)"
+    (Cophy.Sproblem.eval sp r.Cophy.Decomposition.z)
+    r.Cophy.Decomposition.obj
+
+let test_decomposition_near_exact () =
+  (* on a small instance the decomposition incumbent should be close to
+     the exact optimum *)
+  let e = env () in
+  let w = small_workload ~n:4 ~seed:21 () in
+  let cache = Inum.build_workload e w in
+  let cands =
+    Cophy.Cgen.generate w |> List.filteri (fun i _ -> i mod 9 = 0)
+    |> Array.of_list
+  in
+  let sp = Cophy.Sproblem.build e cache cands in
+  let budget = 0.5 *. db_size in
+  let exact = exhaustive_optimum sp ~budget in
+  let r = Cophy.Decomposition.solve sp ~budget ~z_rows:[] in
+  Alcotest.(check bool) "within 10% of optimum" true
+    (r.Cophy.Decomposition.obj <= exact *. 1.10 +. 1.0);
+  Alcotest.(check bool) "bound below optimum" true
+    (r.Cophy.Decomposition.bound <= exact +. 1.0)
+
+let test_decomposition_events_monotone () =
+  let _, _, _, sp = build_problem ~n:8 () in
+  let options =
+    { Cophy.Decomposition.default_options with
+      Cophy.Decomposition.log_events = true; gap_tolerance = 1e-4;
+      max_iters = 60 }
+  in
+  let r = Cophy.Decomposition.solve ~options sp ~budget:(0.5 *. db_size) ~z_rows:[] in
+  let events = List.rev r.Cophy.Decomposition.events in
+  Alcotest.(check bool) "events streamed" true (List.length events >= 2);
+  let rec check_monotone prev = function
+    | [] -> ()
+    | (e : Cophy.Decomposition.event) :: rest ->
+        Alcotest.(check bool) "incumbent non-increasing" true
+          (e.Cophy.Decomposition.incumbent <= prev.Cophy.Decomposition.incumbent +. 1e-6);
+        check_monotone e rest
+  in
+  (match events with e :: rest -> check_monotone e rest | [] -> ());
+  (* gap is eventually reported *)
+  let final = List.nth events (List.length events - 1) in
+  Alcotest.(check bool) "final bound below incumbent" true
+    (final.Cophy.Decomposition.bound <= final.Cophy.Decomposition.incumbent +. 1e-6)
+
+let test_decomposition_z_rows () =
+  let _, _, _, sp = build_problem ~n:6 () in
+  let forbidden_pos = 0 in
+  let z_rows =
+    [ { Constr.row_coeffs = [ (forbidden_pos, 1.0) ]; row_cmp = Constr.Le;
+        row_rhs = 0.0; row_name = "forbid0" } ]
+  in
+  let r = Cophy.Decomposition.solve sp ~budget:db_size ~z_rows in
+  Alcotest.(check bool) "forbidden not selected" false
+    r.Cophy.Decomposition.z.(forbidden_pos)
+
+let test_decomposition_time_limit () =
+  (* even with (almost) no time, a feasible incumbent and a valid bound
+     come back — the early-termination contract *)
+  let _, _, _, sp = build_problem ~n:8 () in
+  let options =
+    { Cophy.Decomposition.default_options with
+      Cophy.Decomposition.time_limit = 0.001; max_iters = 1 }
+  in
+  let budget = 0.5 *. db_size in
+  let r = Cophy.Decomposition.solve ~options sp ~budget ~z_rows:[] in
+  Alcotest.(check bool) "feasible" true
+    (Cophy.Sproblem.total_size sp r.Cophy.Decomposition.z <= budget +. 1.0);
+  Alcotest.(check bool) "bound valid" true
+    (r.Cophy.Decomposition.bound <= r.Cophy.Decomposition.obj +. 1e-6)
+
+let test_decomposition_warm_start () =
+  let _, _, _, sp = build_problem ~n:8 () in
+  let budget = 0.5 *. db_size in
+  let r1 = Cophy.Decomposition.solve sp ~budget ~z_rows:[] in
+  let options =
+    { Cophy.Decomposition.default_options with
+      Cophy.Decomposition.warm = Some r1.Cophy.Decomposition.multipliers;
+      max_iters = 50 }
+  in
+  let r2 = Cophy.Decomposition.solve ~options sp ~budget ~z_rows:[] in
+  Alcotest.(check bool) "warm restart no worse" true
+    (r2.Cophy.Decomposition.obj <= (r1.Cophy.Decomposition.obj *. 1.001) +. 1.0)
+
+let test_update_heavy_advisor () =
+  let w =
+    Workload.Gen.hom schema ~n:8 ~seed:13
+    |> Workload.Gen.with_updates schema ~fraction:0.6 ~seed:13
+  in
+  let r = Cophy.Advisor.advise schema w ~budget_fraction:0.4 in
+  Alcotest.(check bool) "budget respected" true
+    (Storage.Config.total_size schema r.Cophy.Advisor.config
+     <= (0.4 *. db_size) +. 1.0);
+  (* the estimated cost includes maintenance, so it can never be worse
+     than selecting nothing *)
+  Alcotest.(check bool) "never worse than empty" true
+    (r.Cophy.Advisor.estimated_cost <= r.Cophy.Advisor.estimated_base +. 1e-6)
+
+let test_naive_links_ablation () =
+  (* the aggregated-link LP bound dominates the naive per-variable one *)
+  let _, _, _, sp = build_problem ~n:3 ~cand_cap:6 () in
+  let budget = 0.5 *. db_size in
+  let p_agg, _ = Cophy.Sproblem.to_lp ~budget sp in
+  let p_naive, _ = Cophy.Sproblem.to_lp ~budget ~naive_links:true sp in
+  let r_agg = Lp.Simplex.solve p_agg in
+  let r_naive = Lp.Simplex.solve p_naive in
+  Alcotest.(check bool) "aggregated bound tighter or equal" true
+    (r_agg.Lp.Simplex.obj >= r_naive.Lp.Simplex.obj -. 1e-6);
+  Alcotest.(check bool) "fewer rows" true
+    (Lp.Problem.nrows p_agg <= Lp.Problem.nrows p_naive)
+
+let test_pruning_ablation_same_optimum () =
+  (* dominance pruning is lossless: both problems have the same optimum *)
+  let e = env () in
+  let w = small_workload ~n:3 ~seed:11 () in
+  let cache = Inum.build_workload e w in
+  let cands =
+    Cophy.Cgen.generate w |> List.filteri (fun i _ -> i mod 11 = 0)
+    |> Array.of_list
+  in
+  let sp = Cophy.Sproblem.build e cache cands in
+  let sp' = Cophy.Sproblem.build ~prune:false e cache cands in
+  let budget = 0.4 *. db_size in
+  Alcotest.(check bool) "unpruned is bigger" true
+    (Cophy.Sproblem.variable_count sp' >= Cophy.Sproblem.variable_count sp);
+  Alcotest.(check (float 1.0)) "same exhaustive optimum"
+    (exhaustive_optimum sp ~budget)
+    (exhaustive_optimum sp' ~budget)
+
+(* --- Solver dispatch and feasibility --- *)
+
+let test_solver_infeasible () =
+  let _, _, _, sp = build_problem () in
+  let z_rows =
+    [ { Constr.row_coeffs = [ (0, 1.0) ]; row_cmp = Constr.Ge; row_rhs = 1.0;
+        row_name = "need0" };
+      { Constr.row_coeffs = [ (0, 1.0) ]; row_cmp = Constr.Le; row_rhs = 0.0;
+        row_name = "forbid0" } ]
+  in
+  match Cophy.Solver.solve sp ~budget:db_size ~z_rows with
+  | exception Cophy.Solver.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_solver_paths_agree () =
+  let _, _, _, sp = build_problem ~n:3 ~cand_cap:4 () in
+  let budget = 0.5 *. db_size in
+  let exact =
+    Cophy.Solver.solve
+      ~options:{ Cophy.Solver.default_options with
+                 Cophy.Solver.method_ = Cophy.Solver.Exact;
+                 gap_tolerance = 1e-9 }
+      sp ~budget ~z_rows:[]
+  in
+  let decomposed =
+    Cophy.Solver.solve
+      ~options:{ Cophy.Solver.default_options with
+                 Cophy.Solver.method_ = Cophy.Solver.Decomposed;
+                 gap_tolerance = 1e-4; max_iters = 300 }
+      sp ~budget ~z_rows:[]
+  in
+  Alcotest.(check bool) "near agreement" true
+    (decomposed.Cophy.Solver.objective
+     <= (exact.Cophy.Solver.objective *. 1.10) +. 1.0)
+
+(* --- Advisor pipeline --- *)
+
+let test_advisor_end_to_end () =
+  let w = small_workload ~n:8 () in
+  let r = Cophy.Advisor.advise schema w ~budget_fraction:0.5 in
+  Alcotest.(check bool) "some indexes chosen" true
+    (Storage.Config.cardinal r.Cophy.Advisor.config > 0);
+  Alcotest.(check bool) "improves" true
+    (r.Cophy.Advisor.estimated_cost < r.Cophy.Advisor.estimated_base);
+  Alcotest.(check bool) "within budget" true
+    (Storage.Config.total_size schema r.Cophy.Advisor.config
+     <= (0.5 *. db_size) +. 1.0);
+  Alcotest.(check bool) "timings recorded" true
+    (Cophy.Advisor.total_seconds r > 0.0)
+
+let test_udf_constraint () =
+  (* black-box rule: at most 3 indexes total (appendix E.5 mechanism) *)
+  let w = small_workload ~n:6 () in
+  let cap3 =
+    Constr.Udf
+      {
+        udf_name = "at most 3 indexes";
+        accepts =
+          (fun _ z ->
+            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 z <= 3);
+      }
+  in
+  let r =
+    Cophy.Advisor.advise
+      ~constraints:(Constr.empty |> Constr.add_hard cap3)
+      schema w ~budget_fraction:1.0
+  in
+  Alcotest.(check bool) "udf respected" true
+    (Storage.Config.cardinal r.Cophy.Advisor.config <= 3);
+  (* an unsatisfiable black box raises *)
+  let never =
+    Constr.Udf { udf_name = "never"; accepts = (fun _ _ -> false) }
+  in
+  match
+    Cophy.Advisor.advise
+      ~constraints:(Constr.empty |> Constr.add_hard never)
+      schema w ~budget_fraction:1.0
+  with
+  | exception Cophy.Solver.Infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Infeasible for unsatisfiable UDF"
+
+(* --- Pareto sweep --- *)
+
+let test_pareto_sweep () =
+  let _, _, _, sp = build_problem ~n:6 () in
+  let metric = Cophy.Pareto.storage_metric sp in
+  let points, solves = Cophy.Pareto.sweep ~epsilon:0.05 sp ~metric_coeff:metric in
+  Alcotest.(check bool) "at least endpoints" true (List.length points >= 2);
+  Alcotest.(check bool) "solver invoked per point" true (solves >= 2);
+  (* Pareto shape: as metric (storage) grows, cost must not grow *)
+  let rec check = function
+    | (a : Cophy.Pareto.point) :: (b : Cophy.Pareto.point) :: rest ->
+        Alcotest.(check bool) "sorted by metric" true (a.Cophy.Pareto.metric <= b.Cophy.Pareto.metric);
+        Alcotest.(check bool) "cost non-increasing along curve" true
+          (b.Cophy.Pareto.cost <= a.Cophy.Pareto.cost +. 1e-3);
+        check (b :: rest)
+    | _ -> ()
+  in
+  check points
+
+let test_pareto_chord_vs_dense () =
+  (* the chord sweep's points must not be dominated by a dense lambda
+     sweep (same solver, 21 evenly spaced lambdas) *)
+  let _, _, _, sp = build_problem ~n:4 () in
+  let metric = Cophy.Pareto.storage_metric sp in
+  let chord_points, _ = Cophy.Pareto.sweep ~epsilon:0.02 sp ~metric_coeff:metric in
+  let dense =
+    List.init 21 (fun i ->
+        let lambda = max 0.001 (min 0.999 (float_of_int i /. 20.0)) in
+        let p, _ =
+          Cophy.Pareto.scalarized_solve sp ~metric_coeff:metric ~lambda
+            ~warm:None
+        in
+        p)
+  in
+  List.iter
+    (fun (cp : Cophy.Pareto.point) ->
+      let dominated =
+        List.exists
+          (fun (dp : Cophy.Pareto.point) ->
+            dp.Cophy.Pareto.metric < cp.Cophy.Pareto.metric *. 0.98 -. 1.0
+            && dp.Cophy.Pareto.cost < cp.Cophy.Pareto.cost *. 0.98 -. 1.0)
+          dense
+      in
+      Alcotest.(check bool) "chord point not strictly dominated" false dominated)
+    chord_points
+
+(* --- Interactive sessions --- *)
+
+let test_interactive_retune () =
+  let w = small_workload ~n:6 () in
+  let session =
+    Cophy.Interactive.create schema w ~budget:(0.5 *. db_size)
+  in
+  let r1 = Cophy.Interactive.retune session in
+  (* adding fresh candidates and retuning must not make things worse *)
+  let extra = Cophy.Cgen.random_candidates schema ~n:10 ~seed:99 in
+  Cophy.Interactive.add_candidates session extra;
+  let r2 = Cophy.Interactive.retune session in
+  Alcotest.(check bool) "more candidates never hurt" true
+    (r2.Cophy.Solver.objective <= (r1.Cophy.Solver.objective *. 1.05) +. 1.0);
+  (* deterministic workload extension *)
+  Cophy.Interactive.add_statements session (Workload.Gen.hom schema ~n:2 ~seed:77);
+  let r3 = Cophy.Interactive.retune session in
+  Alcotest.(check bool) "still feasible" true
+    (r3.Cophy.Solver.objective > 0.0)
+
+let test_interactive_budget_change () =
+  let w = small_workload ~n:6 () in
+  let session = Cophy.Interactive.create schema w ~budget:(1.0 *. db_size) in
+  let rich = Cophy.Interactive.retune session in
+  Cophy.Interactive.set_budget session (0.1 *. db_size);
+  let poor = Cophy.Interactive.retune session in
+  Alcotest.(check bool) "tighter budget no better" true
+    (poor.Cophy.Solver.objective >= rich.Cophy.Solver.objective -. 1e-6);
+  Alcotest.(check bool) "tight budget respected" true
+    (Storage.Config.total_size schema poor.Cophy.Solver.config
+     <= (0.1 *. db_size) +. 1.0)
+
+let () =
+  Alcotest.run "cophy"
+    [
+      ( "cgen",
+        [
+          Alcotest.test_case "generates" `Quick test_cgen_generates_candidates;
+          Alcotest.test_case "covers predicates" `Quick test_cgen_covers_predicates;
+          Alcotest.test_case "dba set" `Quick test_cgen_dba_candidates;
+          Alcotest.test_case "random candidates" `Quick test_cgen_random;
+        ] );
+      ( "sproblem",
+        [
+          Alcotest.test_case "eval = INUM" `Quick test_sproblem_eval_matches_inum;
+          Alcotest.test_case "slot pruning lossless form" `Quick test_sproblem_slot_pruning;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "equivalence" `Slow test_theorem1_equivalence;
+          QCheck_alcotest.to_alcotest prop_theorem1_random_instances;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "budget" `Quick test_decomposition_respects_budget;
+          Alcotest.test_case "near exact" `Quick test_decomposition_near_exact;
+          Alcotest.test_case "event stream" `Quick test_decomposition_events_monotone;
+          Alcotest.test_case "z rows" `Quick test_decomposition_z_rows;
+          Alcotest.test_case "time limit" `Quick test_decomposition_time_limit;
+          Alcotest.test_case "warm start" `Quick test_decomposition_warm_start;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "update-heavy advising" `Quick test_update_heavy_advisor;
+          Alcotest.test_case "naive links weaker" `Quick test_naive_links_ablation;
+          Alcotest.test_case "pruning lossless" `Slow test_pruning_ablation_same_optimum;
+          Alcotest.test_case "black-box (udf) constraint" `Quick test_udf_constraint;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "infeasible" `Quick test_solver_infeasible;
+          Alcotest.test_case "paths agree" `Slow test_solver_paths_agree;
+        ] );
+      ("advisor", [ Alcotest.test_case "end to end" `Quick test_advisor_end_to_end ]);
+      ( "pareto",
+        [
+          Alcotest.test_case "sweep" `Quick test_pareto_sweep;
+          Alcotest.test_case "chord vs dense" `Slow test_pareto_chord_vs_dense;
+        ] );
+      ( "interactive",
+        [
+          Alcotest.test_case "retune" `Quick test_interactive_retune;
+          Alcotest.test_case "budget change" `Quick test_interactive_budget_change;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Tests for INUM: template construction, the gamma coefficients, and —
+   centrally — Lemma 1: the INUM cost function is linearly composable and
+   matches / upper-bounds the direct what-if optimizer. *)
+
+open Sqlast
+
+let schema = Catalog.Tpch.schema ()
+
+let env () = Optimizer.Whatif.make_env schema
+
+let ix ?includes table keys = Storage.Index.create ?includes ~table keys
+
+let col = Ast.col_ref
+
+let simple_query () =
+  {
+    Ast.query_id = 1;
+    tables = [ "orders" ];
+    select = [ Ast.Col (col "orders" "o_totalprice") ];
+    predicates =
+      [ Ast.predicate ~selectivity:0.001 (col "orders" "o_orderdate") Ast.Eq ];
+    joins = [];
+    group_by = [];
+    order_by = [ (col "orders" "o_totalprice", Ast.Asc) ];
+  }
+
+let join_query () =
+  {
+    Ast.query_id = 2;
+    tables = [ "orders"; "lineitem" ];
+    select =
+      [ Ast.Col (col "orders" "o_orderdate");
+        Ast.Agg (Ast.Sum, col "lineitem" "l_extendedprice") ];
+    predicates =
+      [ Ast.predicate ~selectivity:0.01 (col "orders" "o_orderdate") Ast.Eq ];
+    joins =
+      [ { Ast.left = col "orders" "o_orderkey";
+          right = col "lineitem" "l_orderkey" } ];
+    group_by = [ col "orders" "o_orderdate" ];
+    order_by = [];
+  }
+
+(* --- Template construction --- *)
+
+let test_templates_exist () =
+  let e = env () in
+  let c = Inum.build e (simple_query ()) in
+  Alcotest.(check bool) "at least one template" true (Inum.template_count c >= 1);
+  Alcotest.(check bool) "few init calls" true (Inum.init_calls c < 50)
+
+let test_join_query_has_order_templates () =
+  let e = env () in
+  let c = Inum.build e (join_query ()) in
+  (* some template should require an order or NLJ on the join columns *)
+  let has_constrained =
+    List.exists
+      (fun (t : Inum.template) ->
+        Array.exists
+          (function
+            | Optimizer.Plan.Ordered _ | Optimizer.Plan.Nlj_inner _ -> true
+            | Optimizer.Plan.Any_order -> false)
+          t.Inum.slot_reqs)
+      (Inum.templates c)
+  in
+  Alcotest.(check bool) "constrained template exists" true has_constrained
+
+let test_template_betas_positive () =
+  let e = env () in
+  let c = Inum.build e (join_query ()) in
+  List.iter
+    (fun (t : Inum.template) ->
+      Alcotest.(check bool) "beta >= 0" true (t.Inum.beta >= 0.0))
+    (Inum.templates c)
+
+(* --- Gamma --- *)
+
+let test_gamma_infinite_on_wrong_order () =
+  let e = env () in
+  let q = simple_query () in
+  let c = Inum.build e q in
+  (* find a template requiring order on o_totalprice *)
+  let templates = Array.of_list (Inum.templates c) in
+  let ordered_k = ref (-1) in
+  Array.iteri
+    (fun k (t : Inum.template) ->
+      if
+        Array.exists
+          (function Optimizer.Plan.Ordered _ -> true | _ -> false)
+          t.Inum.slot_reqs
+      then ordered_k := k)
+    templates;
+  if !ordered_k >= 0 then begin
+    (* an index that cannot deliver the o_totalprice order *)
+    let bad = ix "orders" [ "o_orderpriority" ] in
+    match Inum.gamma c !ordered_k ~table:"orders" (Some bad) with
+    | None -> ()
+    | Some g ->
+        (* only acceptable if the order was satisfied via eq-bound skip *)
+        Alcotest.(check bool) "gamma finite only if order held" true (g >= 0.0)
+  end
+
+let test_gamma_none_index_finite () =
+  let e = env () in
+  let c = Inum.build e (simple_query ()) in
+  (* the no-index gamma is always finite: scan (+ sort) *)
+  List.iteri
+    (fun k _ ->
+      match Inum.gamma c k ~table:"orders" None with
+      | Some g -> Alcotest.(check bool) "finite" true (g > 0.0)
+      | None -> Alcotest.fail "no-index gamma must be finite")
+    (Inum.templates c)
+
+(* --- Lemma 1 / cost agreement --- *)
+
+let test_inum_upper_bounds_direct () =
+  let e = env () in
+  let q = join_query () in
+  let c = Inum.build e q in
+  let configs =
+    [ Storage.Config.empty;
+      Storage.Config.of_list [ ix "orders" [ "o_orderdate" ] ];
+      Storage.Config.of_list
+        [ ix ~includes:[ "o_orderdate" ] "orders" [ "o_orderdate" ];
+          ix ~includes:[ "l_extendedprice" ] "lineitem" [ "l_orderkey" ] ] ]
+  in
+  List.iter
+    (fun cfg ->
+      let direct = Optimizer.Whatif.cost e q cfg in
+      let approx = Inum.cost c cfg in
+      Alcotest.(check bool) "inum >= direct (plans are a subset)" true
+        (approx >= direct -. 1e-6);
+      Alcotest.(check bool) "inum within 2x here" true (approx <= 2.0 *. direct))
+    configs
+
+(* The big property: on generated workloads and random candidate subsets,
+   INUM equals the direct optimizer exactly (our templates cover the whole
+   plan space the direct DP searches). *)
+let prop_inum_matches_direct =
+  QCheck.Test.make ~name:"INUM cost = direct what-if on hom workloads"
+    ~count:20
+    QCheck.(pair (int_range 0 10_000) (int_range 0 3))
+    (fun (seed, subset) ->
+      let e = env () in
+      let w = Workload.Gen.hom schema ~n:8 ~seed in
+      let cands = Cophy.Cgen.generate w in
+      let cfg =
+        Storage.Config.of_list
+          (List.filteri (fun i _ -> i mod (subset + 1) = 0) cands)
+      in
+      List.for_all
+        (fun (q, _) ->
+          let c = Inum.build e q in
+          let direct = Optimizer.Whatif.cost e q cfg in
+          let approx = Inum.cost c cfg in
+          approx >= direct -. 1e-6 && approx <= direct *. 1.0001)
+        (Ast.selects w))
+
+let test_best_instantiation_consistent () =
+  let e = env () in
+  let q = join_query () in
+  let c = Inum.build e q in
+  let cfg =
+    Storage.Config.of_list
+      [ ix ~includes:[ "o_orderdate" ] "orders" [ "o_orderdate" ];
+        ix ~includes:[ "l_extendedprice" ] "lineitem" [ "l_orderkey" ] ]
+  in
+  let cost, k, picks = Inum.best_instantiation c cfg in
+  Alcotest.(check (float 1e-6)) "instantiation matches cost" (Inum.cost c cfg) cost;
+  Alcotest.(check bool) "template index valid" true
+    (k >= 0 && k < Inum.template_count c);
+  Alcotest.(check int) "one pick per table" 2 (Array.length picks)
+
+(* --- Workload cache --- *)
+
+let test_workload_cache () =
+  let e = env () in
+  let w =
+    Workload.Gen.hom schema ~n:6 ~seed:3
+    |> Workload.Gen.with_updates schema ~fraction:0.5 ~seed:3
+  in
+  let cache = Inum.build_workload e w in
+  Alcotest.(check int) "all statements cached" 6
+    (List.length cache.Inum.selects);
+  Alcotest.(check bool) "some updates" true (List.length cache.Inum.updates > 0);
+  Alcotest.(check bool) "init calls counted" true
+    (cache.Inum.total_init_calls > 0);
+  (* workload cost decreases (or stays) when indexes are added; update
+     maintenance can offset gains, so test with a covering useful index *)
+  let c0 = Inum.workload_cost e cache Storage.Config.empty in
+  Alcotest.(check bool) "positive cost" true (c0 > 0.0)
+
+let test_update_maintenance_in_workload_cost () =
+  let e = env () in
+  let u =
+    { Ast.update_id = 1; target = "lineitem"; set_columns = [ "l_quantity" ];
+      where =
+        [ Ast.predicate ~selectivity:1e-5 (col "lineitem" "l_orderkey") Ast.Eq ] }
+  in
+  let w = [ { Ast.stmt = Ast.Update u; weight = 1.0 } ] in
+  let cache = Inum.build_workload e w in
+  let idle = ix "lineitem" [ "l_quantity" ] in
+  let c_with = Inum.workload_cost e cache (Storage.Config.of_list [ idle ]) in
+  let c_without = Inum.workload_cost e cache Storage.Config.empty in
+  Alcotest.(check bool) "maintenance charged" true (c_with > c_without)
+
+let () =
+  Alcotest.run "inum"
+    [
+      ( "templates",
+        [
+          Alcotest.test_case "exist" `Quick test_templates_exist;
+          Alcotest.test_case "order/nlj templates" `Quick test_join_query_has_order_templates;
+          Alcotest.test_case "betas positive" `Quick test_template_betas_positive;
+        ] );
+      ( "gamma",
+        [
+          Alcotest.test_case "incompatible order" `Quick test_gamma_infinite_on_wrong_order;
+          Alcotest.test_case "no-index finite" `Quick test_gamma_none_index_finite;
+        ] );
+      ( "lemma1",
+        [
+          Alcotest.test_case "upper bounds direct" `Quick test_inum_upper_bounds_direct;
+          QCheck_alcotest.to_alcotest prop_inum_matches_direct;
+          Alcotest.test_case "best instantiation" `Quick test_best_instantiation_consistent;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "cache" `Quick test_workload_cache;
+          Alcotest.test_case "update maintenance" `Quick test_update_maintenance_in_workload_cost;
+        ] );
+    ]

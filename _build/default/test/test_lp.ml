@@ -1,0 +1,401 @@
+(* Tests for the LP/BIP solver: textbook instances, randomized optimality
+   certificates for the simplex, and brute-force agreement for branch and
+   bound. *)
+
+let solve_lp p = Lp.Simplex.solve p
+
+let status_str = function
+  | Lp.Simplex.Optimal -> "optimal"
+  | Lp.Simplex.Infeasible -> "infeasible"
+  | Lp.Simplex.Unbounded -> "unbounded"
+  | Lp.Simplex.Iter_limit -> "iter_limit"
+
+let check_status msg expected r =
+  Alcotest.(check string) msg (status_str expected) (status_str r.Lp.Simplex.status)
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* --- Problem builder --- *)
+
+let test_problem_builder () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:1.0 ~name:"x" p in
+  let y = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:2.0 p in
+  Alcotest.(check int) "ids" 1 y;
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 2.0); (x, 1.0) ] Lp.Problem.Le 4.0);
+  (* duplicate coefficients merge *)
+  let row = Lp.Problem.row p 0 in
+  Alcotest.(check int) "merged coeffs" 2 (Array.length row.Lp.Problem.coeffs);
+  let vx, cx = row.Lp.Problem.coeffs.(0) in
+  Alcotest.(check int) "var" x vx;
+  check_float "merged coefficient" 2.0 cx;
+  Alcotest.(check int) "integer vars" 1 (List.length (Lp.Problem.integer_vars p));
+  Alcotest.check_raises "bad var"
+    (Invalid_argument "Problem.add_row: bad variable") (fun () ->
+      ignore (Lp.Problem.add_row p [ (99, 1.0) ] Lp.Problem.Le 0.0))
+
+let test_problem_feasibility_eval () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:5.0 ~obj:3.0 p in
+  ignore (Lp.Problem.add_row p [ (x, 2.0) ] Lp.Problem.Ge 4.0);
+  Alcotest.(check bool) "feasible" true (Lp.Problem.feasible p [| 3.0 |]);
+  Alcotest.(check bool) "violates row" false (Lp.Problem.feasible p [| 1.0 |]);
+  Alcotest.(check bool) "violates bound" false (Lp.Problem.feasible p [| 6.0 |]);
+  check_float "objective" 9.0 (Lp.Problem.objective_value p [| 3.0 |])
+
+(* --- Simplex on knowns --- *)
+
+let test_simplex_dantzig () =
+  (* max 3x+5y st x<=4, 2y<=12, 3x+2y<=18 -> (2,6), 36 *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:(-3.0) p in
+  let y = Lp.Problem.add_var ~obj:(-5.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 4.0);
+  ignore (Lp.Problem.add_row p [ (y, 2.0) ] Lp.Problem.Le 12.0);
+  ignore (Lp.Problem.add_row p [ (x, 3.0); (y, 2.0) ] Lp.Problem.Le 18.0);
+  let r = solve_lp p in
+  check_status "status" Lp.Simplex.Optimal r;
+  check_float "obj" (-36.0) r.Lp.Simplex.obj;
+  check_float "x" 2.0 r.Lp.Simplex.x.(0);
+  check_float "y" 6.0 r.Lp.Simplex.x.(1)
+
+let test_simplex_equality_and_bounds () =
+  (* min 2a + b st a+b = 10, a>=3, b<=4 -> a=6 b=4 obj=16 *)
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.add_var ~obj:2.0 ~lb:3.0 p in
+  let _b = Lp.Problem.add_var ~obj:1.0 ~ub:4.0 p in
+  ignore (Lp.Problem.add_row p [ (a, 1.0); (_b, 1.0) ] Lp.Problem.Eq 10.0);
+  let r = solve_lp p in
+  check_status "status" Lp.Simplex.Optimal r;
+  check_float "obj" 16.0 r.Lp.Simplex.obj
+
+let test_simplex_infeasible () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 1.0);
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Ge 2.0);
+  check_status "status" Lp.Simplex.Infeasible (solve_lp p)
+
+let test_simplex_unbounded () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:(-1.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Ge 0.0);
+  check_status "status" Lp.Simplex.Unbounded (solve_lp p)
+
+let test_simplex_degenerate () =
+  (* a degenerate LP that can cycle without anti-cycling care *)
+  let p = Lp.Problem.create () in
+  let x1 = Lp.Problem.add_var ~obj:(-0.75) p in
+  let x2 = Lp.Problem.add_var ~obj:150.0 p in
+  let x3 = Lp.Problem.add_var ~obj:(-0.02) p in
+  let x4 = Lp.Problem.add_var ~obj:6.0 p in
+  ignore
+    (Lp.Problem.add_row p
+       [ (x1, 0.25); (x2, -60.0); (x3, -0.04); (x4, 9.0) ]
+       Lp.Problem.Le 0.0);
+  ignore
+    (Lp.Problem.add_row p
+       [ (x1, 0.5); (x2, -90.0); (x3, -0.02); (x4, 3.0) ]
+       Lp.Problem.Le 0.0);
+  ignore (Lp.Problem.add_row p [ (x3, 1.0) ] Lp.Problem.Le 1.0);
+  let r = solve_lp p in
+  check_status "beale cycles resolved" Lp.Simplex.Optimal r;
+  check_float ~eps:1e-4 "beale optimum" (-0.05) r.Lp.Simplex.obj
+
+let test_simplex_free_variable () =
+  (* min x with x free and x >= -7 via row *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~lb:neg_infinity ~obj:1.0 p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Ge (-7.0));
+  let r = solve_lp p in
+  check_status "status" Lp.Simplex.Optimal r;
+  check_float "obj" (-7.0) r.Lp.Simplex.obj
+
+(* --- Randomized optimality certificates --- *)
+
+(* Generate a random feasible bounded LP: random A, x0 in box, b chosen so
+   x0 is feasible; objective random.  Check the simplex result is feasible
+   and no worse than a large random sample of feasible points. *)
+let random_lp_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 1 5 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, m, seed))
+
+let build_random_lp (n, m, seed) =
+  let rng = Random.State.make [| seed |] in
+  let p = Lp.Problem.create () in
+  let vars =
+    Array.init n (fun _ ->
+        Lp.Problem.add_var
+          ~obj:(Random.State.float rng 4.0 -. 2.0)
+          ~ub:(1.0 +. Random.State.float rng 9.0)
+          p)
+  in
+  let x0 =
+    Array.map (fun v -> Random.State.float rng (Lp.Problem.var p v).Lp.Problem.ub)
+      vars
+  in
+  for _ = 1 to m do
+    let coeffs =
+      Array.to_list
+        (Array.map (fun v -> (v, Random.State.float rng 4.0 -. 2.0)) vars)
+      |> List.filteri (fun i _ -> i < n)
+    in
+    let lhs =
+      List.fold_left (fun acc (v, c) -> acc +. (c *. x0.(v))) 0.0 coeffs
+    in
+    (* make x0 feasible with slack *)
+    ignore (Lp.Problem.add_row p coeffs Lp.Problem.Le (lhs +. Random.State.float rng 2.0))
+  done;
+  (p, vars, rng)
+
+let prop_simplex_beats_samples =
+  QCheck.Test.make ~name:"simplex no worse than sampled feasible points"
+    ~count:60 (QCheck.make random_lp_gen) (fun spec ->
+      let p, vars, rng = build_random_lp spec in
+      let r = solve_lp p in
+      match r.Lp.Simplex.status with
+      | Lp.Simplex.Optimal ->
+          Lp.Problem.feasible ~tol:1e-5 p r.Lp.Simplex.x
+          &&
+          (* sample feasible points by shrinking random box points *)
+          let ok = ref true in
+          for _ = 1 to 200 do
+            let x =
+              Array.map
+                (fun v -> Random.State.float rng (Lp.Problem.var p v).Lp.Problem.ub)
+                vars
+            in
+            if Lp.Problem.feasible p x then begin
+              let o = Lp.Problem.objective_value p x in
+              if o < r.Lp.Simplex.obj -. 1e-5 then ok := false
+            end
+          done;
+          !ok
+      | _ -> QCheck.assume_fail ())
+
+(* --- Branch and bound --- *)
+
+let test_bb_knapsack () =
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-10.0) p in
+  let b = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-13.0) p in
+  let c = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-7.0) p in
+  ignore
+    (Lp.Problem.add_row p [ (a, 3.0); (b, 4.0); (c, 2.0) ] Lp.Problem.Le 6.0);
+  let r = Lp.Branch_bound.solve p in
+  check_float "knapsack optimum" (-20.0) r.Lp.Branch_bound.obj;
+  Alcotest.(check bool) "bound <= obj" true
+    (r.Lp.Branch_bound.bound <= r.Lp.Branch_bound.obj +. 1e-6)
+
+let test_bb_infeasible_integrality () =
+  (* 2x = 1 has an LP solution but no integer one *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~kind:Lp.Problem.Integer ~ub:10.0 ~obj:1.0 p in
+  ignore (Lp.Problem.add_row p [ (x, 2.0) ] Lp.Problem.Eq 1.0);
+  let r = Lp.Branch_bound.solve p in
+  Alcotest.(check bool) "no solution" true (r.Lp.Branch_bound.x = None)
+
+let test_bb_warm_start () =
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-5.0) p in
+  let b = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-4.0) p in
+  ignore (Lp.Problem.add_row p [ (a, 1.0); (b, 1.0) ] Lp.Problem.Le 1.0);
+  let options =
+    { Lp.Branch_bound.default_options with
+      Lp.Branch_bound.initial_incumbent = Some [| 0.0; 1.0 |];
+      log_events = true }
+  in
+  let r = Lp.Branch_bound.solve ~options p in
+  check_float "optimum" (-5.0) r.Lp.Branch_bound.obj;
+  (* the warm incumbent appears in the very first event *)
+  (match List.rev r.Lp.Branch_bound.events with
+  | first :: _ ->
+      Alcotest.(check bool) "warm incumbent visible" true
+        (match first.Lp.Branch_bound.incumbent with
+        | Some v -> v <= -4.0 +. 1e-6
+        | None -> false)
+  | [] -> Alcotest.fail "no events")
+
+let test_bb_gap_termination () =
+  let p = Lp.Problem.create () in
+  let vars =
+    Array.init 12 (fun i ->
+        Lp.Problem.add_var ~kind:Lp.Problem.Binary
+          ~obj:(-.float_of_int (10 + (i mod 5)))
+          p)
+  in
+  ignore
+    (Lp.Problem.add_row p
+       (Array.to_list (Array.mapi (fun i v -> (v, float_of_int (3 + (i mod 4)))) vars))
+       Lp.Problem.Le 20.0);
+  let options =
+    { Lp.Branch_bound.default_options with Lp.Branch_bound.gap_tolerance = 0.25 }
+  in
+  let r = Lp.Branch_bound.solve ~options p in
+  match r.Lp.Branch_bound.x with
+  | Some _ ->
+      let gap =
+        (r.Lp.Branch_bound.obj -. r.Lp.Branch_bound.bound)
+        /. abs_float r.Lp.Branch_bound.obj
+      in
+      Alcotest.(check bool) "gap within tolerance" true (gap <= 0.25 +. 1e-6)
+  | None -> Alcotest.fail "expected a solution"
+
+(* Brute force agreement on random small BIPs. *)
+let random_bip_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let* m = int_range 1 4 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, m, seed))
+
+let build_random_bip (n, m, seed) =
+  let rng = Random.State.make [| seed; 77 |] in
+  let p = Lp.Problem.create () in
+  let vars =
+    Array.init n (fun _ ->
+        Lp.Problem.add_var ~kind:Lp.Problem.Binary
+          ~obj:(Random.State.float rng 10.0 -. 5.0)
+          p)
+  in
+  for _ = 1 to m do
+    let coeffs =
+      Array.to_list (Array.map (fun v -> (v, Random.State.float rng 6.0 -. 1.0)) vars)
+    in
+    (* rhs >= 0 keeps the zero vector feasible *)
+    ignore
+      (Lp.Problem.add_row p coeffs Lp.Problem.Le (Random.State.float rng 8.0))
+  done;
+  (p, vars)
+
+let brute_force p n =
+  let best = ref infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+    if Lp.Problem.feasible p x then begin
+      let o = Lp.Problem.objective_value p x in
+      if o < !best then best := o
+    end
+  done;
+  !best
+
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch&bound equals brute force" ~count:60
+    (QCheck.make random_bip_gen) (fun spec ->
+      let n, _, _ = spec in
+      let p, _ = build_random_bip spec in
+      let expected = brute_force p n in
+      let r = Lp.Branch_bound.solve p in
+      match r.Lp.Branch_bound.x with
+      | Some _ -> abs_float (r.Lp.Branch_bound.obj -. expected) < 1e-5
+      | None -> expected = infinity)
+
+(* --- LP file format --- *)
+
+let test_lp_format_roundtrip () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:2.0 ~ub:4.0 ~name:"x" p in
+  let y = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-3.0) ~name:"y" p in
+  let z = Lp.Problem.add_var ~lb:neg_infinity ~obj:1.0 ~name:"z" p in
+  ignore (Lp.Problem.add_row ~name:"c1" p [ (x, 1.0); (y, 2.0) ] Lp.Problem.Le 5.0);
+  ignore (Lp.Problem.add_row ~name:"c2" p [ (z, 1.0); (x, -1.0) ] Lp.Problem.Ge (-2.0));
+  let text = Lp.Lp_format.to_string p in
+  let p' = Lp.Lp_format.of_string text in
+  Alcotest.(check int) "vars" 3 (Lp.Problem.nvars p');
+  Alcotest.(check int) "rows" 2 (Lp.Problem.nrows p');
+  (* both versions optimize to the same value *)
+  let r = Lp.Branch_bound.solve p in
+  let r' = Lp.Branch_bound.solve p' in
+  check_float ~eps:1e-6 "same optimum" r.Lp.Branch_bound.obj r'.Lp.Branch_bound.obj
+
+let test_lp_format_parse_handwritten () =
+  let text =
+    {|\ a comment
+Minimize
+ obj: 3 a - 2 b
+Subject To
+ r1: a + b <= 10
+ r2: a - b >= -4
+Bounds
+ a <= 8
+ b <= 7
+End|}
+  in
+  let p = Lp.Lp_format.of_string text in
+  Alcotest.(check int) "vars" 2 (Lp.Problem.nvars p);
+  let r = Lp.Simplex.solve p in
+  check_status "solves" Lp.Simplex.Optimal r;
+  (* min 3a - 2b: a = 0, b = 4 from r2?  r2: a - b >= -4 -> b <= a + 4 = 4 *)
+  check_float ~eps:1e-6 "optimum" (-8.0) r.Lp.Simplex.obj
+
+let test_lp_format_errors () =
+  (match Lp.Lp_format.of_string "Garbage" with
+  | exception Lp.Lp_format.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected format error");
+  match Lp.Lp_format.of_string "Minimize obj: x Subject" with
+  | exception Lp.Lp_format.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected format error"
+
+(* --- decision-variable restricted branching --- *)
+
+let test_bb_decision_vars () =
+  (* selection structure: pick template y1/y2 per "query", z gates them *)
+  let p = Lp.Problem.create () in
+  let z1 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:1.0 p in
+  let z2 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:1.5 p in
+  let y1 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:10.0 p in
+  let y2 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:4.0 p in
+  let y0 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:20.0 p in
+  ignore
+    (Lp.Problem.add_row p [ (y0, 1.0); (y1, 1.0); (y2, 1.0) ] Lp.Problem.Eq 1.0);
+  ignore (Lp.Problem.add_row p [ (y1, 1.0); (z1, -1.0) ] Lp.Problem.Le 0.0);
+  ignore (Lp.Problem.add_row p [ (y2, 1.0); (z2, -1.0) ] Lp.Problem.Le 0.0);
+  (* capacity: at most one z *)
+  ignore (Lp.Problem.add_row p [ (z1, 1.0); (z2, 1.0) ] Lp.Problem.Le 1.0);
+  let options =
+    { Lp.Branch_bound.default_options with
+      Lp.Branch_bound.decision_vars = Some [ z1; z2 ] }
+  in
+  let r = Lp.Branch_bound.solve ~options p in
+  (* best: z2, y2 -> 1.5 + 4 = 5.5 *)
+  check_float ~eps:1e-6 "restricted optimum" 5.5 r.Lp.Branch_bound.obj
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "builder" `Quick test_problem_builder;
+          Alcotest.test_case "feasibility eval" `Quick test_problem_feasibility_eval;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "dantzig" `Quick test_simplex_dantzig;
+          Alcotest.test_case "equality+bounds" `Quick test_simplex_equality_and_bounds;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate (beale)" `Quick test_simplex_degenerate;
+          Alcotest.test_case "free variable" `Quick test_simplex_free_variable;
+          QCheck_alcotest.to_alcotest prop_simplex_beats_samples;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+          Alcotest.test_case "integer infeasible" `Quick test_bb_infeasible_integrality;
+          Alcotest.test_case "warm start" `Quick test_bb_warm_start;
+          Alcotest.test_case "gap termination" `Quick test_bb_gap_termination;
+          Alcotest.test_case "decision vars" `Quick test_bb_decision_vars;
+          QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+        ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lp_format_roundtrip;
+          Alcotest.test_case "handwritten" `Quick test_lp_format_parse_handwritten;
+          Alcotest.test_case "errors" `Quick test_lp_format_errors;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for index definitions, size estimation, and configurations. *)
+
+let schema = Catalog.Tpch.schema ()
+
+let ix ?clustered ?includes table keys =
+  Storage.Index.create ?clustered ?includes ~table keys
+
+(* --- Index --- *)
+
+let test_index_create () =
+  let i = ix "lineitem" [ "l_shipdate"; "l_quantity" ] in
+  Alcotest.(check (list string)) "key" [ "l_shipdate"; "l_quantity" ]
+    (Storage.Index.key_columns i);
+  Alcotest.(check bool) "not clustered" false (Storage.Index.clustered i);
+  Alcotest.check_raises "empty key"
+    (Invalid_argument "Index.create: empty key") (fun () ->
+      ignore (ix "lineitem" []));
+  Alcotest.check_raises "dup key"
+    (Invalid_argument "Index.create: duplicate key column") (fun () ->
+      ignore (ix "lineitem" [ "a"; "a" ]))
+
+let test_includes_deduped () =
+  let i =
+    ix ~includes:[ "l_shipdate"; "l_tax"; "l_tax" ] "lineitem" [ "l_shipdate" ]
+  in
+  (* include columns overlapping the key are dropped; duplicates removed *)
+  Alcotest.(check (list string)) "includes" [ "l_tax" ]
+    (Storage.Index.include_columns i);
+  Alcotest.(check (list string)) "covered" [ "l_shipdate"; "l_tax" ]
+    (Storage.Index.covered_columns i)
+
+let test_size_monotone_in_columns () =
+  let narrow = ix "lineitem" [ "l_shipdate" ] in
+  let wide = ix "lineitem" [ "l_shipdate"; "l_extendedprice"; "l_comment" ] in
+  Alcotest.(check bool) "wider key bigger" true
+    (Storage.Index.size_bytes schema wide > Storage.Index.size_bytes schema narrow);
+  let covering = ix ~includes:[ "l_comment" ] "lineitem" [ "l_shipdate" ] in
+  Alcotest.(check bool) "includes add size" true
+    (Storage.Index.size_bytes schema covering > Storage.Index.size_bytes schema narrow)
+
+let test_size_scales_with_rows () =
+  let small = Catalog.Tpch.schema ~sf:0.1 () in
+  let i = ix "lineitem" [ "l_shipdate" ] in
+  Alcotest.(check bool) "smaller table smaller index" true
+    (Storage.Index.size_bytes small i < Storage.Index.size_bytes schema i)
+
+let test_height () =
+  let i = ix "lineitem" [ "l_shipdate" ] in
+  let h = Storage.Index.height schema i in
+  Alcotest.(check bool) "height sane" true (h >= 1 && h <= 5);
+  let tiny = ix "region" [ "r_name" ] in
+  Alcotest.(check bool) "tiny index shallow" true
+    (Storage.Index.height schema tiny <= h)
+
+let test_affected_by_update () =
+  let i = ix ~includes:[ "l_tax" ] "lineitem" [ "l_shipdate" ] in
+  Alcotest.(check bool) "key col" true
+    (Storage.Index.affected_by_update i ~set_columns:[ "l_shipdate" ]);
+  Alcotest.(check bool) "include col" true
+    (Storage.Index.affected_by_update i ~set_columns:[ "l_tax" ]);
+  Alcotest.(check bool) "unrelated col" false
+    (Storage.Index.affected_by_update i ~set_columns:[ "l_discount" ])
+
+let test_validate () =
+  Alcotest.(check bool) "valid" true
+    (Storage.Index.validate schema (ix "lineitem" [ "l_shipdate" ]) = Ok ());
+  Alcotest.(check bool) "bad table" true
+    (Result.is_error (Storage.Index.validate schema (ix "nope" [ "x" ])));
+  Alcotest.(check bool) "bad column" true
+    (Result.is_error (Storage.Index.validate schema (ix "lineitem" [ "nope" ])))
+
+let test_key_distinct () =
+  let i = ix "lineitem" [ "l_shipmode" ] in
+  Alcotest.(check (float 1e-9)) "7 ship modes" 7.0
+    (Storage.Index.key_distinct schema i);
+  let pk = ix "lineitem" [ "l_orderkey"; "l_linenumber" ] in
+  (* capped by row count *)
+  Alcotest.(check (float 1.0)) "capped" 6_000_000.0
+    (Storage.Index.key_distinct schema pk)
+
+(* --- Config --- *)
+
+let test_config_set_ops () =
+  let a = ix "lineitem" [ "l_shipdate" ] in
+  let b = ix "orders" [ "o_orderdate" ] in
+  let c = Storage.Config.of_list [ a; b; a ] in
+  Alcotest.(check int) "dedup" 2 (Storage.Config.cardinal c);
+  Alcotest.(check bool) "mem" true (Storage.Config.mem a c);
+  let c' = Storage.Config.remove a c in
+  Alcotest.(check int) "removed" 1 (Storage.Config.cardinal c');
+  Alcotest.(check int) "on_table" 1
+    (List.length (Storage.Config.on_table c "orders"))
+
+let test_config_total_size () =
+  let a = ix "lineitem" [ "l_shipdate" ] in
+  let b = ix "orders" [ "o_orderdate" ] in
+  let c = Storage.Config.of_list [ a; b ] in
+  Alcotest.(check (float 1.0)) "sum of sizes"
+    (Storage.Index.size_bytes schema a +. Storage.Index.size_bytes schema b)
+    (Storage.Config.total_size schema c)
+
+let test_clustered_valid () =
+  let c1 = ix ~clustered:true "lineitem" [ "l_orderkey" ] in
+  let c2 = ix ~clustered:true "lineitem" [ "l_shipdate" ] in
+  Alcotest.(check bool) "one clustered ok" true
+    (Storage.Config.clustered_valid (Storage.Config.of_list [ c1 ]));
+  Alcotest.(check bool) "two clustered same table invalid" false
+    (Storage.Config.clustered_valid (Storage.Config.of_list [ c1; c2 ]))
+
+let test_atomic_configurations () =
+  let a1 = ix "lineitem" [ "l_shipdate" ] in
+  let a2 = ix "lineitem" [ "l_quantity" ] in
+  let b1 = ix "orders" [ "o_orderdate" ] in
+  let c = Storage.Config.of_list [ a1; a2; b1 ] in
+  let atoms =
+    Storage.Config.atomic_configurations c ~tables:[ "lineitem"; "orders" ]
+  in
+  (* (none | a1 | a2) x (none | b1) = 6 *)
+  Alcotest.(check int) "count" 6 (List.length atoms);
+  Alcotest.(check bool) "contains empty" true
+    (List.exists Storage.Config.is_empty atoms);
+  List.iter
+    (fun atom ->
+      Alcotest.(check bool) "at most one per table" true
+        (List.length (Storage.Config.on_table atom "lineitem") <= 1))
+    atoms
+
+(* qcheck: size estimation is always positive and grows with includes *)
+let prop_size_positive =
+  QCheck.Test.make ~name:"index sizes positive and include-monotone" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let cands = Cophy.Cgen.random_candidates schema ~n:5 ~seed in
+      List.for_all
+        (fun i ->
+          let s = Storage.Index.size_bytes schema i in
+          s > 0.0
+          &&
+          let all_cols =
+            let tbl = Catalog.Schema.find_table schema (Storage.Index.table i) in
+            Array.to_list tbl.Catalog.Schema.columns
+            |> List.map (fun c -> c.Catalog.Schema.col_name)
+          in
+          let covering =
+            Storage.Index.create
+              ~table:(Storage.Index.table i)
+              ~includes:all_cols
+              (Storage.Index.key_columns i)
+          in
+          Storage.Index.size_bytes schema covering >= s)
+        cands)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "create" `Quick test_index_create;
+          Alcotest.test_case "includes" `Quick test_includes_deduped;
+          Alcotest.test_case "size monotone" `Quick test_size_monotone_in_columns;
+          Alcotest.test_case "size vs rows" `Quick test_size_scales_with_rows;
+          Alcotest.test_case "height" `Quick test_height;
+          Alcotest.test_case "update impact" `Quick test_affected_by_update;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "key distinct" `Quick test_key_distinct;
+          QCheck_alcotest.to_alcotest prop_size_positive;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "set ops" `Quick test_config_set_ops;
+          Alcotest.test_case "total size" `Quick test_config_total_size;
+          Alcotest.test_case "clustered validity" `Quick test_clustered_valid;
+          Alcotest.test_case "atomic configurations" `Quick test_atomic_configurations;
+        ] );
+    ]
