@@ -1,1 +1,1 @@
-bench/main.ml: Analyze Array Bechamel Benchmark Catalog Cophy Experiments Fmt Hashtbl Inum List Lp Measure Optimizer Sqlast Staged Storage String Sys Test Time Toolkit Unix Workload
+bench/main.ml: Analyze Array Bechamel Benchmark Catalog Cophy Experiments Fmt Hashtbl Inum List Lp Measure Optimizer Printf Runtime Sqlast Staged Storage String Sys Test Time Toolkit Unix Workload

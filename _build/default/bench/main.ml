@@ -4,13 +4,92 @@
    section per table/figure of the evaluation (Table 1, Figures 4-10),
    printing the same series the paper reports.
 
-     dune exec bench/main.exe                 # every experiment
-     dune exec bench/main.exe -- table1 fig5  # a subset
-     dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
+     dune exec bench/main.exe                    # every experiment
+     dune exec bench/main.exe -- table1 fig5     # a subset
+     dune exec bench/main.exe -- --micro         # micro + macro benchmarks
+     dune exec bench/main.exe -- --micro --jobs 4
+     dune exec bench/main.exe -- --json out.json # machine-readable baseline
 
-   The micro suite measures the primitives with Bechamel: what-if
+   The micro suite measures the primitives with Bechamel (what-if
    optimization, INUM cache construction and cost evaluation, simplex
-   solves, and decomposition iterations. *)
+   solves, decomposition iterations) and then times the macro INUM
+   workload-cache build on a 100-statement workload at the requested
+   --jobs, printing the total what-if call count and the final
+   recommendation so job counts can be checked for identical results.
+
+   --json <file> runs the full pipeline once and writes stage wall-times
+   and Runtime.Stats counters in a stable schema (schema_version 1) as a
+   machine-readable perf baseline for future PRs. *)
+
+let bench_n = 100
+let bench_seed = 7
+let bench_budget_fraction = 0.5
+
+(* Sorted index list of a configuration — a stable identity for
+   cross-job-count comparisons. *)
+let config_indexes config =
+  let acc = ref [] in
+  Storage.Config.iter (fun ix -> acc := Storage.Index.to_string ix :: !acc) config;
+  List.sort compare !acc
+
+(* Macro benchmark backing the acceptance criterion: INUM workload-cache
+   construction on a 100-statement workload, then a full advise, with
+   everything needed to compare job counts printed. *)
+let macro_suite ~jobs =
+  let schema = Catalog.Tpch.schema () in
+  let w = Workload.Gen.hom schema ~n:bench_n ~seed:bench_seed in
+  let env = Optimizer.Whatif.make_env schema in
+  let t0 = Runtime.Clock.now () in
+  let cache = Inum.build_workload ~jobs env w in
+  let dt = Runtime.Clock.now () -. t0 in
+  Fmt.pr "inum_build n=%d jobs=%d: %.3fs (total_init_calls=%d)@." bench_n jobs
+    dt cache.Inum.total_init_calls;
+  let r =
+    Cophy.Advisor.advise ~jobs schema w
+      ~budget_fraction:bench_budget_fraction
+  in
+  Fmt.pr "recommendation jobs=%d: objective=%.6f indexes=[%s]@." jobs
+    r.Cophy.Advisor.report.Cophy.Solver.objective
+    (String.concat "; " (config_indexes r.Cophy.Advisor.config));
+  Fmt.pr "%a@." Runtime.Stats.pp r.Cophy.Advisor.timings.Cophy.Advisor.stats
+
+(* --json: one pipeline run, stable machine-readable schema. *)
+let json_mode ~jobs file =
+  (* Fail on an unwritable path before the (expensive) pipeline run. *)
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." file msg;
+      exit 1
+  in
+  let schema = Catalog.Tpch.schema () in
+  let w = Workload.Gen.hom schema ~n:bench_n ~seed:bench_seed in
+  let stats = Runtime.Stats.create () in
+  let r =
+    Cophy.Advisor.advise ~jobs ~stats schema w
+      ~budget_fraction:bench_budget_fraction
+  in
+  let t = r.Cophy.Advisor.timings in
+  let json =
+    Printf.sprintf
+      {|{"schema_version":1,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]}}|}
+      bench_n bench_seed jobs bench_budget_fraction
+      t.Cophy.Advisor.inum_seconds t.Cophy.Advisor.build_seconds
+      t.Cophy.Advisor.solve_seconds
+      (Runtime.Stats.to_json stats)
+      r.Cophy.Advisor.report.Cophy.Solver.objective
+      r.Cophy.Advisor.report.Cophy.Solver.bound
+      r.Cophy.Advisor.report.Cophy.Solver.gap
+      r.Cophy.Advisor.cache.Inum.total_init_calls
+      (String.concat ","
+         (List.map
+            (fun s -> Printf.sprintf "%S" s)
+            (config_indexes r.Cophy.Advisor.config)))
+  in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." file
 
 let micro_suite () =
   let open Bechamel in
@@ -90,7 +169,44 @@ let micro_suite () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  if List.mem "--micro" args then micro_suite ()
+  (* --jobs N and --json FILE take a value; strip them before the
+     experiment-name filter. *)
+  let jobs = ref 1 in
+  let json = ref None in
+  let rest = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n ->
+            jobs := n;
+            parse tl
+        | None ->
+            Fmt.epr "--jobs expects an integer, got %S@." v;
+            exit 2)
+    | [ "--jobs" ] ->
+        Fmt.epr "--jobs expects a value@.";
+        exit 2
+    | "--json" :: f :: tl ->
+        json := Some f;
+        parse tl
+    | [ "--json" ] ->
+        Fmt.epr "--json expects a file path@.";
+        exit 2
+    | a :: tl ->
+        rest := a :: !rest;
+        parse tl
+  in
+  parse args;
+  let args = List.rev !rest in
+  let jobs = if !jobs <= 0 then Runtime.recommended_jobs () else !jobs in
+  match !json with
+  | Some file -> json_mode ~jobs file
+  | None ->
+  if List.mem "--micro" args then begin
+    micro_suite ();
+    macro_suite ~jobs
+  end
   else begin
     let selected =
       List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

@@ -53,6 +53,14 @@ let verbose =
   let doc = "Stream solver feedback (incumbent and bound) to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let jobs =
+  let doc = "Worker domains for the parallel pipeline stages (INUM build, \
+             decomposition).  0 means one per core.  The recommendation is \
+             identical at every job count." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j <= 0 then Runtime.recommended_jobs () else j
+
 let explain_flag =
   let doc = "Print a per-statement explanation of the recommendation." in
   Arg.(value & flag & info [ "explain" ] ~doc)
@@ -84,7 +92,8 @@ let make_inputs sf z shape n seed updates sql_file =
 (* --- advise --- *)
 
 let advise_cmd =
-  let run n seed z sf m shape updates sql_file gap verbose explain =
+  let run n seed z sf m shape updates sql_file gap verbose explain jobs =
+    let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
     let solver_options =
@@ -99,19 +108,22 @@ let advise_cmd =
            else ignore) }
     in
     let r =
-      Cophy.Advisor.advise ~baseline ~solver_options schema workload
+      Cophy.Advisor.advise ~baseline ~solver_options ~jobs schema workload
         ~budget_fraction:m
     in
     Fmt.pr "# CoPhy recommendation (%d statements, budget %.2fx data)@."
       (List.length workload) m;
-    Fmt.pr "# candidates=%d bip_variables=%d gap=%.1f%%@."
+    Fmt.pr "# candidates=%d bip_variables=%d gap=%.1f%% jobs=%d@."
       (Array.length r.Cophy.Advisor.candidates)
       (Cophy.Sproblem.variable_count r.Cophy.Advisor.problem)
-      (100.0 *. r.Cophy.Advisor.report.Cophy.Solver.gap);
+      (100.0 *. r.Cophy.Advisor.report.Cophy.Solver.gap)
+      jobs;
     Fmt.pr "# time: inum=%.2fs build=%.2fs solve=%.2fs@."
       r.Cophy.Advisor.timings.Cophy.Advisor.inum_seconds
       r.Cophy.Advisor.timings.Cophy.Advisor.build_seconds
       r.Cophy.Advisor.timings.Cophy.Advisor.solve_seconds;
+    if verbose then
+      Fmt.epr "%a@." Runtime.Stats.pp r.Cophy.Advisor.timings.Cophy.Advisor.stats;
     Storage.Config.iter
       (fun ix ->
         Fmt.pr "CREATE INDEX ON %s; -- %.1f MB@."
@@ -142,7 +154,7 @@ let advise_cmd =
   Cmd.v (Cmd.info "advise" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ gap $ verbose $ explain_flag)
+      $ sql_file $ gap $ verbose $ explain_flag $ jobs)
 
 (* --- compare --- *)
 
@@ -156,7 +168,8 @@ let compare_cmd =
           [ `Cophy; `ToolB ]
       & info [ "advisors" ] ~docv:"LIST" ~doc)
   in
-  let run n seed z sf m shape updates sql_file advisors =
+  let run n seed z sf m shape updates sql_file advisors jobs =
+    let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
     let budget_bytes = m *. Catalog.Tpch.database_size schema in
@@ -167,14 +180,18 @@ let compare_cmd =
           match which with
           | `Cophy ->
               let r =
-                Cophy.Advisor.advise ~baseline schema workload
+                Cophy.Advisor.advise ~baseline ~jobs schema workload
                   ~budget_fraction:m
               in
               ("cophy", r.Cophy.Advisor.config, Cophy.Advisor.total_seconds r)
           | `Ilp ->
               let env = Optimizer.Whatif.make_env schema in
               let cands = Array.of_list (Cophy.Cgen.generate workload) in
-              let r = Advisors.Ilp.solve env workload cands ~budget:budget_bytes in
+              let options = { Advisors.Ilp.default_options with jobs } in
+              let r =
+                Advisors.Ilp.solve ~options env workload cands
+                  ~budget:budget_bytes
+              in
               ( "ilp",
                 r.Advisors.Ilp.config,
                 r.Advisors.Ilp.timings.Advisors.Ilp.inum_seconds
@@ -200,15 +217,16 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ advisors_arg)
+      $ sql_file $ advisors_arg $ jobs)
 
 (* --- pareto --- *)
 
 let pareto_cmd =
-  let run n seed z sf shape updates sql_file =
+  let run n seed z sf shape updates sql_file jobs =
+    let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let env = Optimizer.Whatif.make_env schema in
-    let cache = Inum.build_workload env workload in
+    let cache = Inum.build_workload ~jobs env workload in
     let candidates = Array.of_list (Cophy.Cgen.generate workload) in
     let sp = Cophy.Sproblem.build env cache candidates in
     let points, solves =
@@ -228,7 +246,8 @@ let pareto_cmd =
   let doc = "Generate the Pareto curve for a soft storage constraint." in
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
-      const run $ queries $ seed $ skew $ scale $ shape $ updates $ sql_file)
+      const run $ queries $ seed $ skew $ scale $ shape $ updates $ sql_file
+      $ jobs)
 
 let main =
   let doc = "CoPhy: a scalable, portable, interactive index advisor" in

@@ -1,1 +1,1 @@
-lib/advisors/eval.ml: Catalog List Optimizer Sqlast Storage Unix
+lib/advisors/eval.ml: Catalog List Optimizer Runtime Sqlast Storage

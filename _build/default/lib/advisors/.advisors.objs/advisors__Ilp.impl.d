@@ -1,1 +1,1 @@
-lib/advisors/ilp.ml: Array Fun Hashtbl Inum List Lp Optimizer Option Printf Sqlast Storage Unix
+lib/advisors/ilp.ml: Array Fun Hashtbl Inum List Lp Optimizer Option Printf Runtime Sqlast Storage

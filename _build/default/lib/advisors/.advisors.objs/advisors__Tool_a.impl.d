@@ -1,1 +1,1 @@
-lib/advisors/tool_a.ml: Cophy Eval Hashtbl List Optimizer Option Sqlast Storage Unix
+lib/advisors/tool_a.ml: Cophy Eval Hashtbl List Optimizer Option Runtime Sqlast Storage

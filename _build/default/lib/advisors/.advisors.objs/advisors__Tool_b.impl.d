@@ -1,1 +1,1 @@
-lib/advisors/tool_b.ml: Array Cophy Eval List Optimizer Random Sqlast Storage Unix
+lib/advisors/tool_b.ml: Array Cophy Eval List Optimizer Random Runtime Sqlast Storage

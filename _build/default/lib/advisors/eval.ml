@@ -27,6 +27,6 @@ type run = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Runtime.Clock.now () -. t0)

@@ -13,11 +13,12 @@ type options = {
   per_query_cap : int;   (* atomic configurations kept per query *)
   gap_tolerance : float;
   time_limit : float;
+  jobs : int;            (* domains for the INUM build *)
 }
 
 let default_options =
   { per_table_cap = 4; per_query_cap = 40; gap_tolerance = 0.05;
-    time_limit = 600.0 }
+    time_limit = 600.0; jobs = 1 }
 
 type timings = {
   inum_seconds : float;
@@ -68,9 +69,9 @@ let enumerate_atomic (inum : Inum.t) (candidates : Storage.Index.t array)
 let solve ?(options = default_options) (env : Optimizer.Whatif.env)
     (w : Sqlast.Ast.workload) (candidates : Storage.Index.t array) ~budget =
   let schema = env.Optimizer.Whatif.schema in
-  let t0 = Unix.gettimeofday () in
-  let cache = Inum.build_workload env w in
-  let t1 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
+  let cache = Inum.build_workload ~jobs:options.jobs env w in
+  let t1 = Runtime.Clock.now () in
   (* Enumerate and prune atomic configurations per query, costing each
      with INUM. *)
   let per_query =
@@ -159,7 +160,7 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
              (fun i zv -> (zv, Storage.Index.size_bytes schema candidates.(i)))
              z_var))
        Lp.Problem.Le budget);
-  let t2 = Unix.gettimeofday () in
+  let t2 = Runtime.Clock.now () in
   let bb_options =
     { Lp.Branch_bound.default_options with
       Lp.Branch_bound.gap_tolerance = options.gap_tolerance;
@@ -169,7 +170,7 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
       decision_vars = Some (Array.to_list z_var) }
   in
   let r = Lp.Branch_bound.solve ~options:bb_options p in
-  let t3 = Unix.gettimeofday () in
+  let t3 = Runtime.Clock.now () in
   let config =
     match r.Lp.Branch_bound.x with
     | Some x ->

@@ -39,8 +39,8 @@ let merge_indexes a b =
 let solve ?(options = default_options) (env : Optimizer.Whatif.env)
     (w : Sqlast.Ast.workload) ~budget =
   let schema = env.Optimizer.Whatif.schema in
-  let t0 = Unix.gettimeofday () in
-  let out_of_time () = Unix.gettimeofday () -. t0 > options.time_limit in
+  let t0 = Runtime.Clock.now () in
+  let out_of_time () = Runtime.Clock.now () -. t0 > options.time_limit in
   (* Step 1-2: per-statement ideal configurations through direct what-if. *)
   let statements =
     List.map
@@ -193,7 +193,7 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
   in
   {
     Eval.config = final;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Runtime.Clock.now () -. t0;
     whatif_calls = Optimizer.Whatif.whatif_calls env;
     candidates_examined = Storage.Config.cardinal ideal;
     timed_out = !timed_out || !truncated;

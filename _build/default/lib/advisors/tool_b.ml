@@ -21,7 +21,7 @@ let default_options = { sample_size = 60; seed = 17; time_limit = 300.0 }
 let solve ?(options = default_options) (env : Optimizer.Whatif.env)
     (w : Sqlast.Ast.workload) ~budget =
   let schema = env.Optimizer.Whatif.schema in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   let rng = Random.State.make [| options.seed; 0xb0b |] in
   (* Workload compression: uniform random sample. *)
   let arr = Array.of_list w in
@@ -85,7 +85,7 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
     scored;
   (* Swap refinement: try replacing a chosen index with an unchosen one
      when it reduces the compressed-workload cost within budget. *)
-  let out_of_time () = Unix.gettimeofday () -. t0 > options.time_limit in
+  let out_of_time () = Runtime.Clock.now () -. t0 > options.time_limit in
   let improved = ref true in
   while !improved && not (out_of_time ()) do
     improved := false;
@@ -117,7 +117,7 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
   done;
   {
     Eval.config = !chosen;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Runtime.Clock.now () -. t0;
     whatif_calls = Optimizer.Whatif.whatif_calls env;
     candidates_examined = Storage.Config.cardinal virtuals;
     timed_out = out_of_time ();

@@ -1,1 +1,1 @@
-lib/cophy/advisor.ml: Array Catalog Cgen Constr Inum List Optimizer Solver Sproblem Sqlast Storage Unix
+lib/cophy/advisor.ml: Array Catalog Cgen Constr Inum List Optimizer Runtime Solver Sproblem Sqlast Storage

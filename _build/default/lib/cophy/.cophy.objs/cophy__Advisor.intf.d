@@ -1,1 +1,1 @@
-lib/cophy/advisor.mli: Catalog Constr Inum Optimizer Solver Sproblem Sqlast Storage
+lib/cophy/advisor.mli: Catalog Constr Inum Optimizer Runtime Solver Sproblem Sqlast Storage

@@ -1,1 +1,1 @@
-lib/cophy/decomposition.ml: Array Constr Fun Hashtbl List Lp Option Sproblem Storage Unix
+lib/cophy/decomposition.ml: Array Constr Fun Hashtbl List Lp Option Runtime Sproblem Storage

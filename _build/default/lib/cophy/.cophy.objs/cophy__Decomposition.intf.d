@@ -1,1 +1,1 @@
-lib/cophy/decomposition.mli: Constr Hashtbl Sproblem Storage
+lib/cophy/decomposition.mli: Constr Hashtbl Runtime Sproblem Storage

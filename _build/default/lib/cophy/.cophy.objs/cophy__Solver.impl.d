@@ -1,1 +1,1 @@
-lib/cophy/solver.ml: Array Constr Decomposition List Lp Sproblem Storage Unix
+lib/cophy/solver.ml: Array Constr Decomposition List Lp Runtime Sproblem Storage

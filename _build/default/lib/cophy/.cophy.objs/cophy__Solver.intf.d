@@ -1,1 +1,1 @@
-lib/cophy/solver.mli: Constr Decomposition Sproblem Storage
+lib/cophy/solver.mli: Constr Decomposition Runtime Sproblem Storage

@@ -1,1 +1,1 @@
-lib/cophy/sproblem.ml: Array Catalog Constr Hashtbl Inum List Lp Optimizer Option Printf Sqlast Storage
+lib/cophy/sproblem.ml: Array Catalog Constr Hashtbl Inum List Lp Optimizer Option Printf Runtime Sqlast Storage

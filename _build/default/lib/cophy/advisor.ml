@@ -9,6 +9,7 @@ type timings = {
   inum_seconds : float;
   build_seconds : float;   (* candidate generation + BIP construction *)
   solve_seconds : float;
+  stats : Runtime.Stats.t; (* per-stage counters and accumulated timers *)
 }
 
 type recommendation = {
@@ -52,12 +53,14 @@ let resolve_constraints (env : Optimizer.Whatif.env) (cache : Inum.workload_cach
 let advise ?(params = Optimizer.Cost_params.default)
     ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
     ?(solver_options = Solver.default_options)
-    ?(baseline = Storage.Config.empty) schema (w : Sqlast.Ast.workload)
-    ~budget_fraction =
+    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats schema
+    (w : Sqlast.Ast.workload) ~budget_fraction =
+  let stats = match stats with Some s -> s | None -> Runtime.Stats.create () in
   let env = Optimizer.Whatif.make_env ~params schema in
-  let t0 = Unix.gettimeofday () in
-  let cache = Inum.build_workload env w in
-  let t1 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
+  let cache = Inum.build_workload ~jobs ~stats env w in
+  let t1 = Runtime.Clock.now () in
+  Runtime.Stats.add_stage_seconds stats Runtime.Stats.Inum_build (t1 -. t0);
   let cands =
     match candidates with
     | Some c -> Array.of_list c
@@ -68,17 +71,23 @@ let advise ?(params = Optimizer.Cost_params.default)
   let z_rows, block_caps =
     resolve_constraints env cache cands ~baseline constraints.Constr.hard
   in
-  let t2 = Unix.gettimeofday () in
+  let t2 = Runtime.Clock.now () in
+  Runtime.Stats.add_stage_seconds stats Runtime.Stats.Bip_build (t2 -. t1);
   let accept =
     if List.exists Constr.is_udf constraints.Constr.hard then
       Some (Constr.udf_acceptance cands constraints.Constr.hard)
     else None
   in
+  let solver_options =
+    { solver_options with Solver.jobs; stats = Some stats }
+  in
   let report =
     Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget
       ~z_rows
   in
-  let t3 = Unix.gettimeofday () in
+  let t3 = Runtime.Clock.now () in
+  Runtime.Stats.add_stage_seconds stats Runtime.Stats.Solve (t3 -. t2);
+  Runtime.Stats.add_whatif_calls stats (Optimizer.Whatif.whatif_calls env);
   let zero = Array.make (Array.length cands) false in
   {
     config = report.Solver.config;
@@ -91,9 +100,10 @@ let advise ?(params = Optimizer.Cost_params.default)
         inum_seconds = t1 -. t0;
         build_seconds = t2 -. t1;
         solve_seconds = t3 -. t2;
+        stats;
       };
     estimated_cost = report.Solver.objective;
-    estimated_base = Sproblem.eval sp zero;
+    estimated_base = Sproblem.eval ~jobs sp zero;
   }
 
 (* Per-statement explanation of a recommendation: which template the INUM

@@ -4,6 +4,9 @@ type timings = {
   inum_seconds : float;   (** INUM cache construction *)
   build_seconds : float;  (** candidate generation + BIP construction *)
   solve_seconds : float;
+  stats : Runtime.Stats.t;
+      (** per-stage counters (what-if calls, INUM probes/templates,
+          subproblem solves, cost evals) and accumulated stage timers *)
 }
 
 type recommendation = {
@@ -29,6 +32,12 @@ val total_seconds : recommendation -> float
     @param baseline the configuration that query-cost caps are relative to.
     @param budget_fraction storage budget as a fraction of the database
       size (the paper's M).
+    @param jobs domains for the INUM build and solver fan-outs
+      (default [1]; the recommendation is identical at every job count —
+      use {!Runtime.recommended_jobs} to saturate the machine).
+    @param stats caller-supplied stats sink; a fresh one is created (and
+      returned in [timings.stats]) when omitted.  [jobs] and [stats]
+      override the corresponding [solver_options] fields.
     @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val advise :
   ?params:Optimizer.Cost_params.t ->
@@ -37,6 +46,8 @@ val advise :
   ?dba_candidates:Storage.Index.t list ->
   ?solver_options:Solver.options ->
   ?baseline:Storage.Config.t ->
+  ?jobs:int ->
+  ?stats:Runtime.Stats.t ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget_fraction:float ->

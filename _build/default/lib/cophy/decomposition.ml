@@ -39,6 +39,8 @@ type options = {
   log_events : bool;
   warm : multipliers option;
   local_search_period : int;
+  jobs : int;
+  stats : Runtime.Stats.t option;
 }
 
 let default_options =
@@ -50,6 +52,8 @@ let default_options =
     log_events = false;
     warm = None;
     local_search_period = 10;
+    jobs = 1;
+    stats = None;
   }
 
 type result = {
@@ -63,10 +67,27 @@ type result = {
 
 (* --- Block subproblem --- *)
 
+(* Position of candidate [cand] in a block's sorted [cands_used] array.
+   A read-only binary search (rather than a shared scratch position map)
+   keeps the block subproblems free of shared mutable state, so they can
+   run on separate domains. *)
+let pos_in block cand =
+  let cands_used = block.Sproblem.cands_used in
+  let lo = ref 0 and hi = ref (Array.length cands_used - 1) in
+  let res = ref (-1) in
+  while !res < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = cands_used.(mid) in
+    if c = cand then res := mid
+    else if c < cand then lo := mid + 1
+    else hi := mid - 1
+  done;
+  assert (!res >= 0);
+  !res
+
 (* Cheapest (template, choices) with usage priced by lam; returns the
    value and the set of candidates used. *)
-let block_subproblem (b : Sproblem.block) (lam : float array)
-    (pos_in_block : int array) ~excluded =
+let block_subproblem (b : Sproblem.block) (lam : float array) ~excluded =
   let best = ref infinity in
   let best_used = ref [] in
   Array.iter
@@ -87,7 +108,7 @@ let block_subproblem (b : Sproblem.block) (lam : float array)
               end
               else if not excluded.(cand) then begin
                 let c =
-                  (b.Sproblem.weight *. gamma) +. lam.(pos_in_block.(cand))
+                  (b.Sproblem.weight *. gamma) +. lam.(pos_in b cand)
                 in
                 if c < !m then begin
                   m := c;
@@ -206,12 +227,14 @@ let delta_toggle (sp : Sproblem.t) (z : bool array) (bcost : float array) a =
    until feasible.  One delta evaluation per selected candidate against
    the starting state, then a greedy sweep — an approximation that keeps
    repair linear, refined later by the local search. *)
-let repair (sp : Sproblem.t) ~budget ~z_rows (z : bool array) =
+let repair ?(jobs = 1) (sp : Sproblem.t) ~budget ~z_rows (z : bool array) =
   let z = Array.copy z in
   if z_feasible sp ~budget ~z_rows z then z
   else begin
     let bcost =
-      Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+      Runtime.parallel_map ~jobs
+        (fun b -> Sproblem.block_cost_z b z)
+        sp.Sproblem.blocks
     in
     let scored = ref [] in
     Array.iteri
@@ -240,11 +263,14 @@ let repair (sp : Sproblem.t) ~budget ~z_rows (z : bool array) =
     z
   end
 
-let local_search (sp : Sproblem.t) ~budget ~z_rows (z : bool array) obj0 =
+let local_search ?(jobs = 1) (sp : Sproblem.t) ~budget ~z_rows (z : bool array)
+    obj0 =
   let z = Array.copy z in
   let n = Array.length z in
   let bcost =
-    Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+    Runtime.parallel_map ~jobs
+      (fun b -> Sproblem.block_cost_z b z)
+      sp.Sproblem.blocks
   in
   let obj = ref obj0 in
   let size = ref (Sproblem.total_size sp z) in
@@ -277,16 +303,22 @@ let local_search (sp : Sproblem.t) ~budget ~z_rows (z : bool array) obj0 =
   (z, !obj)
 
 (* Greedy benefit/size construction for the initial incumbent. *)
-let greedy_initial (sp : Sproblem.t) ~budget ~z_rows =
+let greedy_initial ?(jobs = 1) (sp : Sproblem.t) ~budget ~z_rows =
   let n = Array.length sp.Sproblem.candidates in
-  let z = Array.make n false in
+  let empty = Array.make n false in
   let empty_bcost =
-    Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+    Runtime.parallel_map ~jobs
+      (fun b -> Sproblem.block_cost_z b empty)
+      sp.Sproblem.blocks
   in
+  (* Per-candidate scoring is independent given a private singleton
+     selection, so it fans out over the pool. *)
   let scored =
-    List.init n (fun a ->
-        let benefit = ref (-.sp.Sproblem.ucost.(a)) in
+    Runtime.parallel_map ~jobs
+      (fun a ->
+        let z = Array.make n false in
         z.(a) <- true;
+        let benefit = ref (-.sp.Sproblem.ucost.(a)) in
         Array.iter
           (fun bi ->
             let b = sp.Sproblem.blocks.(bi) in
@@ -295,11 +327,13 @@ let greedy_initial (sp : Sproblem.t) ~budget ~z_rows =
               +. (b.Sproblem.weight
                   *. (empty_bcost.(bi) -. Sproblem.block_cost_z b z)))
           sp.Sproblem.cand_blocks.(a);
-        z.(a) <- false;
         (a, !benefit /. max 1.0 sp.Sproblem.sizes.(a), !benefit))
+      (Array.init n Fun.id)
+    |> Array.to_list
     |> List.filter (fun (_, _, ben) -> ben > 0.0)
     |> List.sort (fun (_, r1, _) (_, r2, _) -> compare r2 r1)
   in
+  let z = Array.make n false in
   let size = ref 0.0 in
   List.iter
     (fun (a, _, _) ->
@@ -316,8 +350,20 @@ let greedy_initial (sp : Sproblem.t) ~budget ~z_rows =
 
 let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
     (sp : Sproblem.t) ~budget ~(z_rows : Constr.z_row list) =
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let t0 = Runtime.Clock.now () in
+  let elapsed () = Runtime.Clock.now () -. t0 in
+  let jobs = max 1 options.jobs in
+  let count_sproblems k =
+    match options.stats with
+    | Some st -> Runtime.Stats.add_subproblem_solves st k
+    | None -> ()
+  in
+  let eval z =
+    (match options.stats with
+    | Some st -> Runtime.Stats.add_cost_evals st 1
+    | None -> ());
+    Sproblem.eval ~jobs sp z
+  in
   let nblocks = Array.length sp.Sproblem.blocks in
   let ncand = Array.length sp.Sproblem.candidates in
   (* forced selections from z rows: mandatory (Ge 1 singleton) and
@@ -333,9 +379,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
           forced_zero.(a) <- true
       | _ -> ())
     z_rows;
-  (* per-block multiplier arrays aligned with cands_used, plus a reverse
-     position map reused across blocks *)
-  let pos_in_block = Array.make ncand (-1) in
+  (* per-block multiplier arrays aligned with cands_used *)
   let lam =
     Array.map
       (fun (b : Sproblem.block) ->
@@ -355,16 +399,16 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
      candidates (appendix E.5) *)
   let empty = Array.make ncand false in
   let best_z = ref empty in
-  let best_obj =
-    ref (if accept empty then Sproblem.eval sp empty else infinity)
-  in
+  let best_obj = ref (if accept empty then eval empty else infinity) in
   (* When the black box rejects a selection, trim it: drop the least
      valuable index (cost increase per byte) and retry — this services
      cardinality-style UDFs and bottoms out at the empty selection. *)
   let trim_to_acceptance z =
     let z = Array.copy z in
     let bcost =
-      Array.map (fun b -> Sproblem.block_cost_z b z) sp.Sproblem.blocks
+      Runtime.parallel_map ~jobs
+        (fun b -> Sproblem.block_cost_z b z)
+        sp.Sproblem.blocks
     in
     let any_selected () = Array.exists Fun.id z in
     while (not (accept z)) && any_selected () do
@@ -389,19 +433,22 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
     z
   in
   let consider z =
-    let z = if z_feasible sp ~budget ~z_rows z then z else repair sp ~budget ~z_rows z in
+    let z =
+      if z_feasible sp ~budget ~z_rows z then z
+      else repair ~jobs sp ~budget ~z_rows z
+    in
     let z = if accept z then z else trim_to_acceptance z in
     if z_feasible sp ~budget ~z_rows z && accept z then begin
-      let obj = Sproblem.eval sp z in
+      let obj = eval z in
       if obj < !best_obj then begin
         best_z := z;
         best_obj := obj
       end
     end
   in
-  consider (greedy_initial sp ~budget ~z_rows);
+  consider (greedy_initial ~jobs sp ~budget ~z_rows);
   (if !best_obj < infinity then begin
-     let ls_z, ls_obj = local_search sp ~budget ~z_rows !best_z !best_obj in
+     let ls_z, ls_obj = local_search ~jobs sp ~budget ~z_rows !best_z !best_obj in
      if ls_obj < !best_obj && accept ls_z then begin
        best_z := ls_z;
        best_obj := ls_obj
@@ -421,6 +468,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
   let no_improve = ref 0 in
   let w = Array.make ncand 0.0 in
   let usage = Array.make nblocks [] in
+  let block_indices = Array.init nblocks Fun.id in
   let iter = ref 0 in
   let gap_ok () =
     !best_bound > neg_infinity
@@ -443,19 +491,24 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
              (fun i pos -> w.(pos) <- w.(pos) -. lam.(bi).(i))
              b.Sproblem.cands_used)
          sp.Sproblem.blocks;
-       (* block subproblems *)
+       (* block subproblems: independent given lam, so fan them over the
+          pool; the bound accumulation below stays a fixed left-to-right
+          sum, keeping the subgradient trajectory identical at every job
+          count *)
+       let sub =
+         Runtime.parallel_map ~jobs
+           (fun bi ->
+             block_subproblem sp.Sproblem.blocks.(bi) lam.(bi)
+               ~excluded:forced_zero)
+           block_indices
+       in
+       count_sproblems nblocks;
        let lower = ref sp.Sproblem.fixed in
        Array.iteri
-         (fun bi (b : Sproblem.block) ->
-           Array.iteri
-             (fun i pos -> pos_in_block.(pos) <- i)
-             b.Sproblem.cands_used;
-           let v, used =
-             block_subproblem b lam.(bi) pos_in_block ~excluded:forced_zero
-           in
+         (fun bi (v, used) ->
            usage.(bi) <- used;
            lower := !lower +. v)
-         sp.Sproblem.blocks;
+         sub;
        let zval, zfrac =
          z_subproblem ~w ~sizes:sp.Sproblem.sizes ~budget ~z_rows ~forced_one
            ~forced_zero
@@ -497,13 +550,13 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
            end)
          used_order;
        Array.iteri (fun a f -> if f then zr.(a) <- false) forced_zero;
-       let zr = repair sp ~budget ~z_rows zr in
-       let obj = Sproblem.eval sp zr in
+       let zr = repair ~jobs sp ~budget ~z_rows zr in
+       let obj = eval zr in
        let candidate_z, candidate_obj =
          if
            obj < !best_obj *. 1.02
            && (!iter mod options.local_search_period = 0 || obj < !best_obj)
-         then local_search sp ~budget ~z_rows zr obj
+         then local_search ~jobs sp ~budget ~z_rows zr obj
          else (zr, obj)
        in
        (if accept candidate_z then begin
@@ -516,7 +569,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
           (* trim toward the black box and take the result if it wins *)
           let zt = trim_to_acceptance candidate_z in
           if accept zt then begin
-            let objt = Sproblem.eval sp zt in
+            let objt = eval zt in
             if objt < !best_obj -. 1e-9 then begin
               best_z := zt;
               best_obj := objt
@@ -539,7 +592,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
        if !gnorm2 > 1e-12 then begin
          let ub_ref =
            if !best_obj < infinity then !best_obj
-           else Sproblem.eval sp (Array.make ncand false)
+           else eval (Array.make ncand false)
          in
          let step = !theta *. (ub_ref -. lower) /. !gnorm2 in
          let step = max 0.0 step in

@@ -22,9 +22,18 @@ type options = {
   time_limit : float;
   gap_tolerance : float;  (** the paper's default CPLEX setting is 0.05 *)
   on_event : event -> unit;
+      (** [elapsed] fields are measured on {!Runtime.Clock} *)
   log_events : bool;
   warm : multipliers option;
   local_search_period : int;
+  jobs : int;
+      (** domains for the per-block subproblem fan-out and block-cost
+          re-evaluations (default [1]).  The subgradient trajectory, the
+          incumbents and the returned result are identical at every job
+          count: per-block solves are independent and every float
+          reduction runs in fixed block order. *)
+  stats : Runtime.Stats.t option;
+      (** when set, accumulates subproblem-solve / cost-eval counters *)
 }
 
 val default_options : options

@@ -11,6 +11,7 @@
 
 type session = {
   env : Optimizer.Whatif.env;
+  jobs : int;  (* domains for INUM builds and solver fan-outs *)
   mutable workload : Sqlast.Ast.workload;
   mutable cache : Inum.workload_cache;
   mutable candidates : Storage.Index.t array;
@@ -24,11 +25,12 @@ type session = {
 
 let create ?(params = Optimizer.Cost_params.default)
     ?(constraints = [ Constr.At_most_one_clustered ])
-    ?(baseline = Storage.Config.empty) schema workload ~budget =
+    ?(baseline = Storage.Config.empty) ?(jobs = 1) schema workload ~budget =
   let env = Optimizer.Whatif.make_env ~params schema in
-  let cache = Inum.build_workload env workload in
+  let cache = Inum.build_workload ~jobs env workload in
   {
     env;
+    jobs;
     workload;
     cache;
     candidates = Array.of_list (Cgen.generate workload);
@@ -70,7 +72,7 @@ let set_constraints s cs =
 
 (* Append statements: INUM preprocessing runs only for the new ones. *)
 let add_statements s stmts =
-  let delta = Inum.build_workload s.env stmts in
+  let delta = Inum.build_workload ~jobs:s.jobs s.env stmts in
   s.workload <- s.workload @ stmts;
   s.cache <-
     {
@@ -103,7 +105,12 @@ let retune ?(options = Solver.default_options) s =
     else None
   in
   let options =
-    { options with Solver.warm = s.multipliers; method_ = Solver.Decomposed }
+    {
+      options with
+      Solver.warm = s.multipliers;
+      method_ = Solver.Decomposed;
+      jobs = s.jobs;
+    }
   in
   let report = Solver.solve ~options ?accept sp ~budget:s.budget ~z_rows in
   s.multipliers <- report.Solver.multipliers;

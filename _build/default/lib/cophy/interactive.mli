@@ -5,11 +5,13 @@
 type session
 
 (** Start a session: INUM preprocesses the workload once, CGen builds the
-    initial candidate set. *)
+    initial candidate set.  [jobs] (default [1]) sets the domain fan-out
+    for the session's INUM builds and re-tunes. *)
 val create :
   ?params:Optimizer.Cost_params.t ->
   ?constraints:Constr.t list ->
   ?baseline:Storage.Config.t ->
+  ?jobs:int ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget:float ->

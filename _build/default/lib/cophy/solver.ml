@@ -27,6 +27,8 @@ type options = {
   on_feedback : feedback -> unit;
   log_events : bool;
   warm : Decomposition.multipliers option;
+  jobs : int;                (* domains for the decomposition fan-outs *)
+  stats : Runtime.Stats.t option;
 }
 
 let default_options =
@@ -38,6 +40,8 @@ let default_options =
     on_feedback = ignore;
     log_events = true;
     warm = None;
+    jobs = 1;
+    stats = None;
   }
 
 type report = {
@@ -115,7 +119,7 @@ let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
 let solve ?(options = default_options) ?(block_caps = []) ?accept
     (sp : Sproblem.t) ~budget ~z_rows =
   check_feasibility sp ~budget ~z_rows;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   let method_ =
     match options.method_ with
     | Auto ->
@@ -166,7 +170,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         | None -> raise (Infeasible [ "no feasible solution found" ])
       in
       let z = Sproblem.z_of_lp_solution sp vars x in
-      let objective = Sproblem.eval sp z in
+      let objective = Sproblem.eval ~jobs:options.jobs sp z in
       {
         z;
         config = Sproblem.config_of sp z;
@@ -178,7 +182,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         events = List.rev !events;
         used_method = Exact;
         multipliers = None;
-        solve_seconds = Unix.gettimeofday () -. t0;
+        solve_seconds = Runtime.Clock.now () -. t0;
       }
   | Decomposed ->
       let events = ref [] in
@@ -190,6 +194,8 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
           time_limit = options.time_limit;
           warm = options.warm;
           log_events = options.log_events;
+          jobs = options.jobs;
+          stats = options.stats;
           on_event =
             (fun (e : Decomposition.event) ->
               let f =
@@ -219,5 +225,5 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         events = List.rev !events;
         used_method = Decomposed;
         multipliers = Some r.Decomposition.multipliers;
-        solve_seconds = Unix.gettimeofday () -. t0;
+        solve_seconds = Runtime.Clock.now () -. t0;
       }

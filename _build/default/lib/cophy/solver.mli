@@ -24,8 +24,14 @@ type options = {
   time_limit : float;
   max_iters : int;  (** decomposition subgradient iterations *)
   on_feedback : feedback -> unit;
+      (** [elapsed] fields are measured on {!Runtime.Clock} *)
   log_events : bool;
   warm : Decomposition.multipliers option;  (** warm start (re-tuning) *)
+  jobs : int;
+      (** domains for the decomposition's parallel fan-outs (default [1];
+          the result is identical at every job count) *)
+  stats : Runtime.Stats.t option;
+      (** when set, the solve accumulates its counters into it *)
 }
 
 val default_options : options

@@ -178,9 +178,13 @@ let block_cost_z (b : block) (z : bool array) =
 
 (* Full objective of a selection: weighted query costs + maintenance +
    fixed update costs. *)
-let eval t (z : bool array) =
+let eval ?(jobs = 1) t (z : bool array) =
+  (* Per-block costs are independent; the reduction below stays a fixed
+     left-to-right float sum so the result is identical at every job
+     count. *)
+  let costs = Runtime.parallel_map ~jobs (fun b -> block_cost_z b z) t.blocks in
   let acc = ref t.fixed in
-  Array.iter (fun b -> acc := !acc +. (b.weight *. block_cost_z b z)) t.blocks;
+  Array.iteri (fun bi c -> acc := !acc +. (t.blocks.(bi).weight *. c)) costs;
   Array.iteri (fun pos u -> if z.(pos) then acc := !acc +. u) t.ucost;
   !acc
 

@@ -53,8 +53,11 @@ val build :
 (** Query-cost part of one block given a selection. *)
 val block_cost_z : block -> bool array -> float
 
-(** Full objective of a selection (query costs + maintenance + fixed). *)
-val eval : t -> bool array -> float
+(** Full objective of a selection (query costs + maintenance + fixed).
+    [jobs] fans the per-block cost evaluations over the domain pool; the
+    reduction order is fixed, so the value is identical at every job
+    count (default [1] = fully sequential). *)
+val eval : ?jobs:int -> t -> bool array -> float
 
 (** Total size in bytes of the selected candidates. *)
 val total_size : t -> bool array -> float

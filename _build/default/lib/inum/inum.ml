@@ -298,14 +298,28 @@ type workload_cache = {
   total_init_calls : int;
 }
 
-let build_workload env (w : Ast.workload) =
+let build_workload ?jobs ?stats env (w : Ast.workload) =
+  (* Statement caches are independent: fan construction over the domain
+     pool.  [parallel_map] is order-preserving, so [selects] keeps the
+     workload's statement order at every job count. *)
   let selects =
-    List.map (fun (q, weight) -> (q, weight, build env q)) (Ast.selects w)
+    Runtime.parallel_map ?jobs
+      (fun (q, weight) -> (q, weight, build env q))
+      (Array.of_list (Ast.selects w))
+    |> Array.to_list
   in
   let updates = Ast.updates w in
   let total_init_calls =
     List.fold_left (fun acc (_, _, c) -> acc + c.init_calls) 0 selects
   in
+  (match stats with
+  | None -> ()
+  | Some st ->
+      Runtime.Stats.add_inum_probes st total_init_calls;
+      Runtime.Stats.add_inum_templates st
+        (List.fold_left
+           (fun acc (_, _, c) -> acc + Array.length c.templates)
+           0 selects));
   { selects; updates; total_init_calls }
 
 (* INUM approximation of the total workload cost under [config], including

@@ -57,7 +57,18 @@ type workload_cache = {
   total_init_calls : int;
 }
 
-val build_workload : Optimizer.Whatif.env -> Sqlast.Ast.workload -> workload_cache
+(** Build the caches for every SELECT in the workload, fanning statement
+    cache construction over up to [jobs] domains (default
+    {!Runtime.recommended_jobs}).  Statement order and
+    [total_init_calls] are independent of [jobs]; [jobs:1] runs entirely
+    on the calling domain.  When [stats] is given, accumulates
+    INUM probe / template counters into it. *)
+val build_workload :
+  ?jobs:int ->
+  ?stats:Runtime.Stats.t ->
+  Optimizer.Whatif.env ->
+  Sqlast.Ast.workload ->
+  workload_cache
 
 (** Total INUM-approximated workload cost under a configuration, including
     index maintenance and base-update costs. *)

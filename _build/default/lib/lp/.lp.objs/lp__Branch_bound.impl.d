@@ -1,1 +1,1 @@
-lib/lp/branch_bound.ml: Array Float List Problem Simplex Unix
+lib/lp/branch_bound.ml: Array Float List Problem Runtime Simplex

@@ -113,8 +113,8 @@ let rounding_heuristic p int_vars x =
   if Problem.feasible p x' then Some x' else None
 
 let solve ?(options = default_options) (p : Problem.t) =
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let t0 = Runtime.Clock.now () in
+  let elapsed () = Runtime.Clock.now () -. t0 in
   let int_vars =
     match options.decision_vars with
     | Some vs -> vs

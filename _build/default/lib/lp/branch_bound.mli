@@ -5,7 +5,7 @@
     early-termination feature builds on. *)
 
 type event = {
-  elapsed : float;
+  elapsed : float;  (** seconds since solve start, on {!Runtime.Clock} *)
   incumbent : float option;  (** best integer objective so far *)
   bound : float;  (** proven lower bound *)
   nodes : int;

@@ -268,9 +268,23 @@ let of_string text =
     | Num lb :: Op Problem.Le :: Word v :: Op Problem.Le :: Num ub :: rest ->
         Problem.set_bounds p (var_of v) ~lb ~ub;
         parse_bounds rest
+    | Num lb :: Op Problem.Le :: Word v :: Op Problem.Le :: Minus :: Num ub
+      :: rest ->
+        Problem.set_bounds p (var_of v) ~lb ~ub:(-.ub);
+        parse_bounds rest
     | Minus :: Num lb :: Op Problem.Le :: Word v :: Op Problem.Le :: Num ub
       :: rest ->
         Problem.set_bounds p (var_of v) ~lb:(-.lb) ~ub;
+        parse_bounds rest
+    | Minus
+      :: Num lb
+      :: Op Problem.Le
+      :: Word v
+      :: Op Problem.Le
+      :: Minus
+      :: Num ub
+      :: rest ->
+        Problem.set_bounds p (var_of v) ~lb:(-.lb) ~ub:(-.ub);
         parse_bounds rest
     | Word v :: Word f :: rest when is_keyword f "free" ->
         Problem.set_bounds p (var_of v) ~lb:neg_infinity ~ub:infinity;

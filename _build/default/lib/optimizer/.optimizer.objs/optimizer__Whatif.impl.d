@@ -1,1 +1,1 @@
-lib/optimizer/whatif.ml: Access Array Ast Card Catalog Cost_params List Plan Sqlast Storage
+lib/optimizer/whatif.ml: Access Array Ast Atomic Card Catalog Cost_params List Plan Sqlast Storage

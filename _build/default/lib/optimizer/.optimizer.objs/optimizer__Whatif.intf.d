@@ -1,1 +1,1 @@
-lib/optimizer/whatif.mli: Catalog Cost_params Plan Sqlast Storage
+lib/optimizer/whatif.mli: Atomic Catalog Cost_params Plan Sqlast Storage

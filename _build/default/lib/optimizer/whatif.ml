@@ -13,17 +13,19 @@
 
 open Sqlast
 
+(* Immutable shared context + one atomic instrumentation cell, so an env
+   can be shared read-only across domains. *)
 type env = {
   params : Cost_params.t;
   schema : Catalog.Schema.t;
-  mutable whatif_calls : int;  (* number of direct optimizations performed *)
+  calls : int Atomic.t;  (* number of direct optimizations performed *)
 }
 
 let make_env ?(params = Cost_params.default) schema =
-  { params; schema; whatif_calls = 0 }
+  { params; schema; calls = Atomic.make 0 }
 
-let whatif_calls env = env.whatif_calls
-let reset_calls env = env.whatif_calls <- 0
+let whatif_calls env = Atomic.get env.calls
+let reset_calls env = Atomic.set env.calls 0
 
 (* What a template requires of each table's access. *)
 type slot_spec =
@@ -485,7 +487,7 @@ let finalize ctx entries =
 (* --- Public API --- *)
 
 let optimize env (q : Ast.query) (config : Storage.Config.t) =
-  env.whatif_calls <- env.whatif_calls + 1;
+  ignore (Atomic.fetch_and_add env.calls 1);
   let ctx = make_ctx env q (Direct config) in
   match finalize ctx (plan_joins ctx) with
   | Some plan -> plan

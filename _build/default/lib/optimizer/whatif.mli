@@ -7,10 +7,13 @@
     abstract zero-cost slots, so the resulting plan cost is exactly the
     internal plan cost beta of the paper. *)
 
+(** An environment is immutable shared context ([params], [schema]) plus
+    one atomic instrumentation cell: a single [env] may be shared
+    read-only across domains and probed concurrently. *)
 type env = {
   params : Cost_params.t;
   schema : Catalog.Schema.t;
-  mutable whatif_calls : int;  (** direct optimizations performed so far *)
+  calls : int Atomic.t;  (** direct optimizations performed so far *)
 }
 
 val make_env : ?params:Cost_params.t -> Catalog.Schema.t -> env

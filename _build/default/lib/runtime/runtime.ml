@@ -1,0 +1,263 @@
+(* Process-wide domain pool + instrumentation shared by every pipeline
+   stage.  See runtime.mli for the determinism contract. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Clock = struct
+  let start = Unix.gettimeofday ()
+
+  (* [Unix.gettimeofday] can step backwards (NTP adjustments); clamp to
+     the largest value handed out so far so elapsed-time arithmetic never
+     goes negative. *)
+  let high_water = Atomic.make 0.0
+
+  let now () =
+    let t = Unix.gettimeofday () -. start in
+    let rec clamp () =
+      let prev = Atomic.get high_water in
+      if t <= prev then prev
+      else if Atomic.compare_and_set high_water prev t then t
+      else clamp ()
+    in
+    clamp ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+(* Set on pool domains so a nested [parallel_map] from inside a worker
+   degrades to sequential instead of deadlocking on [pool_lock]. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop w () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock w.lock;
+    while w.job = None && not w.stop do
+      Condition.wait w.cond w.lock
+    done;
+    if w.stop then Mutex.unlock w.lock
+    else begin
+      let job = Option.get w.job in
+      w.job <- None;
+      Mutex.unlock w.lock;
+      (* Jobs are latch-signalling wrappers built in [parallel_map]; they
+         never raise. *)
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+(* [pool_lock] serializes parallel sections (one fan-out at a time) and
+   protects pool growth. *)
+let pool_lock = Mutex.create ()
+let workers : worker list ref = ref []
+let domains : unit Domain.t list ref = ref []
+let shutdown_registered = ref false
+let max_workers = 126
+
+let shutdown () =
+  Mutex.lock pool_lock;
+  List.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      w.stop <- true;
+      Condition.signal w.cond;
+      Mutex.unlock w.lock)
+    !workers;
+  List.iter Domain.join !domains;
+  workers := [];
+  domains := [];
+  Mutex.unlock pool_lock
+
+(* Grow the pool to [n] workers.  Must be called with [pool_lock] held. *)
+let ensure_workers n =
+  let n = min n max_workers in
+  if not !shutdown_registered then begin
+    shutdown_registered := true;
+    at_exit shutdown
+  end;
+  while List.length !workers < n do
+    let w =
+      { lock = Mutex.create (); cond = Condition.create (); job = None; stop = false }
+    in
+    let d = Domain.spawn (worker_loop w) in
+    workers := w :: !workers;
+    domains := d :: !domains
+  done
+
+let submit w job =
+  Mutex.lock w.lock;
+  w.job <- Some job;
+  Condition.signal w.cond;
+  Mutex.unlock w.lock
+
+let parallel_map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 || n <= 1 || Domain.DLS.get in_worker then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure : exn option Atomic.t = Atomic.make None in
+    (* Small chunks relative to [n / jobs] so uneven element costs
+       rebalance; chunk >= 1 keeps the cursor loop terminating. *)
+    let chunk = max 1 (n / (jobs * 8)) in
+    let body () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n || Atomic.get failure <> None then continue := false
+        else begin
+          let hi = min n (lo + chunk) in
+          try
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f arr.(i))
+            done
+          with e ->
+            ignore (Atomic.compare_and_set failure None (Some e));
+            continue := false
+        end
+      done
+    in
+    Mutex.lock pool_lock;
+    let finally () = Mutex.unlock pool_lock in
+    (try
+       let helpers = min (jobs - 1) max_workers in
+       ensure_workers helpers;
+       let enlisted =
+         (* Any [helpers] workers will do; the pool list only grows. *)
+         List.filteri (fun i _ -> i < helpers) !workers
+       in
+       let remaining = ref (List.length enlisted) in
+       let latch_lock = Mutex.create () in
+       let latch_cond = Condition.create () in
+       let helper_job () =
+         body ();
+         Mutex.lock latch_lock;
+         decr remaining;
+         if !remaining = 0 then Condition.broadcast latch_cond;
+         Mutex.unlock latch_lock
+       in
+       List.iter (fun w -> submit w helper_job) enlisted;
+       body ();
+       Mutex.lock latch_lock;
+       while !remaining > 0 do
+         Condition.wait latch_cond latch_lock
+       done;
+       Mutex.unlock latch_lock
+     with e ->
+       (* Only pool plumbing (e.g. Domain.spawn) can land here; [f]'s
+          exceptions are routed through [failure]. *)
+       finally ();
+       raise e);
+    finally ();
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type stage = Inum_build | Bip_build | Solve
+
+  type t = {
+    whatif_calls : int Atomic.t;
+    inum_probes : int Atomic.t;
+    inum_templates : int Atomic.t;
+    subproblem_solves : int Atomic.t;
+    cost_evals : int Atomic.t;
+    inum_build_s : float Atomic.t;
+    bip_build_s : float Atomic.t;
+    solve_s : float Atomic.t;
+  }
+
+  let create () =
+    {
+      whatif_calls = Atomic.make 0;
+      inum_probes = Atomic.make 0;
+      inum_templates = Atomic.make 0;
+      subproblem_solves = Atomic.make 0;
+      cost_evals = Atomic.make 0;
+      inum_build_s = Atomic.make 0.0;
+      bip_build_s = Atomic.make 0.0;
+      solve_s = Atomic.make 0.0;
+    }
+
+  let reset t =
+    Atomic.set t.whatif_calls 0;
+    Atomic.set t.inum_probes 0;
+    Atomic.set t.inum_templates 0;
+    Atomic.set t.subproblem_solves 0;
+    Atomic.set t.cost_evals 0;
+    Atomic.set t.inum_build_s 0.0;
+    Atomic.set t.bip_build_s 0.0;
+    Atomic.set t.solve_s 0.0
+
+  let add a k = if k <> 0 then ignore (Atomic.fetch_and_add a k)
+  let add_whatif_calls t k = add t.whatif_calls k
+  let add_inum_probes t k = add t.inum_probes k
+  let add_inum_templates t k = add t.inum_templates k
+  let add_subproblem_solves t k = add t.subproblem_solves k
+  let add_cost_evals t k = add t.cost_evals k
+  let whatif_calls t = Atomic.get t.whatif_calls
+  let inum_probes t = Atomic.get t.inum_probes
+  let inum_templates t = Atomic.get t.inum_templates
+  let subproblem_solves t = Atomic.get t.subproblem_solves
+  let cost_evals t = Atomic.get t.cost_evals
+
+  let add_float a dt =
+    let rec go () =
+      let prev = Atomic.get a in
+      if not (Atomic.compare_and_set a prev (prev +. dt)) then go ()
+    in
+    if dt <> 0.0 then go ()
+
+  let stage_cell t = function
+    | Inum_build -> t.inum_build_s
+    | Bip_build -> t.bip_build_s
+    | Solve -> t.solve_s
+
+  let add_stage_seconds t stage dt = add_float (stage_cell t stage) dt
+  let stage_seconds t stage = Atomic.get (stage_cell t stage)
+
+  let timed t stage f =
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> add_stage_seconds t stage (Clock.now () -. t0)) f
+
+  let pp ppf t =
+    Fmt.pf ppf
+      "@[<v>counters: whatif=%d inum_probes=%d templates=%d sproblems=%d \
+       cost_evals=%d@,\
+       stages:   inum_build=%.3fs bip_build=%.3fs solve=%.3fs@]"
+      (whatif_calls t) (inum_probes t) (inum_templates t) (subproblem_solves t)
+      (cost_evals t)
+      (stage_seconds t Inum_build)
+      (stage_seconds t Bip_build) (stage_seconds t Solve)
+
+  let to_json t =
+    Printf.sprintf
+      {|{"counters":{"whatif_calls":%d,"inum_probes":%d,"inum_templates":%d,"subproblem_solves":%d,"cost_evals":%d},"stage_seconds":{"inum_build":%.6f,"bip_build":%.6f,"solve":%.6f}}|}
+      (whatif_calls t) (inum_probes t) (inum_templates t) (subproblem_solves t)
+      (cost_evals t)
+      (stage_seconds t Inum_build)
+      (stage_seconds t Bip_build) (stage_seconds t Solve)
+end

@@ -1,0 +1,89 @@
+(** Shared parallel runtime for the CoPhy pipeline.
+
+    The advisor pipeline has two embarrassingly parallel hot stages
+    (per-statement INUM cache construction and per-block Lagrangian
+    subproblems).  Both fan out through {!parallel_map}, which runs on a
+    lazily-created pool of reusable worker domains.  The pool is a process
+    singleton: repeated parallel sections reuse the same domains instead of
+    paying [Domain.spawn] on every call.
+
+    Determinism contract: [parallel_map f arr] returns exactly
+    [Array.map f arr] — results are written back by index, so the output
+    order never depends on domain scheduling.  With [jobs:1] (or on arrays
+    of length [<= 1]) the call degrades to a plain sequential [Array.map]
+    on the calling domain, bit-identical to the pre-parallel code path. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], i.e. a job count matched to the
+    hardware. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ?jobs f arr] maps [f] over [arr] using up to [jobs]
+    domains (the caller participates, so at most [jobs - 1] pool workers
+    are enlisted).  [jobs] defaults to {!recommended_jobs}.
+
+    - Order-preserving: element [i] of the result is [f arr.(i)].
+    - Work is handed out in contiguous chunks claimed from an [Atomic]
+      cursor, so uneven per-element cost balances across domains.
+    - Exception-propagating: if any application of [f] raises, the first
+      exception captured is re-raised on the calling domain after all
+      workers have drained.
+    - Re-entrant: a call made from inside a worker (nested parallelism)
+      falls back to sequential [Array.map] rather than deadlocking on the
+      pool. *)
+
+(** Monotonic wall-clock used for every [elapsed]/timing field in the
+    code base ({!Clock.now} is non-decreasing even if the system clock
+    steps backwards). *)
+module Clock : sig
+  val now : unit -> float
+  (** Seconds since process start; guaranteed non-decreasing across calls
+      from any domain. *)
+end
+
+(** Atomic instrumentation counters shared across domains.  A [Stats.t]
+    value can be handed to every pipeline stage and mutated concurrently;
+    all updates are monotonic (counters only grow, timers only
+    accumulate). *)
+module Stats : sig
+  type t
+
+  type stage =
+    | Inum_build  (** INUM workload-cache construction (what-if probing) *)
+    | Bip_build  (** structured BIP ([Sproblem]) construction *)
+    | Solve  (** BIP solve (exact or decomposition) *)
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  (** Counter increments (thread-safe, monotonic). *)
+
+  val add_whatif_calls : t -> int -> unit
+  val add_inum_probes : t -> int -> unit
+  val add_inum_templates : t -> int -> unit
+  val add_subproblem_solves : t -> int -> unit
+  val add_cost_evals : t -> int -> unit
+
+  (** Counter reads. *)
+
+  val whatif_calls : t -> int
+  val inum_probes : t -> int
+  val inum_templates : t -> int
+  val subproblem_solves : t -> int
+  val cost_evals : t -> int
+
+  val add_stage_seconds : t -> stage -> float -> unit
+  (** Accumulate wall time into a stage timer. *)
+
+  val stage_seconds : t -> stage -> float
+
+  val timed : t -> stage -> (unit -> 'a) -> 'a
+  (** [timed t stage f] runs [f ()] and charges its wall time (measured on
+      {!Clock.now}) to [stage], even if [f] raises. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> string
+  (** Stable one-object JSON dump:
+      [{"counters":{...},"stage_seconds":{...}}]. *)
+end

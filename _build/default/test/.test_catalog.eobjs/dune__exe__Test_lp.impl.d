@@ -1,1 +1,1 @@
-test/test_lp.ml: Alcotest Array List Lp QCheck QCheck_alcotest Random
+test/test_lp.ml: Alcotest Array List Lp Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fun List Printf Runtime String

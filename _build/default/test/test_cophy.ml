@@ -485,6 +485,65 @@ let test_interactive_budget_change () =
     (Storage.Config.total_size schema poor.Cophy.Solver.config
      <= (0.1 *. db_size) +. 1.0)
 
+(* --- Parallel determinism (jobs must not change any result) --- *)
+
+(* Subgradient iteration order, incumbents and the final recommendation
+   must not depend on domain scheduling: per-block subproblems are
+   independent and every float reduction runs in fixed block order. *)
+let test_parallel_determinism () =
+  let w = Workload.Gen.hom schema ~n:30 ~seed:5 in
+  let run jobs =
+    let e = env () in
+    let cache = Inum.build_workload ~jobs e w in
+    let cands = Array.of_list (Cophy.Cgen.generate w) in
+    let sp = Cophy.Sproblem.build e cache cands in
+    let options =
+      {
+        Cophy.Decomposition.default_options with
+        Cophy.Decomposition.max_iters = 60;
+        jobs;
+      }
+    in
+    let r =
+      Cophy.Decomposition.solve ~options sp ~budget:(0.5 *. db_size)
+        ~z_rows:[]
+    in
+    (cache, r)
+  in
+  let c1, r1 = run 1 in
+  let c4, r4 = run 4 in
+  Alcotest.(check int) "total_init_calls identical" c1.Inum.total_init_calls
+    c4.Inum.total_init_calls;
+  Alcotest.(check int) "statement count" (List.length c1.Inum.selects)
+    (List.length c4.Inum.selects);
+  List.iter2
+    (fun (q1, w1, i1) (q4, w4, i4) ->
+      Alcotest.(check int) "statement order" q1.Ast.query_id q4.Ast.query_id;
+      Alcotest.(check (float 0.0)) "weight" w1 w4;
+      Alcotest.(check int) "template count" (Inum.template_count i1)
+        (Inum.template_count i4);
+      Alcotest.(check int) "init calls" (Inum.init_calls i1)
+        (Inum.init_calls i4))
+    c1.Inum.selects c4.Inum.selects;
+  Alcotest.(check (float 0.0)) "objective identical" r1.Cophy.Decomposition.obj
+    r4.Cophy.Decomposition.obj;
+  Alcotest.(check (float 0.0)) "bound identical" r1.Cophy.Decomposition.bound
+    r4.Cophy.Decomposition.bound;
+  Alcotest.(check int) "iteration count identical"
+    r1.Cophy.Decomposition.iterations r4.Cophy.Decomposition.iterations;
+  Alcotest.(check (array bool)) "selection identical" r1.Cophy.Decomposition.z
+    r4.Cophy.Decomposition.z
+
+let test_parallel_determinism_advisor () =
+  let w = small_workload ~n:8 ~seed:11 () in
+  let run jobs = Cophy.Advisor.advise ~jobs schema w ~budget_fraction:0.4 in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check (float 0.0)) "objective identical"
+    r1.Cophy.Advisor.report.Cophy.Solver.objective
+    r4.Cophy.Advisor.report.Cophy.Solver.objective;
+  Alcotest.(check bool) "config identical" true
+    (Storage.Config.equal r1.Cophy.Advisor.config r4.Cophy.Advisor.config)
+
 let () =
   Alcotest.run "cophy"
     [
@@ -536,5 +595,12 @@ let () =
         [
           Alcotest.test_case "retune" `Quick test_interactive_retune;
           Alcotest.test_case "budget change" `Quick test_interactive_budget_change;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4 (inum + decomposition)" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "jobs 1 = jobs 4 (advisor)" `Quick
+            test_parallel_determinism_advisor;
         ] );
     ]

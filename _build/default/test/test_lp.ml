@@ -341,6 +341,92 @@ let test_lp_format_errors () =
   | exception Lp.Lp_format.Format_error _ -> ()
   | _ -> Alcotest.fail "expected format error"
 
+(* Random-problem round trip: of_string (to_string p) must preserve
+   every variable (kind, bounds, objective) and row (sense, rhs,
+   coefficients).  The parser may renumber variables when Binary/General
+   sections are present, so everything is compared by name.  Numbers are
+   quarter-integers: they print exactly under %.12g and re-parse
+   exactly, making float equality legitimate. *)
+
+let quantized rng = float_of_int (Random.State.int rng 33 - 16) /. 4.0
+
+let nonzero_quantized rng =
+  let v = quantized rng in
+  if v = 0.0 then 1.25 else v
+
+let build_random_lp_file_problem seed =
+  let rng = Random.State.make [| seed; 991 |] in
+  let p = Lp.Problem.create () in
+  let n = 1 + Random.State.int rng 7 in
+  let vars =
+    Array.init n (fun i ->
+        let name = Printf.sprintf "v%d" i in
+        (* the writer drops zero-coefficient objective terms, which
+           would make the variable invisible to the parser *)
+        let obj = nonzero_quantized rng in
+        match Random.State.int rng 4 with
+        | 0 -> Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj ~name p
+        | 1 -> Lp.Problem.add_var ~kind:Lp.Problem.Integer ~obj ~name p
+        | _ -> (
+            (* continuous, restricted to the bound shapes the writer
+               emits losslessly *)
+            match Random.State.int rng 4 with
+            | 0 -> Lp.Problem.add_var ~obj ~name p
+            | 1 ->
+                Lp.Problem.add_var ~lb:neg_infinity ~ub:infinity ~obj ~name p
+            | 2 -> Lp.Problem.add_var ~lb:(quantized rng) ~obj ~name p
+            | _ ->
+                let lb = quantized rng in
+                let ub = lb +. abs_float (quantized rng) in
+                Lp.Problem.add_var ~lb ~ub ~obj ~name p))
+  in
+  let m = Random.State.int rng 5 in
+  for r = 0 to m - 1 do
+    let members =
+      Array.to_list vars |> List.filter (fun _ -> Random.State.bool rng)
+    in
+    let members = if members = [] then [ vars.(0) ] else members in
+    let coeffs = List.map (fun v -> (v, nonzero_quantized rng)) members in
+    let sense =
+      match Random.State.int rng 3 with
+      | 0 -> Lp.Problem.Le
+      | 1 -> Lp.Problem.Ge
+      | _ -> Lp.Problem.Eq
+    in
+    ignore
+      (Lp.Problem.add_row ~name:(Printf.sprintf "c%d" r) p coeffs sense
+         (quantized rng))
+  done;
+  p
+
+let lp_vars_by_name p =
+  List.init (Lp.Problem.nvars p) (fun i ->
+      let v = Lp.Problem.var p i in
+      ( v.Lp.Problem.vname,
+        (v.Lp.Problem.kind, v.Lp.Problem.lb, v.Lp.Problem.ub, v.Lp.Problem.obj)
+      ))
+  |> List.sort compare
+
+let lp_rows_by_name p =
+  Array.to_list (Lp.Problem.rows p)
+  |> List.map (fun (r : Lp.Problem.row) ->
+         ( r.Lp.Problem.rname,
+           ( r.Lp.Problem.sense,
+             r.Lp.Problem.rhs,
+             Array.to_list r.Lp.Problem.coeffs
+             |> List.map (fun (vi, c) -> ((Lp.Problem.var p vi).Lp.Problem.vname, c))
+             |> List.sort compare ) ))
+  |> List.sort compare
+
+let prop_lp_format_roundtrip_random =
+  QCheck.Test.make ~name:"roundtrip on random problems" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let p = build_random_lp_file_problem seed in
+      let p' = Lp.Lp_format.of_string (Lp.Lp_format.to_string p) in
+      lp_vars_by_name p = lp_vars_by_name p'
+      && lp_rows_by_name p = lp_rows_by_name p')
+
 (* --- decision-variable restricted branching --- *)
 
 let test_bb_decision_vars () =
@@ -397,5 +483,6 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_lp_format_roundtrip;
           Alcotest.test_case "handwritten" `Quick test_lp_format_parse_handwritten;
           Alcotest.test_case "errors" `Quick test_lp_format_errors;
+          QCheck_alcotest.to_alcotest prop_lp_format_roundtrip_random;
         ] );
     ]

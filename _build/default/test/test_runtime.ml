@@ -1,0 +1,158 @@
+(* The parallel runtime: parallel_map's determinism contract (order
+   preservation, sequential-path equivalence, exception propagation),
+   the atomic stats counters under concurrent updates, and the monotonic
+   clock. *)
+
+exception Boom of int
+
+let test_map_matches_sequential () =
+  let arr = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        seq
+        (Runtime.parallel_map ~jobs f arr))
+    [ 1; 2; 4; 8 ]
+
+let test_map_order_preserved () =
+  (* Uneven per-element cost exercises the chunked cursor: late chunks
+     may finish before early ones, but slots are written by index. *)
+  let arr = Array.init 200 (fun i -> i) in
+  let f i =
+    if i mod 7 = 0 then begin
+      let acc = ref 0 in
+      for k = 0 to 20_000 do
+        acc := !acc + k
+      done;
+      ignore !acc
+    end;
+    i * 2
+  in
+  Alcotest.(check (array int))
+    "order" (Array.map f arr)
+    (Runtime.parallel_map ~jobs:4 f arr)
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (array int))
+    "empty" [||]
+    (Runtime.parallel_map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int))
+    "singleton" [| 43 |]
+    (Runtime.parallel_map ~jobs:4 (fun x -> x + 1) [| 42 |])
+
+let test_map_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      match
+        Runtime.parallel_map ~jobs
+          (fun i -> if i = 500 then raise (Boom i) else i)
+          (Array.init 1000 (fun i -> i))
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom 500 -> ())
+    [ 1; 4 ]
+
+let test_map_usable_after_exception () =
+  (* The pool must survive a failed section. *)
+  (try
+     ignore
+       (Runtime.parallel_map ~jobs:4
+          (fun i -> if i mod 3 = 0 then raise Exit else i)
+          (Array.init 100 (fun i -> i)))
+   with Exit -> ());
+  Alcotest.(check (array int))
+    "reusable"
+    (Array.init 100 (fun i -> i + 1))
+    (Runtime.parallel_map ~jobs:4 (fun i -> i + 1) (Array.init 100 (fun i -> i)))
+
+let test_map_nested () =
+  (* Nested parallel_map from worker context degrades to sequential but
+     must still be correct. *)
+  let out =
+    Runtime.parallel_map ~jobs:4
+      (fun i ->
+        Array.fold_left ( + ) 0
+          (Runtime.parallel_map ~jobs:4 (fun j -> i + j) (Array.init 10 Fun.id)))
+      (Array.init 20 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "nested" (Array.init 20 (fun i -> (10 * i) + 45)) out
+
+let test_stats_concurrent () =
+  let st = Runtime.Stats.create () in
+  ignore
+    (Runtime.parallel_map ~jobs:4
+       (fun _ ->
+         Runtime.Stats.add_whatif_calls st 1;
+         Runtime.Stats.add_inum_probes st 2)
+       (Array.make 1000 ()));
+  Alcotest.(check int) "whatif" 1000 (Runtime.Stats.whatif_calls st);
+  Alcotest.(check int) "probes" 2000 (Runtime.Stats.inum_probes st);
+  Runtime.Stats.reset st;
+  Alcotest.(check int) "reset" 0 (Runtime.Stats.whatif_calls st)
+
+let test_stats_stages_and_json () =
+  let st = Runtime.Stats.create () in
+  Runtime.Stats.add_stage_seconds st Runtime.Stats.Inum_build 1.5;
+  Runtime.Stats.add_stage_seconds st Runtime.Stats.Inum_build 0.5;
+  Alcotest.(check (float 1e-9))
+    "accumulates" 2.0
+    (Runtime.Stats.stage_seconds st Runtime.Stats.Inum_build);
+  let v = Runtime.Stats.timed st Runtime.Stats.Solve (fun () -> 7) in
+  Alcotest.(check int) "timed value" 7 v;
+  Alcotest.(check bool)
+    "timed accumulates" true
+    (Runtime.Stats.stage_seconds st Runtime.Stats.Solve >= 0.0);
+  let json = Runtime.Stats.to_json st in
+  Alcotest.(check bool)
+    "json shape" true
+    (String.length json > 0
+    && json.[0] = '{'
+    && json.[String.length json - 1] = '}');
+  (* stable keys future PRs parse *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (key ^ " present") true
+        (let rec find i =
+           i + String.length key <= String.length json
+           && (String.sub json i (String.length key) = key || find (i + 1))
+         in
+         find 0))
+    [ "\"counters\""; "\"stage_seconds\""; "\"whatif_calls\""; "\"inum_build\"" ]
+
+let test_clock_monotonic () =
+  let a = Runtime.Clock.now () in
+  let b = Runtime.Clock.now () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "non-negative" true (a >= 0.0)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "parallel_map",
+        [
+          Alcotest.test_case "matches sequential map" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "order preserved under uneven load" `Quick
+            test_map_order_preserved;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_map_propagates_exception;
+          Alcotest.test_case "pool survives exceptions" `Quick
+            test_map_usable_after_exception;
+          Alcotest.test_case "nested calls fall back" `Quick test_map_nested;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "concurrent counters" `Quick test_stats_concurrent;
+          Alcotest.test_case "stage timers and json" `Quick
+            test_stats_stages_and_json;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+    ]

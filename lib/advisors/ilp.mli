@@ -10,6 +10,7 @@ type options = {
   per_query_cap : int;  (** atomic configurations kept per query *)
   gap_tolerance : float;
   time_limit : float;
+  jobs : int;  (** domains for the INUM build (default [1]) *)
 }
 
 val default_options : options
