@@ -18,12 +18,22 @@
    recommendation so job counts can be checked for identical results.
 
    --json <file> runs the full pipeline once and writes stage wall-times
-   and Runtime.Stats counters in a stable schema (schema_version 1) as a
-   machine-readable perf baseline for future PRs. *)
+   and Runtime.Stats counters in a stable schema (schema_version 2) as a
+   machine-readable perf baseline for future PRs.  It also times the LP
+   relaxation of a materialized Theorem-1 BIP under the selected
+   --backend (sparse revised simplex + presolve, or the dense reference
+   kernel) so backend solve-phase speedups are recorded alongside the
+   pipeline numbers. *)
 
 let bench_n = 100
 let bench_seed = 7
 let bench_budget_fraction = 0.5
+
+(* Workload size for the materialized-BIP LP timing: large enough that
+   the kernels separate, small enough that the dense reference finishes
+   in CI (its per-pivot cost is O(rows^2); at n = 40 it needs upwards of
+   ten CPU-minutes where the sparse kernel takes seconds). *)
+let lp_bench_n = 20
 
 (* Sorted index list of a configuration — a stable identity for
    cross-job-count comparisons. *)
@@ -53,8 +63,47 @@ let macro_suite ~jobs =
     (String.concat "; " (config_indexes r.Cophy.Advisor.config));
   Fmt.pr "%a@." Runtime.Stats.pp r.Cophy.Advisor.timings.Cophy.Advisor.stats
 
+let backend_of_kind = function
+  | `Sparse -> Lp.Backend.default
+  | `Dense -> Lp.Backend.dense_reference
+
+let backend_name = function `Sparse -> "sparse" | `Dense -> "dense"
+
+(* LP solve-phase timing on a materialized Theorem-1 BIP — the instance
+   class where the kernel dominates the solve.  Returns the JSON
+   fragment. *)
+let lp_phase ~backend_kind =
+  let schema = Catalog.Tpch.schema () in
+  let w = Workload.Gen.hom schema ~n:lp_bench_n ~seed:bench_seed in
+  let env = Optimizer.Whatif.make_env schema in
+  let cache = Inum.build_workload env w in
+  let cands = Array.of_list (Cophy.Cgen.generate w) in
+  let sp = Cophy.Sproblem.build env cache cands in
+  let budget = bench_budget_fraction *. Catalog.Tpch.database_size schema in
+  let p, _vars = Cophy.Sproblem.to_lp ~budget sp in
+  let stats = Lp.Backend.create_stats () in
+  let backend =
+    { (backend_of_kind backend_kind) with Lp.Backend.stats = Some stats }
+  in
+  let t0 = Runtime.Clock.now () in
+  let r = Lp.Backend.solve backend p in
+  let dt = Runtime.Clock.now () -. t0 in
+  Printf.sprintf
+    {|{"n":%d,"rows":%d,"vars":%d,"status":"%s","objective":%.6f,"solve_seconds":%.6f,"pivots":%d,"refactorizations":%d,"presolve":{"rows_removed":%d,"vars_removed":%d,"bounds_tightened":%d}}|}
+    lp_bench_n (Lp.Problem.nrows p) (Lp.Problem.nvars p)
+    (match r.Lp.Simplex.status with
+    | Lp.Simplex.Optimal -> "optimal"
+    | Lp.Simplex.Infeasible -> "infeasible"
+    | Lp.Simplex.Unbounded -> "unbounded"
+    | Lp.Simplex.Iter_limit -> "iter_limit")
+    r.Lp.Simplex.obj dt stats.Lp.Backend.kernel.Lp.Simplex.pivots
+    stats.Lp.Backend.kernel.Lp.Simplex.refactorizations
+    stats.Lp.Backend.presolve.Lp.Presolve.rows_removed
+    stats.Lp.Backend.presolve.Lp.Presolve.vars_removed
+    stats.Lp.Backend.presolve.Lp.Presolve.bounds_tightened
+
 (* --json: one pipeline run, stable machine-readable schema. *)
-let json_mode ~jobs file =
+let json_mode ~jobs ~backend_kind file =
   (* Fail on an unwritable path before the (expensive) pipeline run. *)
   let oc =
     try open_out file
@@ -66,16 +115,19 @@ let json_mode ~jobs file =
   let w = Workload.Gen.hom schema ~n:bench_n ~seed:bench_seed in
   let stats = Runtime.Stats.create () in
   let r =
-    Cophy.Advisor.advise ~jobs ~stats schema w
+    Cophy.Advisor.advise ~jobs ~stats
+      ~backend:(backend_of_kind backend_kind) schema w
       ~budget_fraction:bench_budget_fraction
   in
   let t = r.Cophy.Advisor.timings in
+  let lp_json = lp_phase ~backend_kind in
   let json =
     Printf.sprintf
-      {|{"schema_version":1,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]}}|}
-      bench_n bench_seed jobs bench_budget_fraction
-      t.Cophy.Advisor.inum_seconds t.Cophy.Advisor.build_seconds
-      t.Cophy.Advisor.solve_seconds
+      {|{"schema_version":2,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s}|}
+      bench_n bench_seed jobs
+      (backend_name backend_kind)
+      bench_budget_fraction t.Cophy.Advisor.inum_seconds
+      t.Cophy.Advisor.build_seconds t.Cophy.Advisor.solve_seconds
       (Runtime.Stats.to_json stats)
       r.Cophy.Advisor.report.Cophy.Solver.objective
       r.Cophy.Advisor.report.Cophy.Solver.bound
@@ -85,6 +137,7 @@ let json_mode ~jobs file =
          (List.map
             (fun s -> Printf.sprintf "%S" s)
             (config_indexes r.Cophy.Advisor.config)))
+      lp_json
   in
   output_string oc json;
   output_char oc '\n';
@@ -173,6 +226,7 @@ let () =
      experiment-name filter. *)
   let jobs = ref 1 in
   let json = ref None in
+  let backend_kind = ref `Sparse in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
@@ -193,6 +247,20 @@ let () =
     | [ "--json" ] ->
         Fmt.epr "--json expects a file path@.";
         exit 2
+    | "--backend" :: v :: tl -> (
+        match v with
+        | "sparse" ->
+            backend_kind := `Sparse;
+            parse tl
+        | "dense" ->
+            backend_kind := `Dense;
+            parse tl
+        | _ ->
+            Fmt.epr "--backend expects sparse or dense, got %S@." v;
+            exit 2)
+    | [ "--backend" ] ->
+        Fmt.epr "--backend expects a value@.";
+        exit 2
     | a :: tl ->
         rest := a :: !rest;
         parse tl
@@ -201,7 +269,7 @@ let () =
   let args = List.rev !rest in
   let jobs = if !jobs <= 0 then Runtime.recommended_jobs () else !jobs in
   match !json with
-  | Some file -> json_mode ~jobs file
+  | Some file -> json_mode ~jobs ~backend_kind:!backend_kind file
   | None ->
   if List.mem "--micro" args then begin
     micro_suite ();

@@ -61,6 +61,22 @@ let jobs =
 
 let resolve_jobs j = if j <= 0 then Runtime.recommended_jobs () else j
 
+let backend_arg =
+  let doc =
+    "LP kernel for the solver: $(b,sparse) (revised simplex over an LU \
+     factorization, with presolve; the default) or $(b,dense) (the dense \
+     reference kernel, no presolve).  The recommendation is identical for \
+     both."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sparse", `Sparse); ("dense", `Dense) ]) `Sparse
+    & info [ "backend" ] ~docv:"KERNEL" ~doc)
+
+let resolve_backend = function
+  | `Sparse -> Lp.Backend.default
+  | `Dense -> Lp.Backend.dense_reference
+
 let explain_flag =
   let doc = "Print a per-statement explanation of the recommendation." in
   Arg.(value & flag & info [ "explain" ] ~doc)
@@ -92,13 +108,15 @@ let make_inputs sf z shape n seed updates sql_file =
 (* --- advise --- *)
 
 let advise_cmd =
-  let run n seed z sf m shape updates sql_file gap verbose explain jobs =
+  let run n seed z sf m shape updates sql_file gap verbose explain jobs backend
+      =
     let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
     let solver_options =
       { Cophy.Solver.default_options with
         Cophy.Solver.gap_tolerance = gap;
+        backend = resolve_backend backend;
         on_feedback =
           (if verbose then fun (f : Cophy.Solver.feedback) ->
              Fmt.epr "[%6.2fs] incumbent=%a bound=%.0f@."
@@ -154,7 +172,7 @@ let advise_cmd =
   Cmd.v (Cmd.info "advise" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ gap $ verbose $ explain_flag $ jobs)
+      $ sql_file $ gap $ verbose $ explain_flag $ jobs $ backend_arg)
 
 (* --- compare --- *)
 

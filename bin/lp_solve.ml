@@ -1,23 +1,62 @@
 (* A small MIP solver front-end for CPLEX LP format files:
 
      dune exec bin/lp_solve.exe -- model.lp [--gap 0.01] [--time 60]
+                                  [--backend sparse|dense] [--no-presolve]
+                                  [--stats]
 
    Prints the status, objective, and nonzero variable values — handy for
-   inspecting BIPs exported with Lp.Lp_format.to_file. *)
+   inspecting BIPs exported with Lp.Lp_format.to_file.  [--stats] adds
+   kernel counters (simplex pivots, sparse refactorizations) and the
+   presolve's row/variable/bound reductions. *)
 
 let () =
   let file = ref "" in
   let gap = ref 1e-6 in
   let time = ref infinity in
+  let backend_kind = ref Lp.Backend.Sparse in
+  let presolve = ref true in
+  let want_stats = ref false in
+  let set_backend s =
+    match Lp.Backend.kind_of_string s with
+    | Some k -> backend_kind := k
+    | None -> raise (Arg.Bad (Printf.sprintf "unknown backend %S" s))
+  in
   let specs =
     [ ("--gap", Arg.Set_float gap, "relative optimality gap (default 1e-6)");
-      ("--time", Arg.Set_float time, "time limit in seconds") ]
+      ("--time", Arg.Set_float time, "time limit in seconds");
+      ( "--backend",
+        Arg.Symbol ([ "sparse"; "dense" ], set_backend),
+        " LP kernel: sparse revised simplex (default) or dense reference" );
+      ("--no-presolve", Arg.Clear presolve, "disable the BIP presolve pass");
+      ( "--stats",
+        Arg.Set want_stats,
+        "print kernel and presolve counters after solving" ) ]
   in
   Arg.parse specs (fun f -> file := f) "lp_solve [options] FILE.lp";
   if !file = "" then begin
     prerr_endline "usage: lp_solve [options] FILE.lp";
     exit 2
   end;
+  let stats = Lp.Backend.create_stats () in
+  let backend =
+    Lp.Backend.create ~kind:!backend_kind ~presolve:!presolve ~stats ()
+  in
+  let print_stats () =
+    if !want_stats then begin
+      Fmt.pr "backend: %s%s@."
+        (Lp.Backend.kind_to_string !backend_kind)
+        (if !presolve then " + presolve" else "");
+      Fmt.pr "lp solves: %d@." stats.Lp.Backend.lp_solves;
+      Fmt.pr "pivots: %d@." stats.Lp.Backend.kernel.Lp.Simplex.pivots;
+      Fmt.pr "refactorizations: %d@."
+        stats.Lp.Backend.kernel.Lp.Simplex.refactorizations;
+      if !presolve then
+        Fmt.pr "presolve: %d rows removed, %d vars fixed, %d bounds tightened@."
+          stats.Lp.Backend.presolve.Lp.Presolve.rows_removed
+          stats.Lp.Backend.presolve.Lp.Presolve.vars_removed
+          stats.Lp.Backend.presolve.Lp.Presolve.bounds_tightened
+    end
+  in
   match Lp.Lp_format.of_file !file with
   | exception Lp.Lp_format.Format_error msg ->
       Fmt.epr "parse error: %s@." msg;
@@ -28,7 +67,8 @@ let () =
         let options =
           { Lp.Branch_bound.default_options with
             Lp.Branch_bound.gap_tolerance = !gap;
-            time_limit = !time }
+            time_limit = !time;
+            backend }
         in
         let r = Lp.Branch_bound.solve ~options p in
         (match r.Lp.Branch_bound.status with
@@ -41,7 +81,9 @@ let () =
         | Lp.Branch_bound.Unbounded -> Fmt.pr "status: unbounded@."
         | Lp.Branch_bound.Limit -> Fmt.pr "status: limit reached@.");
         match r.Lp.Branch_bound.x with
-        | None -> exit (if r.Lp.Branch_bound.status = Lp.Branch_bound.Infeasible then 1 else 3)
+        | None ->
+            print_stats ();
+            exit (if r.Lp.Branch_bound.status = Lp.Branch_bound.Infeasible then 1 else 3)
         | Some x ->
             Fmt.pr "objective: %.9g@.nodes: %d@." r.Lp.Branch_bound.obj
               r.Lp.Branch_bound.nodes;
@@ -49,10 +91,11 @@ let () =
               (fun v value ->
                 if abs_float value > 1e-9 then
                   Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
-              x
+              x;
+            print_stats ()
       end
       else begin
-        let r = Lp.Simplex.solve p in
+        let r = Lp.Backend.solve backend p in
         (match r.Lp.Simplex.status with
         | Lp.Simplex.Optimal ->
             Fmt.pr "status: optimal@.objective: %.9g@.iterations: %d@."
@@ -62,8 +105,18 @@ let () =
               (fun v value ->
                 if abs_float value > 1e-9 then
                   Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
-              r.Lp.Simplex.x
-        | Lp.Simplex.Infeasible -> Fmt.pr "status: infeasible@."; exit 1
-        | Lp.Simplex.Unbounded -> Fmt.pr "status: unbounded@."; exit 1
-        | Lp.Simplex.Iter_limit -> Fmt.pr "status: iteration limit@."; exit 3)
+              r.Lp.Simplex.x;
+            print_stats ()
+        | Lp.Simplex.Infeasible ->
+            Fmt.pr "status: infeasible@.";
+            print_stats ();
+            exit 1
+        | Lp.Simplex.Unbounded ->
+            Fmt.pr "status: unbounded@.";
+            print_stats ();
+            exit 1
+        | Lp.Simplex.Iter_limit ->
+            Fmt.pr "status: iteration limit@.";
+            print_stats ();
+            exit 3)
       end

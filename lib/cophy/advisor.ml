@@ -53,7 +53,7 @@ let resolve_constraints (env : Optimizer.Whatif.env) (cache : Inum.workload_cach
 let advise ?(params = Optimizer.Cost_params.default)
     ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
     ?(solver_options = Solver.default_options)
-    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats schema
+    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats ?backend schema
     (w : Sqlast.Ast.workload) ~budget_fraction =
   let stats = match stats with Some s -> s | None -> Runtime.Stats.create () in
   let env = Optimizer.Whatif.make_env ~params schema in
@@ -80,6 +80,11 @@ let advise ?(params = Optimizer.Cost_params.default)
   in
   let solver_options =
     { solver_options with Solver.jobs; stats = Some stats }
+  in
+  let solver_options =
+    match backend with
+    | Some b -> { solver_options with Solver.backend = b }
+    | None -> solver_options
   in
   let report =
     Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget

@@ -36,8 +36,10 @@ val total_seconds : recommendation -> float
       (default [1]; the recommendation is identical at every job count —
       use {!Runtime.recommended_jobs} to saturate the machine).
     @param stats caller-supplied stats sink; a fresh one is created (and
-      returned in [timings.stats]) when omitted.  [jobs] and [stats]
-      override the corresponding [solver_options] fields.
+      returned in [timings.stats]) when omitted.  [jobs], [stats] and
+      [backend] override the corresponding [solver_options] fields.
+    @param backend LP backend for every LP the solve runs (default: the
+      [solver_options] setting, itself {!Lp.Backend.default}).
     @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val advise :
   ?params:Optimizer.Cost_params.t ->
@@ -48,6 +50,7 @@ val advise :
   ?baseline:Storage.Config.t ->
   ?jobs:int ->
   ?stats:Runtime.Stats.t ->
+  ?backend:Lp.Backend.t ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget_fraction:float ->

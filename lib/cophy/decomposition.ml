@@ -41,6 +41,7 @@ type options = {
   local_search_period : int;
   jobs : int;
   stats : Runtime.Stats.t option;
+  backend : Lp.Backend.t;  (* LP backend for the z subproblem *)
 }
 
 let default_options =
@@ -54,6 +55,7 @@ let default_options =
     local_search_period = 10;
     jobs = 1;
     stats = None;
+    backend = Lp.Backend.default;
   }
 
 type result = {
@@ -131,8 +133,8 @@ let block_subproblem (b : Sproblem.block) (lam : float array) ~excluded =
 (* min sum w_a z_a  s.t.  sizes.z <= budget, extra z rows, 0 <= z <= 1.
    Without extra rows this is a fractional knapsack solved greedily;
    otherwise we hand the small LP to the simplex. *)
-let z_subproblem ~w ~(sizes : float array) ~budget ~(z_rows : Constr.z_row list)
-    ~forced_one ~forced_zero =
+let z_subproblem ~backend ~w ~(sizes : float array) ~budget
+    ~(z_rows : Constr.z_row list) ~forced_one ~forced_zero =
   let n = Array.length w in
   if z_rows = [] then begin
     let z = Array.make n 0.0 in
@@ -190,7 +192,14 @@ let z_subproblem ~w ~(sizes : float array) ~budget ~(z_rows : Constr.z_row list)
              (List.map (fun (a, c) -> (vars.(a), c)) row.Constr.row_coeffs)
              sense row.Constr.row_rhs))
       z_rows;
-    let r = Lp.Simplex.solve p in
+    (* Presolve is disabled here: its bound tightening and row scaling
+       can land on a different optimal vertex of this (often degenerate)
+       LP, and the fractional vertex feeds the rounding heuristic — the
+       raw kernels follow the same pivot sequence, keeping the
+       recommendation identical across backends. *)
+    let r =
+      Lp.Backend.solve { backend with Lp.Backend.presolve = false } p
+    in
     match r.Lp.Simplex.status with
     | Lp.Simplex.Optimal | Lp.Simplex.Iter_limit ->
         (r.Lp.Simplex.obj, Array.init n (fun a -> r.Lp.Simplex.x.(vars.(a))))
@@ -510,8 +519,8 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
            lower := !lower +. v)
          sub;
        let zval, zfrac =
-         z_subproblem ~w ~sizes:sp.Sproblem.sizes ~budget ~z_rows ~forced_one
-           ~forced_zero
+         z_subproblem ~backend:options.backend ~w ~sizes:sp.Sproblem.sizes
+           ~budget ~z_rows ~forced_one ~forced_zero
        in
        if zval = infinity then begin
          (* z polytope infeasible *)

@@ -34,6 +34,9 @@ type options = {
           reduction runs in fixed block order. *)
   stats : Runtime.Stats.t option;
       (** when set, accumulates subproblem-solve / cost-eval counters *)
+  backend : Lp.Backend.t;
+      (** LP backend for the z subproblem (used when extra z-rows make
+          the greedy fractional knapsack inapplicable) *)
 }
 
 val default_options : options

@@ -29,6 +29,7 @@ type options = {
   warm : Decomposition.multipliers option;
   jobs : int;                (* domains for the decomposition fan-outs *)
   stats : Runtime.Stats.t option;
+  backend : Lp.Backend.t;    (* LP backend for every LP this solve runs *)
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
     warm = None;
     jobs = 1;
     stats = None;
+    backend = Lp.Backend.default;
   }
 
 type report = {
@@ -63,7 +65,8 @@ type report = {
 let exact_variable_limit = 800
 
 (* Feasibility of the z-only polytope (mandatory/forbidden/budget/...). *)
-let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
+let check_feasibility ?(backend = Lp.Backend.default) (sp : Sproblem.t) ~budget
+    ~z_rows =
   let n = Array.length sp.Sproblem.candidates in
   let p = Lp.Problem.create () in
   let vars = Array.init n (fun _ -> Lp.Problem.add_var ~ub:1.0 p) in
@@ -85,7 +88,7 @@ let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
            (List.map (fun (a, c) -> (vars.(a), c)) row.Constr.row_coeffs)
            sense row.Constr.row_rhs))
     z_rows;
-  let r = Lp.Simplex.solve p in
+  let r = Lp.Backend.solve backend p in
   match r.Lp.Simplex.status with
   | Lp.Simplex.Infeasible ->
       (* Identify offenders: re-test each row alone against the bounds. *)
@@ -104,7 +107,7 @@ let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
               (Lp.Problem.add_row p1
                  (List.map (fun (a, c) -> (vars1.(a), c)) row.Constr.row_coeffs)
                  sense row.Constr.row_rhs);
-            match (Lp.Simplex.solve p1).Lp.Simplex.status with
+            match (Lp.Backend.solve backend p1).Lp.Simplex.status with
             | Lp.Simplex.Infeasible -> Some row.Constr.row_name
             | _ -> None)
           z_rows
@@ -118,7 +121,7 @@ let check_feasibility (sp : Sproblem.t) ~budget ~z_rows =
 
 let solve ?(options = default_options) ?(block_caps = []) ?accept
     (sp : Sproblem.t) ~budget ~z_rows =
-  check_feasibility sp ~budget ~z_rows;
+  check_feasibility ~backend:options.backend sp ~budget ~z_rows;
   let t0 = Runtime.Clock.now () in
   let method_ =
     match options.method_ with
@@ -146,6 +149,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
              integral the per-block LP is a pure minimum with an integral
              optimum (Theorem 1's structure) *)
           decision_vars = Some (Array.to_list vars.Sproblem.z_var);
+          backend = options.backend;
           on_event =
             (fun (e : Lp.Branch_bound.event) ->
               let f =
@@ -196,6 +200,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
           log_events = options.log_events;
           jobs = options.jobs;
           stats = options.stats;
+          backend = options.backend;
           on_event =
             (fun (e : Decomposition.event) ->
               let f =

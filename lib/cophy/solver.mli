@@ -32,6 +32,10 @@ type options = {
           the result is identical at every job count) *)
   stats : Runtime.Stats.t option;
       (** when set, the solve accumulates its counters into it *)
+  backend : Lp.Backend.t;
+      (** LP backend used for every LP this solve runs: the feasibility
+          probe, branch-and-bound relaxations on the exact path, and the
+          decomposition's z subproblem (default {!Lp.Backend.default}) *)
 }
 
 val default_options : options
@@ -51,7 +55,11 @@ type report = {
 (** Check that the z polytope (budget + linear z rows) is non-empty.
     @raise Infeasible with offender names otherwise. *)
 val check_feasibility :
-  Sproblem.t -> budget:float -> z_rows:Constr.z_row list -> unit
+  ?backend:Lp.Backend.t ->
+  Sproblem.t ->
+  budget:float ->
+  z_rows:Constr.z_row list ->
+  unit
 
 (** Solve the tuning BIP.  [block_caps] are per-statement cost caps
     (query-cost constraints), which force the exact path; [accept] is the

@@ -1,0 +1,76 @@
+type kind = Sparse | Dense
+
+type stats = {
+  kernel : Simplex.kernel_stats;
+  presolve : Presolve.stats;
+  mutable lp_solves : int;
+}
+
+let create_stats () =
+  {
+    kernel = Simplex.create_stats ();
+    presolve = Presolve.create_stats ();
+    lp_solves = 0;
+  }
+
+type t = { kind : kind; presolve : bool; stats : stats option }
+
+let create ?(kind = Sparse) ?(presolve = true) ?stats () =
+  { kind; presolve; stats }
+
+let default = create ()
+let dense_reference = create ~kind:Dense ~presolve:false ()
+
+let kind_of_string = function
+  | "sparse" -> Some Sparse
+  | "dense" -> Some Dense
+  | _ -> None
+
+let kind_to_string = function Sparse -> "sparse" | Dense -> "dense"
+
+let basis_of_kind = function
+  | Sparse -> Simplex.Sparse
+  | Dense -> Simplex.Dense
+
+let kernel_stats t = Option.map (fun s -> s.kernel) t.stats
+
+let solve ?max_iters t (p : Problem.t) =
+  Option.iter (fun s -> s.lp_solves <- s.lp_solves + 1) t.stats;
+  let basis = basis_of_kind t.kind in
+  let run_direct () =
+    Simplex.solve ?max_iters ~basis ?stats:(kernel_stats t) p
+  in
+  if not t.presolve then run_direct ()
+  else
+    let pstats = Option.map (fun (s : stats) -> s.presolve) t.stats in
+    match Presolve.run ?stats:pstats p with
+    | Presolve.Proved_infeasible _ ->
+        {
+          Simplex.status = Simplex.Infeasible;
+          x = Array.make (Problem.nvars p) 0.;
+          obj = 0.;
+          duals = Array.make (Problem.nrows p) 0.;
+          iterations = 0;
+        }
+    | Presolve.Feasible map ->
+        let r =
+          Simplex.solve ?max_iters ~basis ?stats:(kernel_stats t) map.reduced
+        in
+        if r.Simplex.status <> Simplex.Optimal then
+          {
+            r with
+            Simplex.x = Array.make (Problem.nvars p) 0.;
+            duals = Array.make (Problem.nrows p) 0.;
+            obj = 0.;
+          }
+        else
+          let x = Presolve.restore_x map r.Simplex.x in
+          let duals = Presolve.restore_duals map r.Simplex.duals in
+          (* Recompute c'x in the original space: the reduced problem
+             carries fixed-variable contributions as an offset, which
+             the kernel's [obj] excludes. *)
+          let obj = ref 0. in
+          Array.iteri
+            (fun v xv -> obj := !obj +. ((Problem.var p v).Problem.obj *. xv))
+            x;
+          { r with Simplex.x; duals; obj = !obj }

@@ -1,0 +1,45 @@
+(** The LP-backend seam: one dispatch point for every component that
+    needs an LP solved ({!Branch_bound} nodes, the CoPhy solver's
+    feasibility probe, the decomposition's z subproblem, the CLI
+    front-ends).
+
+    A backend is a kernel choice ({!Sparse} — Markowitz LU + eta
+    updates — or the historical {!Dense} reference) plus a presolve
+    switch and an optional stats sink.  [default] is the production
+    configuration (sparse kernel, presolve on); [dense_reference] is the
+    PR-1-era path kept for A/B comparison and regression hunting. *)
+
+type kind = Sparse | Dense
+
+type stats = {
+  kernel : Simplex.kernel_stats;  (** pivots, refactorizations *)
+  presolve : Presolve.stats;  (** row/var/bound reductions *)
+  mutable lp_solves : int;
+}
+
+val create_stats : unit -> stats
+
+type t = {
+  kind : kind;
+  presolve : bool;
+  stats : stats option;
+}
+
+val default : t  (** sparse kernel, presolve on *)
+
+val dense_reference : t  (** dense kernel, presolve off *)
+
+val create : ?kind:kind -> ?presolve:bool -> ?stats:stats -> unit -> t
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string
+
+(** Solve the LP relaxation of [p]: presolve (when enabled), run the
+    selected kernel, and lift the solution, objective, and duals back to
+    [p]'s variable/row space.  Never mutates [p].
+
+    With presolve on, binary/integer reductions preserve
+    integer-feasible solutions; the reported objective can exceed the
+    pure LP-relaxation optimum (it is still a valid bound for the BIP,
+    which is what branch-and-bound consumes). *)
+val solve : ?max_iters:int -> t -> Problem.t -> Simplex.result

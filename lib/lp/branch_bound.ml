@@ -25,6 +25,8 @@ type options = {
      equal objective — which holds for selection-style programs like the
      CoPhy and ILP BIPs, where the y/x part is a per-block minimum. *)
   decision_vars : int list option;
+  (* LP backend used for the root and node relaxations. *)
+  backend : Backend.t;
 }
 
 let default_options =
@@ -36,6 +38,7 @@ let default_options =
     initial_incumbent = None;
     log_events = false;
     decision_vars = None;
+    backend = Backend.default;
   }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Limit
@@ -172,7 +175,7 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   (* Root relaxation. *)
   restore_bounds ();
-  let root = Simplex.solve p in
+  let root = Backend.solve options.backend p in
   match root.Simplex.status with
   | Simplex.Infeasible ->
       { status = Infeasible; x = None; obj = infinity; bound = infinity;
@@ -254,7 +257,7 @@ let solve ?(options = default_options) (p : Problem.t) =
               else begin
                 incr nodes;
                 apply_fixings node.fixings;
-                let r = Simplex.solve p in
+                let r = Backend.solve options.backend p in
                 (match r.Simplex.status with
                 | Simplex.Infeasible -> ()
                 | Simplex.Unbounded ->

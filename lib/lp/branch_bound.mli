@@ -23,6 +23,7 @@ type options = {
           incumbent once they are integral.  Sound when fixing them makes
           the remaining LP have an integral optimum of equal objective —
           the structure of the CoPhy and ILP BIPs. *)
+  backend : Backend.t;  (** LP backend for root and node relaxations *)
 }
 
 val default_options : options

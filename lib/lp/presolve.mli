@@ -1,0 +1,55 @@
+(** BIP/LP presolve: shrink a {!Problem.t} before it reaches the simplex
+    and map solutions back to the original variable space.
+
+    Rules applied to a fixpoint (bounded rounds):
+
+    - integral bound rounding on binary/integer variables (when
+      [integral], the default);
+    - singleton-row elimination (the row becomes a bound, then drops as
+      redundant);
+    - implied-bound tightening from row activity bounds, with integral
+      rounding on binary/integer variables — the rule that fixes binary
+      selection variables whose activation alone would overrun a budget
+      row;
+    - empty-row consistency checks and removal;
+    - duplicate-row merging (rows identical after sign/scale
+      normalization keep only the tightest right-hand side);
+    - row coefficient scaling (equilibration) when a row's magnitude is
+      far from 1 — the storage-budget rows of CoPhy BIPs carry
+      byte-scale coefficients that would otherwise dominate the
+      factorization's threshold pivoting.
+
+    Presolve never mutates its input.  With [integral] set the reduction
+    preserves the set of integer-feasible solutions (not necessarily the
+    LP relaxation's optimum), which is what branch-and-bound needs. *)
+
+type stats = {
+  mutable rows_removed : int;
+  mutable vars_removed : int;  (** variables fixed and substituted out *)
+  mutable bounds_tightened : int;
+}
+
+val create_stats : unit -> stats
+
+type mapping = {
+  reduced : Problem.t;
+  entries : entry array;  (** original variable -> fate *)
+  row_keep : int array;  (** reduced row -> original row *)
+  row_scale : float array;  (** per reduced row: original = reduced * s *)
+  orig : Problem.t;
+}
+
+and entry = Kept of int | Fixed of float
+
+type outcome =
+  | Feasible of mapping
+  | Proved_infeasible of string  (** human-readable reason *)
+
+val run : ?integral:bool -> ?stats:stats -> Problem.t -> outcome
+
+(** Lift a reduced-space solution back to the original variables. *)
+val restore_x : mapping -> float array -> float array
+
+(** Lift reduced-space duals back to original rows (dropped rows get 0;
+    scaled rows are unscaled). *)
+val restore_duals : mapping -> float array -> float array

@@ -1,4 +1,5 @@
-(* Bounded-variable primal simplex (revised form, dense basis inverse).
+(* Bounded-variable primal simplex (revised form) over a pluggable basis
+   representation.
 
    The problem is canonicalized as
 
@@ -7,10 +8,20 @@
    with one slack per row (equality rows get a slack fixed at zero), plus
    phase-1 artificials.  Nonbasic variables rest at one of their bounds;
    the ratio test handles bound-to-bound "flips" without basis changes.
-   The basis inverse is kept dense and updated by elementary row
-   operations — adequate for the small-to-medium programs our generic MIP
-   path solves (the structured CoPhy instances go through the Lagrangian
-   decomposition solver instead). *)
+
+   Two basis kernels implement the ftran/btran/update triple:
+
+   - [Dense]: the historical reference — an explicit dense B^-1 updated
+     by elementary row operations, O(m^2) per pivot;
+   - [Sparse]: sparse LU with Markowitz pivoting ({!Lu}), maintained
+     across pivots by product-form eta vectors and refactorized when the
+     eta file grows past a fill bound or a pivot looks numerically
+     untrustworthy.  Per-pivot cost tracks the factor nonzeros instead
+     of m^2, which is what lets the kernel keep up with the large
+     decomposition subproblems and materialized CoPhy BIPs.
+
+   Both kernels run the identical pricing/ratio-test loop, so they visit
+   (up to rounding) the same pivot sequence and agree on the optimum. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
@@ -22,8 +33,34 @@ type result = {
   iterations : int;
 }
 
+type basis_kind = Dense | Sparse
+
+type kernel_stats = {
+  mutable pivots : int;            (* basis changes (bound flips excluded) *)
+  mutable refactorizations : int;  (* sparse-basis rebuilds mid-solve *)
+}
+
+let create_stats () = { pivots = 0; refactorizations = 0 }
+
 let tol = 1e-7
 let pivot_tol = 1e-9
+
+(* --- basis representations --- *)
+
+type eta = { er : int; epiv : float; entries : (int * float) array }
+
+type sparse_basis = {
+  mutable lu : Lu.t;
+  mutable etas : eta array;       (* applied oldest-first in ftran *)
+  mutable neta : int;
+  mutable eta_nnz : int;
+}
+
+type repr = Dense_binv of float array | Sparse_lu of sparse_basis
+
+(* Refactorization triggers for the sparse basis. *)
+let max_etas = 64
+let eta_fill_factor = 2
 
 type state = {
   m : int;                      (* rows *)
@@ -36,43 +73,134 @@ type state = {
   value : float array;
   basis : int array;            (* var in basis position i *)
   in_basis : int array;         (* var -> basis position, -1 if nonbasic *)
-  binv : float array;           (* m*m row-major *)
+  repr : repr;
+  stats : kernel_stats;
   mutable iters : int;
 }
 
-let binv_get s i j = Array.unsafe_get s.binv ((i * s.m) + j)
-
-(* y = c_B' B^-1 *)
+(* y = c_B' B^-1 (row-indexed duals) *)
 let compute_duals s y =
-  Array.fill y 0 s.m 0.0;
-  for i = 0 to s.m - 1 do
-    let cb = s.cost.(s.basis.(i)) in
-    if cb <> 0.0 then begin
-      let base = i * s.m in
-      for j = 0 to s.m - 1 do
-        Array.unsafe_set y j
-          (Array.unsafe_get y j
-          +. (cb *. Array.unsafe_get s.binv (base + j)))
+  match s.repr with
+  | Dense_binv binv ->
+      Array.fill y 0 s.m 0.0;
+      for i = 0 to s.m - 1 do
+        let cb = s.cost.(s.basis.(i)) in
+        if cb <> 0.0 then begin
+          let base = i * s.m in
+          for j = 0 to s.m - 1 do
+            Array.unsafe_set y j
+              (Array.unsafe_get y j
+              +. (cb *. Array.unsafe_get binv (base + j)))
+          done
+        end
       done
-    end
-  done
+  | Sparse_lu sb ->
+      for i = 0 to s.m - 1 do
+        y.(i) <- s.cost.(s.basis.(i))
+      done;
+      (* B^-T = B0^-T E_1^-T ... E_k^-T: newest eta first, then the LU. *)
+      for t = sb.neta - 1 downto 0 do
+        let e = sb.etas.(t) in
+        let acc = ref y.(e.er) in
+        Array.iter (fun (i, w) -> acc := !acc -. (w *. y.(i))) e.entries;
+        y.(e.er) <- !acc /. e.epiv
+      done;
+      Lu.solve_transpose sb.lu y
 
 let reduced_cost s y j =
   let d = ref s.cost.(j) in
   Array.iter (fun (i, a) -> d := !d -. (y.(i) *. a)) s.cols.(j);
   !d
 
-(* w = B^-1 A_j *)
+(* w = B^-1 A_j (basis-position-indexed) *)
 let ftran s j w =
-  Array.fill w 0 s.m 0.0;
-  Array.iter
-    (fun (i, a) ->
-      if a <> 0.0 then
-        for r = 0 to s.m - 1 do
-          Array.unsafe_set w r
-            (Array.unsafe_get w r +. (binv_get s r i *. a))
-        done)
-    s.cols.(j)
+  match s.repr with
+  | Dense_binv binv ->
+      Array.fill w 0 s.m 0.0;
+      Array.iter
+        (fun (i, a) ->
+          if a <> 0.0 then
+            for r = 0 to s.m - 1 do
+              Array.unsafe_set w r
+                (Array.unsafe_get w r
+                +. (Array.unsafe_get binv ((r * s.m) + i) *. a))
+            done)
+        s.cols.(j)
+  | Sparse_lu sb ->
+      Array.fill w 0 s.m 0.0;
+      Array.iter (fun (i, a) -> w.(i) <- w.(i) +. a) s.cols.(j);
+      Lu.solve sb.lu w;
+      for t = 0 to sb.neta - 1 do
+        let e = sb.etas.(t) in
+        let wr = w.(e.er) /. e.epiv in
+        if wr <> 0.0 then
+          Array.iter (fun (i, wi) -> w.(i) <- w.(i) -. (wi *. wr)) e.entries;
+        w.(e.er) <- wr
+      done
+
+let refactor s sb =
+  sb.lu <- Lu.factor ~m:s.m ~cols:s.cols ~basis:s.basis;
+  sb.neta <- 0;
+  sb.eta_nnz <- 0;
+  s.stats.refactorizations <- s.stats.refactorizations + 1
+
+let push_eta sb e =
+  if sb.neta >= Array.length sb.etas then begin
+    let bigger = Array.make (max 16 (2 * sb.neta)) e in
+    Array.blit sb.etas 0 bigger 0 sb.neta;
+    sb.etas <- bigger
+  end;
+  sb.etas.(sb.neta) <- e;
+  sb.neta <- sb.neta + 1;
+  sb.eta_nnz <- sb.eta_nnz + Array.length e.entries + 1
+
+(* Install the basis change at position [r] ([s.basis] already updated),
+   where [w] = B_old^-1 A_enter. *)
+let update_basis s r w =
+  s.stats.pivots <- s.stats.pivots + 1;
+  match s.repr with
+  | Dense_binv binv ->
+      let piv = w.(r) in
+      let rbase = r * s.m in
+      for j = 0 to s.m - 1 do
+        Array.unsafe_set binv (rbase + j)
+          (Array.unsafe_get binv (rbase + j) /. piv)
+      done;
+      for i = 0 to s.m - 1 do
+        let f = Array.unsafe_get w i in
+        if i <> r && abs_float f > 1e-13 then begin
+          let ibase = i * s.m in
+          for j = 0 to s.m - 1 do
+            Array.unsafe_set binv (ibase + j)
+              (Array.unsafe_get binv (ibase + j)
+              -. (f *. Array.unsafe_get binv (rbase + j)))
+          done
+        end
+      done
+  | Sparse_lu sb ->
+      let maxw = ref 0.0 in
+      let count = ref 0 in
+      for i = 0 to s.m - 1 do
+        let a = abs_float w.(i) in
+        if a > !maxw then maxw := a;
+        if i <> r && a > 1e-13 then incr count
+      done;
+      if
+        abs_float w.(r) < 1e-7 *. !maxw
+        || sb.neta >= max_etas
+        || sb.eta_nnz > (eta_fill_factor * Lu.nnz sb.lu) + (4 * s.m)
+      then refactor s sb
+      else begin
+        let entries = Array.make !count (0, 0.0) in
+        let k = ref 0 in
+        for i = 0 to s.m - 1 do
+          if i <> r && abs_float w.(i) > 1e-13 then begin
+            entries.(!k) <- (i, w.(i));
+            incr k
+          end
+        done;
+        push_eta sb { er = r; epiv = w.(r); entries }
+      end
 
 (* Entering-variable direction: +1 when it will increase from its current
    value, -1 when it will decrease. *)
@@ -118,27 +246,6 @@ let price s y ~bland =
     end;
     None
   with Found (j, dir) -> Some (j, dir)
-
-(* Update B^-1 after variable [enter] replaces basis position [r], where
-   [w] = B^-1 A_enter. *)
-let update_binv s r w =
-  let piv = w.(r) in
-  let rbase = r * s.m in
-  for j = 0 to s.m - 1 do
-    Array.unsafe_set s.binv (rbase + j)
-      (Array.unsafe_get s.binv (rbase + j) /. piv)
-  done;
-  for i = 0 to s.m - 1 do
-    let f = Array.unsafe_get w i in
-    if i <> r && abs_float f > 1e-13 then begin
-      let ibase = i * s.m in
-      for j = 0 to s.m - 1 do
-        Array.unsafe_set s.binv (ibase + j)
-          (Array.unsafe_get s.binv (ibase + j)
-          -. (f *. Array.unsafe_get s.binv (rbase + j)))
-      done
-    end
-  done
 
 (* One phase of the primal simplex; returns final status. *)
 let run_phase s ~max_iters =
@@ -224,7 +331,7 @@ let run_phase s ~max_iters =
                 s.in_basis.(leaving) <- -1;
                 s.basis.(r) <- enter;
                 s.in_basis.(enter) <- r;
-                update_binv s r w);
+                update_basis s r w);
             loop ()
           end
     end
@@ -233,7 +340,7 @@ let run_phase s ~max_iters =
 
 (* --- Public entry point --- *)
 
-let solve ?(max_iters = 0) (p : Problem.t) =
+let solve ?(max_iters = 0) ?(basis = Dense) ?stats (p : Problem.t) =
   let m = Problem.nrows p in
   let n = Problem.nvars p in
   let rows = Problem.rows p in
@@ -291,9 +398,8 @@ let solve ?(max_iters = 0) (p : Problem.t) =
     if value.(j) <> 0.0 then
       Array.iter (fun (i, c) -> resid.(i) <- resid.(i) -. (c *. value.(j))) cols.(j)
   done;
-  let basis = Array.make m 0 in
+  let bas = Array.make m 0 in
   let in_basis = Array.make total (-1) in
-  let binv = Array.make (m * m) 0.0 in
   for i = 0 to m - 1 do
     let a = n + m + i in
     let sigma = if resid.(i) >= 0.0 then 1.0 else -1.0 in
@@ -301,13 +407,30 @@ let solve ?(max_iters = 0) (p : Problem.t) =
     lb.(a) <- 0.0;
     ub.(a) <- infinity;
     value.(a) <- abs_float resid.(i);
-    basis.(i) <- a;
-    in_basis.(a) <- i;
-    binv.((i * m) + i) <- sigma
+    bas.(i) <- a;
+    in_basis.(a) <- i
   done;
+  let repr =
+    match basis with
+    | Dense ->
+        let binv = Array.make (m * m) 0.0 in
+        for i = 0 to m - 1 do
+          binv.((i * m) + i) <- (if resid.(i) >= 0.0 then 1.0 else -1.0)
+        done;
+        Dense_binv binv
+    | Sparse ->
+        Sparse_lu
+          {
+            lu = Lu.factor ~m ~cols ~basis:bas;
+            etas = [||];
+            neta = 0;
+            eta_nnz = 0;
+          }
+  in
   let cost = Array.make total 0.0 in
-  let s = { m; total; nstruct = n; cols; lb; ub; cost; value; basis; in_basis;
-            binv; iters = 0 } in
+  let stats = match stats with Some st -> st | None -> create_stats () in
+  let s = { m; total; nstruct = n; cols; lb; ub; cost; value; basis = bas;
+            in_basis; repr; stats; iters = 0 } in
   (* Phase 1: minimize the artificial sum. *)
   let need_phase1 = Array.exists (fun r -> abs_float r > tol) resid in
   let phase1_status =

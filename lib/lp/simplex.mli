@@ -1,9 +1,18 @@
-(** Bounded-variable primal simplex (revised form, dense basis inverse).
+(** Bounded-variable primal simplex (revised form) over a pluggable
+    basis representation.
 
     Two phases: artificial variables establish feasibility, then the real
     objective is minimized.  Nonbasic variables rest at a bound; the
     ratio test includes bound-to-bound flips.  Dantzig pricing with a
-    Bland's-rule fallback after stalling guards against cycling. *)
+    Bland's-rule fallback after stalling guards against cycling.
+
+    The basis inverse is kept either as an explicit dense matrix
+    ({!Dense}, the historical reference kernel, O(m^2) per pivot) or as
+    a sparse LU factorization maintained by product-form eta updates and
+    periodic refactorization ({!Sparse}, cost proportional to factor
+    nonzeros).  Both kernels run the identical pricing loop and agree on
+    the optimum; callers normally go through {!Backend} rather than
+    picking a kernel here. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
@@ -15,6 +24,20 @@ type result = {
   iterations : int;
 }
 
+type basis_kind =
+  | Dense  (** explicit dense B^-1, elementary row updates *)
+  | Sparse  (** Markowitz LU + eta file + refactorization trigger *)
+
+type kernel_stats = {
+  mutable pivots : int;  (** basis changes (bound flips excluded) *)
+  mutable refactorizations : int;  (** sparse-basis rebuilds mid-solve *)
+}
+
+val create_stats : unit -> kernel_stats
+
 (** Solve the LP relaxation (integrality marks are ignored).
-    [max_iters = 0] picks a default proportional to the problem size. *)
-val solve : ?max_iters:int -> Problem.t -> result
+    [max_iters = 0] picks a default proportional to the problem size.
+    [basis] selects the kernel (default [Dense], the reference);
+    [stats] accumulates pivot/refactorization counters when given. *)
+val solve :
+  ?max_iters:int -> ?basis:basis_kind -> ?stats:kernel_stats -> Problem.t -> result

@@ -544,6 +544,77 @@ let test_parallel_determinism_advisor () =
   Alcotest.(check bool) "config identical" true
     (Storage.Config.equal r1.Cophy.Advisor.config r4.Cophy.Advisor.config)
 
+(* The recommendation must also be invariant across the jobs x backend
+   grid: LP-kernel choice (sparse revised simplex + presolve vs the
+   dense reference) and domain count are both implementation details. *)
+let test_backend_determinism_advisor () =
+  let w = small_workload ~n:8 ~seed:11 () in
+  let run ~jobs ~backend =
+    Cophy.Advisor.advise ~jobs ~backend schema w ~budget_fraction:0.4
+  in
+  let reference = run ~jobs:1 ~backend:Lp.Backend.dense_reference in
+  List.iter
+    (fun (jobs, backend, label) ->
+      let r = run ~jobs ~backend in
+      Alcotest.(check bool)
+        (Printf.sprintf "config identical (%s)" label)
+        true
+        (Storage.Config.equal reference.Cophy.Advisor.config
+           r.Cophy.Advisor.config);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "objective identical (%s)" label)
+        reference.Cophy.Advisor.report.Cophy.Solver.objective
+        r.Cophy.Advisor.report.Cophy.Solver.objective)
+    [
+      (4, Lp.Backend.dense_reference, "jobs 4, dense");
+      (1, Lp.Backend.default, "jobs 1, sparse");
+      (4, Lp.Backend.default, "jobs 4, sparse");
+    ]
+
+let test_backend_determinism_decomposition () =
+  let w = Workload.Gen.hom schema ~n:30 ~seed:5 in
+  let run ~jobs ~backend =
+    let e = env () in
+    let cache = Inum.build_workload ~jobs e w in
+    let cands = Array.of_list (Cophy.Cgen.generate w) in
+    let sp = Cophy.Sproblem.build e cache cands in
+    let options =
+      {
+        Cophy.Decomposition.default_options with
+        Cophy.Decomposition.max_iters = 40;
+        jobs;
+        backend;
+      }
+    in
+    (* a z row forces the decomposition through the LP z subproblem *)
+    let z_rows =
+      [
+        {
+          Constr.row_name = "at-most-6";
+          row_coeffs = List.init (Array.length cands) (fun a -> (a, 1.0));
+          row_cmp = Constr.Le;
+          row_rhs = 6.0;
+        };
+      ]
+    in
+    Cophy.Decomposition.solve ~options sp ~budget:(0.5 *. db_size) ~z_rows
+  in
+  let reference = run ~jobs:1 ~backend:Lp.Backend.dense_reference in
+  List.iter
+    (fun (jobs, backend, label) ->
+      let r = run ~jobs ~backend in
+      Alcotest.(check (array bool))
+        (Printf.sprintf "selection identical (%s)" label)
+        reference.Cophy.Decomposition.z r.Cophy.Decomposition.z;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "objective identical (%s)" label)
+        reference.Cophy.Decomposition.obj r.Cophy.Decomposition.obj)
+    [
+      (4, Lp.Backend.dense_reference, "jobs 4, dense");
+      (1, Lp.Backend.default, "jobs 1, sparse");
+      (4, Lp.Backend.default, "jobs 4, sparse");
+    ]
+
 let () =
   Alcotest.run "cophy"
     [
@@ -602,5 +673,9 @@ let () =
             test_parallel_determinism;
           Alcotest.test_case "jobs 1 = jobs 4 (advisor)" `Quick
             test_parallel_determinism_advisor;
+          Alcotest.test_case "jobs x backend grid (advisor)" `Quick
+            test_backend_determinism_advisor;
+          Alcotest.test_case "jobs x backend grid (decomposition)" `Quick
+            test_backend_determinism_decomposition;
         ] );
     ]

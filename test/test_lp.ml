@@ -427,6 +427,313 @@ let prop_lp_format_roundtrip_random =
       lp_vars_by_name p = lp_vars_by_name p'
       && lp_rows_by_name p = lp_rows_by_name p')
 
+(* --- Sparse LU factorization --- *)
+
+(* Random nonsingular sparse column set: strong diagonal plus a few
+   off-diagonal entries.  [cols] uses the Lu.factor convention (column ->
+   sorted (row, coeff) entries); the basis is a permutation so column
+   order and row order differ. *)
+let build_random_lu m seed =
+  let rng = Random.State.make [| seed; 4242 |] in
+  let cols =
+    Array.init m (fun j ->
+        let entries = Hashtbl.create 4 in
+        Hashtbl.replace entries j (2.0 +. Random.State.float rng 8.0);
+        for _ = 1 to 1 + Random.State.int rng 3 do
+          let i = Random.State.int rng m in
+          if i <> j then
+            Hashtbl.replace entries i (Random.State.float rng 2.0 -. 1.0)
+        done;
+        Hashtbl.fold (fun i v acc -> (i, v) :: acc) entries []
+        |> List.sort compare |> Array.of_list)
+  in
+  let basis = Array.init m (fun i -> i) in
+  (* deterministic shuffle *)
+  for i = m - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = basis.(i) in
+    basis.(i) <- basis.(j);
+    basis.(j) <- t
+  done;
+  (cols, basis)
+
+let col_entries cols j = cols.(j)
+
+let test_lu_solve () =
+  for seed = 0 to 9 do
+    let m = 5 + (seed * 3) in
+    let cols, basis = build_random_lu m seed in
+    let lu = Lp.Lu.factor ~m ~cols ~basis in
+    Alcotest.(check bool) "nnz positive" true (Lp.Lu.nnz lu > 0);
+    let rng = Random.State.make [| seed; 5151 |] in
+    let b = Array.init m (fun _ -> Random.State.float rng 10.0 -. 5.0) in
+    (* solve: B u = b with B's column at position k being cols.(basis.(k)) *)
+    let u = Array.copy b in
+    Lp.Lu.solve lu u;
+    let recon = Array.make m 0.0 in
+    Array.iteri
+      (fun k cj ->
+        Array.iter
+          (fun (i, v) -> recon.(i) <- recon.(i) +. (v *. u.(k)))
+          (col_entries cols cj))
+      basis;
+    Array.iteri
+      (fun i bi ->
+        check_float ~eps:1e-7 (Printf.sprintf "seed %d solve row %d" seed i) bi
+          recon.(i))
+      b
+  done
+
+let test_lu_solve_transpose () =
+  for seed = 0 to 9 do
+    let m = 5 + (seed * 3) in
+    let cols, basis = build_random_lu m seed in
+    let lu = Lp.Lu.factor ~m ~cols ~basis in
+    let rng = Random.State.make [| seed; 6161 |] in
+    let c = Array.init m (fun _ -> Random.State.float rng 10.0 -. 5.0) in
+    (* solve_transpose: B' y = c, i.e. column basis.(k) . y = c.(k) *)
+    let y = Array.copy c in
+    Lp.Lu.solve_transpose lu y;
+    Array.iteri
+      (fun k cj ->
+        let dot =
+          Array.fold_left
+            (fun acc (i, v) -> acc +. (v *. y.(i)))
+            0.0 (col_entries cols cj)
+        in
+        check_float ~eps:1e-7
+          (Printf.sprintf "seed %d btran position %d" seed k)
+          c.(k) dot)
+      basis
+  done
+
+let test_lu_singular () =
+  (* two identical columns in the basis *)
+  let cols = [| [| (0, 1.0); (1, 1.0) |]; [| (0, 1.0); (1, 1.0) |] |] in
+  match Lp.Lu.factor ~m:2 ~cols ~basis:[| 0; 1 |] with
+  | exception Lp.Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+(* --- Sparse kernel vs dense reference --- *)
+
+let solve_sparse p = Lp.Simplex.solve ~basis:Lp.Simplex.Sparse p
+
+let test_sparse_matches_dense_knowns () =
+  List.iter
+    (fun build ->
+      let p = build () in
+      let rd = solve_lp p and rs = solve_sparse p in
+      check_status "same status" rd.Lp.Simplex.status rs;
+      if rd.Lp.Simplex.status = Lp.Simplex.Optimal then
+        check_float ~eps:1e-6 "same objective" rd.Lp.Simplex.obj
+          rs.Lp.Simplex.obj)
+    [
+      (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var ~obj:(-3.0) p in
+        let y = Lp.Problem.add_var ~obj:(-5.0) p in
+        ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 4.0);
+        ignore (Lp.Problem.add_row p [ (y, 2.0) ] Lp.Problem.Le 12.0);
+        ignore (Lp.Problem.add_row p [ (x, 3.0); (y, 2.0) ] Lp.Problem.Le 18.0);
+        p);
+      (fun () ->
+        let p = Lp.Problem.create () in
+        let a = Lp.Problem.add_var ~obj:2.0 ~lb:3.0 p in
+        let b = Lp.Problem.add_var ~obj:1.0 ~ub:4.0 p in
+        ignore (Lp.Problem.add_row p [ (a, 1.0); (b, 1.0) ] Lp.Problem.Eq 10.0);
+        p);
+      (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var ~lb:neg_infinity ~obj:1.0 p in
+        ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Ge (-7.0));
+        p);
+    ]
+
+let test_sparse_degenerate_beale () =
+  (* Bland's-rule stalling regression: Beale's cycling instance must
+     terminate at the optimum through the sparse kernel too. *)
+  let p = Lp.Problem.create () in
+  let x1 = Lp.Problem.add_var ~obj:(-0.75) p in
+  let x2 = Lp.Problem.add_var ~obj:150.0 p in
+  let x3 = Lp.Problem.add_var ~obj:(-0.02) p in
+  let x4 = Lp.Problem.add_var ~obj:6.0 p in
+  ignore
+    (Lp.Problem.add_row p
+       [ (x1, 0.25); (x2, -60.0); (x3, -0.04); (x4, 9.0) ]
+       Lp.Problem.Le 0.0);
+  ignore
+    (Lp.Problem.add_row p
+       [ (x1, 0.5); (x2, -90.0); (x3, -0.02); (x4, 3.0) ]
+       Lp.Problem.Le 0.0);
+  ignore (Lp.Problem.add_row p [ (x3, 1.0) ] Lp.Problem.Le 1.0);
+  let r = solve_sparse p in
+  check_status "beale optimal (sparse)" Lp.Simplex.Optimal r;
+  check_float ~eps:1e-4 "beale optimum (sparse)" (-0.05) r.Lp.Simplex.obj;
+  (* and through the full production backend (presolve on) *)
+  let rb = Lp.Backend.solve Lp.Backend.default p in
+  check_status "beale optimal (backend)" Lp.Simplex.Optimal rb;
+  check_float ~eps:1e-4 "beale optimum (backend)" (-0.05) rb.Lp.Simplex.obj
+
+let test_sparse_degenerate_assignment () =
+  (* n x n assignment LP: every basic solution is massively degenerate,
+     exercising the stall counter and eta refactorization path. *)
+  let n = 7 in
+  let rng = Random.State.make [| 321 |] in
+  let p = Lp.Problem.create () in
+  let v = Array.init n (fun _ -> Array.make n 0) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      v.(i).(j) <-
+        Lp.Problem.add_var ~ub:1.0 ~obj:(Random.State.float rng 10.0) p
+    done
+  done;
+  for i = 0 to n - 1 do
+    ignore
+      (Lp.Problem.add_row p
+         (List.init n (fun j -> (v.(i).(j), 1.0)))
+         Lp.Problem.Eq 1.0)
+  done;
+  for j = 0 to n - 1 do
+    ignore
+      (Lp.Problem.add_row p
+         (List.init n (fun i -> (v.(i).(j), 1.0)))
+         Lp.Problem.Eq 1.0)
+  done;
+  let stats = Lp.Simplex.create_stats () in
+  let rs = Lp.Simplex.solve ~basis:Lp.Simplex.Sparse ~stats p in
+  let rd = solve_lp p in
+  check_status "assignment optimal (sparse)" Lp.Simplex.Optimal rs;
+  check_status "assignment optimal (dense)" Lp.Simplex.Optimal rd;
+  check_float ~eps:1e-6 "assignment objectives agree" rd.Lp.Simplex.obj
+    rs.Lp.Simplex.obj;
+  Alcotest.(check bool) "pivots counted" true (stats.Lp.Simplex.pivots > 0)
+
+let prop_sparse_matches_dense_random_lp =
+  QCheck.Test.make ~name:"sparse kernel = dense kernel on random LPs"
+    ~count:80 (QCheck.make random_lp_gen) (fun spec ->
+      let p, _, _ = build_random_lp spec in
+      let rd = solve_lp p in
+      let rs = solve_sparse p in
+      rd.Lp.Simplex.status = rs.Lp.Simplex.status
+      && (rd.Lp.Simplex.status <> Lp.Simplex.Optimal
+         || abs_float (rd.Lp.Simplex.obj -. rs.Lp.Simplex.obj) < 1e-6))
+
+(* --- Presolve --- *)
+
+let test_presolve_singleton_row () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  let y = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 2.0) ] Lp.Problem.Le 4.0);
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 8.0);
+  let stats = Lp.Presolve.create_stats () in
+  (match Lp.Presolve.run ~stats p with
+  | Lp.Presolve.Feasible map ->
+      (* the singleton row becomes the bound x <= 2 and is dropped *)
+      Alcotest.(check int) "rows after" 1 (Lp.Problem.nrows map.Lp.Presolve.reduced);
+      Alcotest.(check bool) "a bound was tightened" true
+        (stats.Lp.Presolve.bounds_tightened > 0)
+  | Lp.Presolve.Proved_infeasible r -> Alcotest.failf "unexpected infeasible: %s" r);
+  (* and the solved result matches the unpresolved problem *)
+  let rd = solve_lp p in
+  let rb = Lp.Backend.solve Lp.Backend.default p in
+  check_float ~eps:1e-6 "objective preserved" rd.Lp.Simplex.obj rb.Lp.Simplex.obj
+
+let test_presolve_fixes_oversized_binary () =
+  (* a binary whose activation alone overruns the budget row is fixed 0 *)
+  let p = Lp.Problem.create () in
+  let z1 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-5.0) p in
+  let z2 = Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj:(-3.0) p in
+  ignore (Lp.Problem.add_row p [ (z1, 9.0); (z2, 2.0) ] Lp.Problem.Le 4.0);
+  match Lp.Presolve.run p with
+  | Lp.Presolve.Feasible map -> (
+      match map.Lp.Presolve.entries.(0) with
+      | Lp.Presolve.Fixed v -> check_float "z1 fixed to zero" 0.0 v
+      | Lp.Presolve.Kept _ -> Alcotest.fail "z1 should be fixed by implied bounds")
+  | Lp.Presolve.Proved_infeasible r -> Alcotest.failf "unexpected infeasible: %s" r
+
+let test_presolve_duplicate_rows () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  let y = Lp.Problem.add_var ~ub:10.0 ~obj:(-2.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 1.0) ] Lp.Problem.Le 8.0);
+  ignore (Lp.Problem.add_row p [ (x, 2.0); (y, 2.0) ] Lp.Problem.Le 12.0);
+  (* same direction after normalization; the tighter rhs (6) must win *)
+  (match Lp.Presolve.run p with
+  | Lp.Presolve.Feasible map ->
+      Alcotest.(check int) "merged" 1 (Lp.Problem.nrows map.Lp.Presolve.reduced)
+  | Lp.Presolve.Proved_infeasible r -> Alcotest.failf "unexpected infeasible: %s" r);
+  let rd = solve_lp p in
+  let rb = Lp.Backend.solve Lp.Backend.default p in
+  check_float ~eps:1e-6 "objective preserved" rd.Lp.Simplex.obj rb.Lp.Simplex.obj
+
+let test_presolve_proves_infeasible () =
+  let p = Lp.Problem.create () in
+  let z = Lp.Problem.add_var ~kind:Lp.Problem.Binary p in
+  (* activity of z in [0,3] can never reach 5 *)
+  ignore (Lp.Problem.add_row p [ (z, 3.0) ] Lp.Problem.Ge 5.0);
+  (match Lp.Presolve.run p with
+  | Lp.Presolve.Proved_infeasible _ -> ()
+  | Lp.Presolve.Feasible _ -> Alcotest.fail "expected infeasibility proof");
+  (* the backend surfaces it as an Infeasible result *)
+  let r = Lp.Backend.solve Lp.Backend.default p in
+  check_status "backend infeasible" Lp.Simplex.Infeasible r
+
+let test_presolve_scaling_and_duals () =
+  (* byte-scale storage row: scaled internally, duals must be restored to
+     the original row scale *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:1.0 ~obj:(-3.0) p in
+  let y = Lp.Problem.add_var ~ub:1.0 ~obj:(-2.0) p in
+  ignore
+    (Lp.Problem.add_row p [ (x, 2e9); (y, 1e9) ] Lp.Problem.Le 2.5e9);
+  let rd = solve_lp p in
+  let rb = Lp.Backend.solve Lp.Backend.default p in
+  check_status "optimal" Lp.Simplex.Optimal rb;
+  check_float ~eps:1e-6 "objective" rd.Lp.Simplex.obj rb.Lp.Simplex.obj;
+  check_float ~eps:1e-12 "dual restored to original scale"
+    rd.Lp.Simplex.duals.(0) rb.Lp.Simplex.duals.(0);
+  (* restored primal stays feasible for the original rows *)
+  Alcotest.(check bool) "restored x feasible" true
+    (Lp.Problem.feasible ~tol:1e-5 p rb.Lp.Simplex.x)
+
+let test_presolve_does_not_mutate_input () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 2.0) ] Lp.Problem.Le 4.0);
+  (match Lp.Presolve.run p with
+  | Lp.Presolve.Feasible _ -> ()
+  | Lp.Presolve.Proved_infeasible r -> Alcotest.failf "unexpected: %s" r);
+  let v = Lp.Problem.var p x in
+  check_float "lb untouched" 0.0 v.Lp.Problem.lb;
+  check_float "ub untouched" 10.0 v.Lp.Problem.ub;
+  Alcotest.(check int) "rows untouched" 1 (Lp.Problem.nrows p)
+
+(* --- Backend agreement on BIPs (the PR's acceptance property) --- *)
+
+let bb_with backend p =
+  let options = { Lp.Branch_bound.default_options with Lp.Branch_bound.backend } in
+  Lp.Branch_bound.solve ~options p
+
+let prop_backends_agree_on_bips =
+  QCheck.Test.make
+    ~name:"presolve+sparse B&B = dense reference B&B on random BIPs"
+    ~count:60 (QCheck.make random_bip_gen) (fun spec ->
+      let n, _, _ = spec in
+      let p, _ = build_random_bip spec in
+      let rd = bb_with Lp.Backend.dense_reference p in
+      let rs = bb_with Lp.Backend.default p in
+      match (rd.Lp.Branch_bound.x, rs.Lp.Branch_bound.x) with
+      | Some xd, Some xs ->
+          (* random float objectives make the optimum unique: both the
+             value and the integer assignment must agree *)
+          abs_float (rd.Lp.Branch_bound.obj -. rs.Lp.Branch_bound.obj) < 1e-6
+          && Array.for_all2
+               (fun a b -> Float.round a = Float.round b)
+               (Array.sub xd 0 n) (Array.sub xs 0 n)
+      | None, None -> true
+      | _ -> false)
+
 (* --- decision-variable restricted branching --- *)
 
 let test_bb_decision_vars () =
@@ -469,6 +776,37 @@ let () =
           Alcotest.test_case "free variable" `Quick test_simplex_free_variable;
           QCheck_alcotest.to_alcotest prop_simplex_beats_samples;
         ] );
+      ( "lu",
+        [
+          Alcotest.test_case "ftran solve" `Quick test_lu_solve;
+          Alcotest.test_case "btran solve" `Quick test_lu_solve_transpose;
+          Alcotest.test_case "singular detection" `Quick test_lu_singular;
+        ] );
+      ( "sparse_kernel",
+        [
+          Alcotest.test_case "matches dense on knowns" `Quick
+            test_sparse_matches_dense_knowns;
+          Alcotest.test_case "degenerate (beale)" `Quick
+            test_sparse_degenerate_beale;
+          Alcotest.test_case "degenerate (assignment)" `Quick
+            test_sparse_degenerate_assignment;
+          QCheck_alcotest.to_alcotest prop_sparse_matches_dense_random_lp;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "singleton row" `Quick test_presolve_singleton_row;
+          Alcotest.test_case "oversized binary fixed" `Quick
+            test_presolve_fixes_oversized_binary;
+          Alcotest.test_case "duplicate rows" `Quick test_presolve_duplicate_rows;
+          Alcotest.test_case "proves infeasible" `Quick
+            test_presolve_proves_infeasible;
+          Alcotest.test_case "scaling + duals" `Quick
+            test_presolve_scaling_and_duals;
+          Alcotest.test_case "input immutable" `Quick
+            test_presolve_does_not_mutate_input;
+        ] );
+      ( "backend",
+        [ QCheck_alcotest.to_alcotest prop_backends_agree_on_bips ] );
       ( "branch_bound",
         [
           Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
