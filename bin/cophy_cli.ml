@@ -65,8 +65,9 @@ let backend_arg =
   let doc =
     "LP kernel for the solver: $(b,sparse) (revised simplex over an LU \
      factorization, with presolve; the default) or $(b,dense) (the dense \
-     reference kernel, no presolve).  The recommendation is identical for \
-     both."
+     reference kernel, no presolve).  Both kernels agree on the \
+     recommendation's objective value; on degenerate instances the \
+     selected configuration can differ between equally good optima."
   in
   Arg.(
     value

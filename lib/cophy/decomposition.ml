@@ -194,9 +194,12 @@ let z_subproblem ~backend ~w ~(sizes : float array) ~budget
       z_rows;
     (* Presolve is disabled here: its bound tightening and row scaling
        can land on a different optimal vertex of this (often degenerate)
-       LP, and the fractional vertex feeds the rounding heuristic — the
-       raw kernels follow the same pivot sequence, keeping the
-       recommendation identical across backends. *)
+       LP, and the fractional vertex feeds the rounding heuristic.  The
+       raw kernels run the same pricing loop and agree on the optimum
+       value, but their floating-point arithmetic differs, so a
+       near-tolerance pricing tie can still resolve to a different
+       optimal vertex between backends — recommendations agree on cost,
+       not structurally on the chosen vertex. *)
     let r =
       Lp.Backend.solve { backend with Lp.Backend.presolve = false } p
     in

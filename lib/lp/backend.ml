@@ -56,21 +56,19 @@ let solve ?max_iters t (p : Problem.t) =
         let r =
           Simplex.solve ?max_iters ~basis ?stats:(kernel_stats t) map.reduced
         in
-        if r.Simplex.status <> Simplex.Optimal then
-          {
-            r with
-            Simplex.x = Array.make (Problem.nvars p) 0.;
-            duals = Array.make (Problem.nrows p) 0.;
-            obj = 0.;
-          }
-        else
-          let x = Presolve.restore_x map r.Simplex.x in
-          let duals = Presolve.restore_duals map r.Simplex.duals in
-          (* Recompute c'x in the original space: the reduced problem
-             carries fixed-variable contributions as an offset, which
-             the kernel's [obj] excludes. *)
-          let obj = ref 0. in
-          Array.iteri
-            (fun v xv -> obj := !obj +. ((Problem.var p v).Problem.obj *. xv))
-            x;
-          { r with Simplex.x; duals; obj = !obj }
+        (* Lift the kernel's iterate back to the original space for every
+           status: restore is status-agnostic, and a non-Optimal result
+           (notably Iter_limit) must carry the real partial solution and
+           its real objective, not a fabricated zero vector — callers
+           like {!Branch_bound} would mistake all-zeros for an integral
+           point and 0 for a bound. *)
+        let x = Presolve.restore_x map r.Simplex.x in
+        let duals = Presolve.restore_duals map r.Simplex.duals in
+        (* Recompute c'x in the original space: the reduced problem
+           carries fixed-variable contributions as an offset, which
+           the kernel's [obj] excludes. *)
+        let obj = ref 0. in
+        Array.iteri
+          (fun v xv -> obj := !obj +. ((Problem.var p v).Problem.obj *. xv))
+          x;
+        { r with Simplex.x; duals; obj = !obj }

@@ -41,5 +41,11 @@ val kind_to_string : kind -> string
     With presolve on, binary/integer reductions preserve
     integer-feasible solutions; the reported objective can exceed the
     pure LP-relaxation optimum (it is still a valid bound for the BIP,
-    which is what branch-and-bound consumes). *)
+    which is what branch-and-bound consumes).  Non-[Optimal] statuses
+    carry the kernel's last iterate lifted back to [p]'s space, with the
+    objective recomputed from it — an [Iter_limit] iterate is a genuine
+    partial solution, not a certificate.  Duals of rows removed by
+    presolve are reported as 0, which in degenerate cases is not a valid
+    dual (see {!Presolve.restore_duals}); disable presolve when exact
+    duals are required. *)
 val solve : ?max_iters:int -> t -> Problem.t -> Simplex.result

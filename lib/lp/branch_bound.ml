@@ -184,7 +184,15 @@ let solve ?(options = default_options) (p : Problem.t) =
       { status = Unbounded; x = None; obj = neg_infinity; bound = neg_infinity;
         nodes = 0; events = [] }
   | Simplex.Iter_limit | Simplex.Optimal ->
-      let global_bound = ref root.Simplex.obj in
+      (* An iteration-limited relaxation proves nothing: its objective is
+         the value of an arbitrary iterate (an upper bound at best, and
+         meaningless if phase 1 was cut short), so it must not seed the
+         proven bound. *)
+      let root_bound =
+        if root.Simplex.status = Simplex.Optimal then root.Simplex.obj
+        else neg_infinity
+      in
+      let global_bound = ref root_bound in
       (* Open nodes: a best-first heap, plus a dive stack used while no
          incumbent exists yet (depth-first toward a first feasible
          solution, without which best-first cannot prune anything). *)
@@ -218,7 +226,7 @@ let solve ?(options = default_options) (p : Problem.t) =
         end
       in
       let no_open () = !dive = [] && Heap.is_empty !queue in
-      push_heap { node_bound = root.Simplex.obj; fixings = []; depth = 0 };
+      push_heap { node_bound = root_bound; fixings = []; depth = 0 };
       let status = ref Feasible in
       let finished = ref false in
       while not !finished do
@@ -265,12 +273,23 @@ let solve ?(options = default_options) (p : Problem.t) =
                     ()
                 | Simplex.Iter_limit | Simplex.Optimal -> (
                     let lp_obj = r.Simplex.obj in
-                    if lp_obj < !incumbent_obj -. 1e-9 then begin
+                    let solved = r.Simplex.status = Simplex.Optimal in
+                    (* An Iter_limit iterate is not a certified optimum:
+                       its objective is no lower bound (keep the parent's
+                       for pruning and for the children), and its point
+                       only becomes an incumbent after an explicit
+                       feasibility check. *)
+                    let node_lp_bound =
+                      if solved then lp_obj else node.node_bound
+                    in
+                    if node_lp_bound < !incumbent_obj -. 1e-9 then begin
                       match branch_var int_vars r.Simplex.x with
                       | None ->
                           (* decision variables integral: the LP objective
                              is achievable integrally (see decision_vars) *)
-                          if try_incumbent r.Simplex.x lp_obj then emit !global_bound
+                          if (solved || Problem.feasible p r.Simplex.x)
+                             && try_incumbent r.Simplex.x lp_obj
+                          then emit !global_bound
                       | Some v ->
                           (* rounding heuristic for an early incumbent
                              (skipped in restricted mode, where rounding
@@ -285,12 +304,12 @@ let solve ?(options = default_options) (p : Problem.t) =
                           let frac = r.Simplex.x.(v) -. lo in
                           let ob = orig_bounds.(v) in
                           let down_node =
-                            { node_bound = lp_obj;
+                            { node_bound = node_lp_bound;
                               fixings = (v, fst ob, min (snd ob) lo) :: node.fixings;
                               depth = node.depth + 1 }
                           in
                           let up_node =
-                            { node_bound = lp_obj;
+                            { node_bound = node_lp_bound;
                               fixings =
                                 (v, max (fst ob) (lo +. 1.0), snd ob)
                                 :: node.fixings;

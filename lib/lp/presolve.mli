@@ -51,5 +51,12 @@ val run : ?integral:bool -> ?stats:stats -> Problem.t -> outcome
 val restore_x : mapping -> float array -> float array
 
 (** Lift reduced-space duals back to original rows (dropped rows get 0;
-    scaled rows are unscaled). *)
+    scaled rows are unscaled).
+
+    Caveat: duals are only guaranteed valid for rows that survive
+    presolve.  A removed row — one absorbed into variable bounds or
+    dropped as redundant-at-tolerance — can in degenerate cases be
+    binding with a nonzero dual, which this restoration reports as 0.
+    Callers needing exact duals for every row should solve with presolve
+    disabled. *)
 val restore_duals : mapping -> float array -> float array

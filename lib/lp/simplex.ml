@@ -20,8 +20,11 @@
      of m^2, which is what lets the kernel keep up with the large
      decomposition subproblems and materialized CoPhy BIPs.
 
-   Both kernels run the identical pricing/ratio-test loop, so they visit
-   (up to rounding) the same pivot sequence and agree on the optimum. *)
+   Both kernels run the identical pricing/ratio-test loop and agree on
+   the optimum value; because they compute duals and ftran results with
+   different floating-point arithmetic, sub-tolerance ties can resolve
+   differently, so degenerate problems may end on different optimal
+   vertices. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
@@ -138,11 +141,18 @@ let ftran s j w =
         w.(e.er) <- wr
       done
 
+(* Raised (and contained inside this module) when a refactorization finds
+   the current basis numerically singular. *)
+exception Singular_basis
+
 let refactor s sb =
-  sb.lu <- Lu.factor ~m:s.m ~cols:s.cols ~basis:s.basis;
-  sb.neta <- 0;
-  sb.eta_nnz <- 0;
-  s.stats.refactorizations <- s.stats.refactorizations + 1
+  match Lu.factor ~m:s.m ~cols:s.cols ~basis:s.basis with
+  | lu ->
+      sb.lu <- lu;
+      sb.neta <- 0;
+      sb.eta_nnz <- 0;
+      s.stats.refactorizations <- s.stats.refactorizations + 1
+  | exception Lu.Singular _ -> raise Singular_basis
 
 let push_eta sb e =
   if sb.neta >= Array.length sb.etas then begin
@@ -322,7 +332,7 @@ let run_phase s ~max_iters =
             else incr stall;
             (match !leave with
             | -2 -> () (* bound flip: no basis change *)
-            | r ->
+            | r -> (
                 let leaving = s.basis.(r) in
                 (* snap the leaving variable onto the bound it hit *)
                 let rate = -.fdir *. w.(r) in
@@ -331,12 +341,29 @@ let run_phase s ~max_iters =
                 s.in_basis.(leaving) <- -1;
                 s.basis.(r) <- enter;
                 s.in_basis.(enter) <- r;
-                update_basis s r w);
+                try update_basis s r w
+                with Singular_basis ->
+                  (* The pivot made the basis numerically singular (e.g. a
+                     column emptied by drop-tolerance deletions).  Undo the
+                     swap — the primal values stay consistent, the entering
+                     variable just rests between its bounds — and rebuild
+                     the previous basis, which was factorizable.  If even
+                     that fails, the outer handler returns Iter_limit. *)
+                  s.basis.(r) <- leaving;
+                  s.in_basis.(leaving) <- r;
+                  s.in_basis.(enter) <- -1;
+                  (match s.repr with
+                  | Sparse_lu sb -> refactor s sb
+                  | Dense_binv _ -> ())));
             loop ()
           end
     end
   in
-  loop ()
+  (* Never let a singular-basis failure escape the public [solve] API:
+     if recovery in the pivot loop also fails, report Iter_limit — the
+     iterate is a valid (if unconverged) primal point, and callers
+     already treat Iter_limit as "not proven". *)
+  try loop () with Singular_basis -> Iter_limit
 
 (* --- Public entry point --- *)
 

@@ -11,7 +11,8 @@
     a sparse LU factorization maintained by product-form eta updates and
     periodic refactorization ({!Sparse}, cost proportional to factor
     nonzeros).  Both kernels run the identical pricing loop and agree on
-    the optimum; callers normally go through {!Backend} rather than
+    the optimum value (degenerate ties can land on different optimal
+    vertices); callers normally go through {!Backend} rather than
     picking a kernel here. *)
 
 type status = Optimal | Infeasible | Unbounded | Iter_limit

@@ -709,6 +709,34 @@ let test_presolve_does_not_mutate_input () =
   check_float "ub untouched" 10.0 v.Lp.Problem.ub;
   Alcotest.(check int) "rows untouched" 1 (Lp.Problem.nrows p)
 
+let test_backend_iter_limit_restores () =
+  (* A non-Optimal (Iter_limit) presolved solve must lift the kernel's
+     real iterate back to the original space — presolve-fixed variables
+     at their fixed values, objective recomputed from the lifted point —
+     not a fabricated all-zeros solution with obj = 0 (which
+     branch-and-bound would mistake for an integral incumbent). *)
+  let p = Lp.Problem.create () in
+  let x0 = Lp.Problem.add_var ~ub:5.0 ~obj:(-1.0) p in
+  let x1 = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  let x2 = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  let x3 = Lp.Problem.add_var ~ub:10.0 ~obj:(-1.0) p in
+  (* singleton equality: presolve fixes x0 = 1 *)
+  ignore (Lp.Problem.add_row p [ (x0, 2.0) ] Lp.Problem.Eq 2.0);
+  ignore (Lp.Problem.add_row p [ (x1, 1.0); (x2, 1.0) ] Lp.Problem.Le 8.0);
+  ignore (Lp.Problem.add_row p [ (x2, 1.0); (x3, 1.0) ] Lp.Problem.Le 8.0);
+  ignore (Lp.Problem.add_row p [ (x1, 1.0); (x3, 1.0) ] Lp.Problem.Le 8.0);
+  let r = Lp.Backend.solve ~max_iters:1 Lp.Backend.default p in
+  check_status "hits the iteration limit" Lp.Simplex.Iter_limit r;
+  Alcotest.(check int) "x in original space" 4 (Array.length r.Lp.Simplex.x);
+  check_float ~eps:1e-9 "fixed variable restored, not zeroed" 1.0
+    r.Lp.Simplex.x.(x0);
+  let cx = ref 0.0 in
+  Array.iteri
+    (fun v xv -> cx := !cx +. ((Lp.Problem.var p v).Lp.Problem.obj *. xv))
+    r.Lp.Simplex.x;
+  check_float ~eps:1e-9 "obj recomputed from the lifted iterate" !cx
+    r.Lp.Simplex.obj
+
 (* --- Backend agreement on BIPs (the PR's acceptance property) --- *)
 
 let bb_with backend p =
@@ -804,6 +832,8 @@ let () =
             test_presolve_scaling_and_duals;
           Alcotest.test_case "input immutable" `Quick
             test_presolve_does_not_mutate_input;
+          Alcotest.test_case "iter-limit lifts real iterate" `Quick
+            test_backend_iter_limit_restores;
         ] );
       ( "backend",
         [ QCheck_alcotest.to_alcotest prop_backends_agree_on_bips ] );
