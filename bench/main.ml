@@ -71,8 +71,11 @@ let backend_name = function `Sparse -> "sparse" | `Dense -> "dense"
 
 (* LP solve-phase timing on a materialized Theorem-1 BIP — the instance
    class where the kernel dominates the solve.  Returns the JSON
-   fragment. *)
-let lp_phase ~backend_kind =
+   fragment.  With [check] set, the model is analyzed with
+   [Lp.Analyze.check] before the solve (static errors abort) and the
+   relaxation optimum is certified afterwards; the certificate summary
+   lands in the JSON. *)
+let lp_phase ?(check = false) ~backend_kind () =
   let schema = Catalog.Tpch.schema () in
   let w = Workload.Gen.hom schema ~n:lp_bench_n ~seed:bench_seed in
   let env = Optimizer.Whatif.make_env schema in
@@ -81,6 +84,14 @@ let lp_phase ~backend_kind =
   let sp = Cophy.Sproblem.build env cache cands in
   let budget = bench_budget_fraction *. Catalog.Tpch.database_size schema in
   let p, _vars = Cophy.Sproblem.to_lp ~budget sp in
+  if check then begin
+    let issues = Lp.Analyze.check p in
+    List.iter (fun i -> Fmt.epr "check: %a@." Lp.Analyze.pp_issue i) issues;
+    if Lp.Analyze.has_errors issues then begin
+      Fmt.epr "check: BIP scenario model has errors@.";
+      exit 1
+    end
+  end;
   let stats = Lp.Backend.create_stats () in
   let backend =
     { (backend_of_kind backend_kind) with Lp.Backend.stats = Some stats }
@@ -88,8 +99,33 @@ let lp_phase ~backend_kind =
   let t0 = Runtime.Clock.now () in
   let r = Lp.Backend.solve backend p in
   let dt = Runtime.Clock.now () -. t0 in
+  let cert_json =
+    if not check then ""
+    else
+      match r.Lp.Simplex.status with
+      | Lp.Simplex.Optimal ->
+          (* Certify against rows and bounds; duals come along for the
+             dual-residual report (presolve-removed rows report 0).
+             [int_vars:[]]: this is the LP relaxation, so the binary
+             marks are intentionally not enforced on the optimum. *)
+          let cert =
+            Lp.Analyze.certify ~duals:r.Lp.Simplex.duals
+              ~obj:(r.Lp.Simplex.obj +. Lp.Problem.obj_offset p)
+              ~int_vars:[] p r.Lp.Simplex.x
+          in
+          if not cert.Lp.Analyze.cert_ok then begin
+            List.iter (Fmt.epr "certify: %s@.") cert.Lp.Analyze.cert_issues;
+            Fmt.epr "certify: BIP scenario relaxation failed certification@.";
+            exit 1
+          end;
+          Printf.sprintf {|,"certificate":%S|}
+            (Lp.Analyze.certificate_summary cert)
+      | _ ->
+          Fmt.epr "certify: BIP scenario relaxation did not solve to optimal@.";
+          exit 1
+  in
   Printf.sprintf
-    {|{"n":%d,"rows":%d,"vars":%d,"status":"%s","objective":%.6f,"solve_seconds":%.6f,"pivots":%d,"refactorizations":%d,"presolve":{"rows_removed":%d,"vars_removed":%d,"bounds_tightened":%d}}|}
+    {|{"n":%d,"rows":%d,"vars":%d,"status":"%s","objective":%.6f,"solve_seconds":%.6f,"pivots":%d,"refactorizations":%d,"presolve":{"rows_removed":%d,"vars_removed":%d,"bounds_tightened":%d}%s}|}
     lp_bench_n (Lp.Problem.nrows p) (Lp.Problem.nvars p)
     (match r.Lp.Simplex.status with
     | Lp.Simplex.Optimal -> "optimal"
@@ -101,9 +137,12 @@ let lp_phase ~backend_kind =
     stats.Lp.Backend.presolve.Lp.Presolve.rows_removed
     stats.Lp.Backend.presolve.Lp.Presolve.vars_removed
     stats.Lp.Backend.presolve.Lp.Presolve.bounds_tightened
+    cert_json
 
-(* --json: one pipeline run, stable machine-readable schema. *)
-let json_mode ~jobs ~backend_kind file =
+(* --json: one pipeline run, stable machine-readable schema.  [check]
+   turns on Solver certification for the pipeline solve and the
+   analyzer + certifier on the materialized BIP scenario. *)
+let json_mode ?(check = false) ~jobs ~backend_kind file =
   (* Fail on an unwritable path before the (expensive) pipeline run. *)
   let oc =
     try open_out file
@@ -116,11 +155,11 @@ let json_mode ~jobs ~backend_kind file =
   let stats = Runtime.Stats.create () in
   let r =
     Cophy.Advisor.advise ~jobs ~stats
-      ~backend:(backend_of_kind backend_kind) schema w
+      ~backend:(backend_of_kind backend_kind) ~certify:check schema w
       ~budget_fraction:bench_budget_fraction
   in
   let t = r.Cophy.Advisor.timings in
-  let lp_json = lp_phase ~backend_kind in
+  let lp_json = lp_phase ~check ~backend_kind () in
   let json =
     Printf.sprintf
       {|{"schema_version":2,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s}|}
@@ -226,6 +265,7 @@ let () =
      experiment-name filter. *)
   let jobs = ref 1 in
   let json = ref None in
+  let check = ref false in
   let backend_kind = ref `Sparse in
   let rest = ref [] in
   let rec parse = function
@@ -247,6 +287,9 @@ let () =
     | [ "--json" ] ->
         Fmt.epr "--json expects a file path@.";
         exit 2
+    | "--check" :: tl ->
+        check := true;
+        parse tl
     | "--backend" :: v :: tl -> (
         match v with
         | "sparse" ->
@@ -269,8 +312,15 @@ let () =
   let args = List.rev !rest in
   let jobs = if !jobs <= 0 then Runtime.recommended_jobs () else !jobs in
   match !json with
-  | Some file -> json_mode ~jobs ~backend_kind:!backend_kind file
+  | Some file -> json_mode ~check:!check ~jobs ~backend_kind:!backend_kind file
   | None ->
+  if !check then begin
+    (* Standalone --check: analyze + certify the committed BIP scenario
+       and stop (combine with --json to also record the certificate). *)
+    ignore (lp_phase ~check:true ~backend_kind:!backend_kind ());
+    Fmt.pr "check: BIP scenario certified ok@."
+  end
+  else
   if List.mem "--micro" args then begin
     micro_suite ();
     macro_suite ~jobs

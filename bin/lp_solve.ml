@@ -2,12 +2,15 @@
 
      dune exec bin/lp_solve.exe -- model.lp [--gap 0.01] [--time 60]
                                   [--backend sparse|dense] [--no-presolve]
-                                  [--stats]
+                                  [--stats] [--check]
 
    Prints the status, objective, and nonzero variable values — handy for
    inspecting BIPs exported with Lp.Lp_format.to_file.  [--stats] adds
    kernel counters (simplex pivots, sparse refactorizations) and the
-   presolve's row/variable/bound reductions. *)
+   presolve's row/variable/bound reductions.  [--check] runs the
+   Lp.Analyze model checks before solving (static errors abort with exit
+   code 4) and certifies the solution afterwards (a failed certificate
+   aborts with exit code 5). *)
 
 let () =
   let file = ref "" in
@@ -16,6 +19,7 @@ let () =
   let backend_kind = ref Lp.Backend.Sparse in
   let presolve = ref true in
   let want_stats = ref false in
+  let want_check = ref false in
   let set_backend s =
     match Lp.Backend.kind_of_string s with
     | Some k -> backend_kind := k
@@ -30,7 +34,10 @@ let () =
       ("--no-presolve", Arg.Clear presolve, "disable the BIP presolve pass");
       ( "--stats",
         Arg.Set want_stats,
-        "print kernel and presolve counters after solving" ) ]
+        "print kernel and presolve counters after solving" );
+      ( "--check",
+        Arg.Set want_check,
+        "analyze the model before solving and certify the solution after" ) ]
   in
   Arg.parse specs (fun f -> file := f) "lp_solve [options] FILE.lp";
   if !file = "" then begin
@@ -62,6 +69,24 @@ let () =
       Fmt.epr "parse error: %s@." msg;
       exit 1
   | p ->
+      if !want_check then begin
+        let issues = Lp.Analyze.check p in
+        List.iter (fun i -> Fmt.pr "check: %a@." Lp.Analyze.pp_issue i) issues;
+        if Lp.Analyze.has_errors issues then begin
+          Fmt.epr "check: model has errors; not solving@.";
+          exit 4
+        end
+      end;
+      let certify ?duals ~obj x =
+        if !want_check then begin
+          let cert = Lp.Analyze.certify ?duals ~obj p x in
+          Fmt.pr "certificate: %s@." (Lp.Analyze.certificate_summary cert);
+          if not cert.Lp.Analyze.cert_ok then begin
+            List.iter (Fmt.epr "certify: %s@.") cert.Lp.Analyze.cert_issues;
+            exit 5
+          end
+        end
+      in
       let has_integers = Lp.Problem.integer_vars p <> [] in
       if has_integers then begin
         let options =
@@ -92,6 +117,7 @@ let () =
                 if abs_float value > 1e-9 then
                   Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
               x;
+            certify ~obj:r.Lp.Branch_bound.obj x;
             print_stats ()
       end
       else begin
@@ -105,6 +131,9 @@ let () =
               (fun v value ->
                 if abs_float value > 1e-9 then
                   Fmt.pr "%s = %.9g@." (Lp.Problem.var p v).Lp.Problem.vname value)
+              r.Lp.Simplex.x;
+            certify ~duals:r.Lp.Simplex.duals
+              ~obj:(r.Lp.Simplex.obj +. Lp.Problem.obj_offset p)
               r.Lp.Simplex.x;
             print_stats ()
         | Lp.Simplex.Infeasible ->

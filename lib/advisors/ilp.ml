@@ -141,13 +141,15 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
             y)
           kept
       in
-      Hashtbl.iter
-        (fun pos ys_using ->
+      (* Sorted extraction: linking rows enter the ILP in candidate order,
+         not hash order, so the model is reproducible run to run. *)
+      List.iter
+        (fun (pos, ys_using) ->
           ignore
             (Lp.Problem.add_row p
                ((z_var.(pos), -1.0) :: List.map (fun y -> (y, 1.0)) ys_using)
                Lp.Problem.Le 0.0))
-        links;
+        (Runtime.Tbl.sorted_bindings links);
       ignore
         (Lp.Problem.add_row p
            (List.map (fun y -> (y, 1.0)) ys)

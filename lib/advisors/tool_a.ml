@@ -112,7 +112,9 @@ let solve ?(options = default_options) (env : Optimizer.Whatif.env)
             Hashtbl.replace by_table tb
               (ix :: Option.value ~default:[] (Hashtbl.find_opt by_table tb)))
           !current;
-        Hashtbl.fold
+        (* Sorted extraction: merge candidates come out in table-name
+           order, so the greedy relaxation explores them deterministically. *)
+        Runtime.Tbl.fold_sorted
           (fun _ ixs acc ->
             match ixs with
             | a :: b :: _ ->

@@ -53,8 +53,8 @@ let resolve_constraints (env : Optimizer.Whatif.env) (cache : Inum.workload_cach
 let advise ?(params = Optimizer.Cost_params.default)
     ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
     ?(solver_options = Solver.default_options)
-    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats ?backend schema
-    (w : Sqlast.Ast.workload) ~budget_fraction =
+    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats ?backend ?certify
+    schema (w : Sqlast.Ast.workload) ~budget_fraction =
   let stats = match stats with Some s -> s | None -> Runtime.Stats.create () in
   let env = Optimizer.Whatif.make_env ~params schema in
   let t0 = Runtime.Clock.now () in
@@ -84,6 +84,11 @@ let advise ?(params = Optimizer.Cost_params.default)
   let solver_options =
     match backend with
     | Some b -> { solver_options with Solver.backend = b }
+    | None -> solver_options
+  in
+  let solver_options =
+    match certify with
+    | Some c -> { solver_options with Solver.certify = c }
     | None -> solver_options
   in
   let report =

@@ -40,6 +40,9 @@ val total_seconds : recommendation -> float
       [backend] override the corresponding [solver_options] fields.
     @param backend LP backend for every LP the solve runs (default: the
       [solver_options] setting, itself {!Lp.Backend.default}).
+    @param certify overrides [solver_options.certify]: debug mode that
+      statically checks the BIP and certifies the solver's answer with
+      {!Lp.Analyze} (raises [Lp.Analyze.Certification_failed] on failure).
     @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val advise :
   ?params:Optimizer.Cost_params.t ->
@@ -51,6 +54,7 @@ val advise :
   ?jobs:int ->
   ?stats:Runtime.Stats.t ->
   ?backend:Lp.Backend.t ->
+  ?certify:bool ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget_fraction:float ->

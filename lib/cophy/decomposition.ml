@@ -153,7 +153,9 @@ let z_subproblem ~backend ~w ~(sizes : float array) ~budget
       |> List.filter (fun a ->
              (not forced_one.(a)) && (not forced_zero.(a)) && w.(a) < 0.0)
       |> List.sort (fun a b ->
-             compare (w.(a) /. max 1.0 sizes.(a)) (w.(b) /. max 1.0 sizes.(b)))
+             Float.compare
+               (w.(a) /. max 1.0 sizes.(a))
+               (w.(b) /. max 1.0 sizes.(b)))
     in
     List.iter
       (fun a ->
@@ -525,7 +527,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
          z_subproblem ~backend:options.backend ~w ~sizes:sp.Sproblem.sizes
            ~budget ~z_rows ~forced_one ~forced_zero
        in
-       if zval = infinity then begin
+       if Runtime.Fx.is_inf zval then begin
          (* z polytope infeasible *)
          best_bound := infinity;
          raise Exit
@@ -627,7 +629,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
     (fun bi (b : Sproblem.block) ->
       Array.iteri
         (fun i pos ->
-          if lam.(bi).(i) <> 0.0 then
+          if Runtime.Fx.nonzero lam.(bi).(i) then
             Hashtbl.replace tbl
               (b.Sproblem.qid, sp.Sproblem.candidates.(pos))
               lam.(bi).(i))

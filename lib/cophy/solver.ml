@@ -30,6 +30,11 @@ type options = {
   jobs : int;                (* domains for the decomposition fan-outs *)
   stats : Runtime.Stats.t option;
   backend : Lp.Backend.t;    (* LP backend for every LP this solve runs *)
+  (* Debug mode: statically check the materialized BIP before solving,
+     certify branch-and-bound incumbents, and certify the final selection
+     against the hard constraints.  Raises
+     [Lp.Analyze.Certification_failed] on any failure. *)
+  certify : bool;
 }
 
 let default_options =
@@ -44,6 +49,7 @@ let default_options =
     jobs = 1;
     stats = None;
     backend = Lp.Backend.default;
+    certify = false;
   }
 
 type report = {
@@ -64,9 +70,10 @@ type report = {
    correctness tests and query-cost-cap constraints. *)
 let exact_variable_limit = 800
 
-(* Feasibility of the z-only polytope (mandatory/forbidden/budget/...). *)
-let check_feasibility ?(backend = Lp.Backend.default) (sp : Sproblem.t) ~budget
-    ~z_rows =
+(* The z-only polytope (storage budget + linear z rows) over relaxed
+   binary variables; shared by the feasibility probe and the decomposed
+   path's certification of the final selection. *)
+let z_polytope (sp : Sproblem.t) ~budget ~z_rows =
   let n = Array.length sp.Sproblem.candidates in
   let p = Lp.Problem.create () in
   let vars = Array.init n (fun _ -> Lp.Problem.add_var ~ub:1.0 p) in
@@ -88,6 +95,13 @@ let check_feasibility ?(backend = Lp.Backend.default) (sp : Sproblem.t) ~budget
            (List.map (fun (a, c) -> (vars.(a), c)) row.Constr.row_coeffs)
            sense row.Constr.row_rhs))
     z_rows;
+  (p, vars)
+
+(* Feasibility of the z-only polytope (mandatory/forbidden/budget/...). *)
+let check_feasibility ?(backend = Lp.Backend.default) (sp : Sproblem.t) ~budget
+    ~z_rows =
+  let n = Array.length sp.Sproblem.candidates in
+  let p, _vars = z_polytope sp ~budget ~z_rows in
   let r = Lp.Backend.solve backend p in
   match r.Lp.Simplex.status with
   | Lp.Simplex.Infeasible ->
@@ -138,6 +152,20 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
   match method_ with
   | Exact | Auto ->
       let p, vars = Sproblem.to_lp ~budget ~z_rows ~block_caps sp in
+      if options.certify then begin
+        (* Static model analysis before the solve: a malformed BIP makes
+           every downstream certificate meaningless. *)
+        let issues = Lp.Analyze.errors (Lp.Analyze.check p) in
+        if issues <> [] then
+          raise
+            (Lp.Analyze.Certification_failed
+               (String.concat "; "
+                  (List.map
+                     (fun (i : Lp.Analyze.issue) ->
+                       Printf.sprintf "%s(%s): %s" i.Lp.Analyze.code
+                         i.Lp.Analyze.where i.Lp.Analyze.message)
+                     issues)))
+      end;
       let events = ref [] in
       let bb_options =
         {
@@ -150,6 +178,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
              optimum (Theorem 1's structure) *)
           decision_vars = Some (Array.to_list vars.Sproblem.z_var);
           backend = options.backend;
+          certify_incumbents = options.certify;
           on_event =
             (fun (e : Lp.Branch_bound.event) ->
               let f =
@@ -174,6 +203,20 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         | None -> raise (Infeasible [ "no feasible solution found" ])
       in
       let z = Sproblem.z_of_lp_solution sp vars x in
+      if options.certify then begin
+        (* Final-answer certificate: the returned BIP point satisfies
+           every row and bound, and the z part is integral. *)
+        let cert =
+          Lp.Analyze.certify
+            ~int_vars:(Array.to_list vars.Sproblem.z_var)
+            p x
+        in
+        if not cert.Lp.Analyze.cert_ok then
+          raise
+            (Lp.Analyze.Certification_failed
+               (Printf.sprintf "exact-path solution rejected: %s"
+                  (Lp.Analyze.certificate_summary cert)))
+      end;
       let objective = Sproblem.eval ~jobs:options.jobs sp z in
       {
         z;
@@ -215,10 +258,28 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         }
       in
       let r = Decomposition.solve ~options:d_options ?accept sp ~budget ~z_rows in
-      if r.Decomposition.bound = infinity then
+      if Runtime.Fx.is_inf r.Decomposition.bound then
         raise (Infeasible [ "z polytope infeasible" ]);
-      if r.Decomposition.obj = infinity then
+      if Runtime.Fx.is_inf r.Decomposition.obj then
         raise (Infeasible [ "no selection satisfies the black-box constraints" ]);
+      if options.certify then begin
+        (* The decomposition never materializes the BIP, so certify what
+           it does promise: the returned 0/1 selection lies in the z
+           polytope (budget + every linear hard-constraint row). *)
+        let zp, zvars = z_polytope sp ~budget ~z_rows in
+        let zx = Array.make (Lp.Problem.nvars zp) 0.0 in
+        Array.iteri
+          (fun a v -> zx.(v) <- (if r.Decomposition.z.(a) then 1.0 else 0.0))
+          zvars;
+        let cert =
+          Lp.Analyze.certify ~int_vars:(Array.to_list zvars) zp zx
+        in
+        if not cert.Lp.Analyze.cert_ok then
+          raise
+            (Lp.Analyze.Certification_failed
+               (Printf.sprintf "decomposed-path selection rejected: %s"
+                  (Lp.Analyze.certificate_summary cert)))
+      end;
       {
         z = r.Decomposition.z;
         config = Sproblem.config_of sp r.Decomposition.z;

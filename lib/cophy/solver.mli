@@ -36,6 +36,14 @@ type options = {
       (** LP backend used for every LP this solve runs: the feasibility
           probe, branch-and-bound relaxations on the exact path, and the
           decomposition's z subproblem (default {!Lp.Backend.default}) *)
+  certify : bool;
+      (** Debug mode (default [false]).  On the exact path: run
+          {!Lp.Analyze.check} on the materialized BIP before solving (any
+          [Error] aborts), certify every branch-and-bound incumbent, and
+          certify the final solution.  On the decomposed path: certify
+          the returned selection against the z polytope (budget + linear
+          hard-constraint rows).
+          @raise Lp.Analyze.Certification_failed on any failure. *)
 }
 
 val default_options : options

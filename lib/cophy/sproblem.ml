@@ -116,8 +116,7 @@ let build ?(prune = true) (env : Optimizer.Whatif.env)
             (Inum.templates inum)
         in
         let cands_used =
-          Hashtbl.fold (fun pos () acc -> pos :: acc) used []
-          |> List.sort compare |> Array.of_list
+          Runtime.Tbl.sorted_keys used |> Array.of_list
         in
         {
           qid = q.Sqlast.Ast.query_id;
@@ -293,13 +292,15 @@ let to_lp ?(budget = infinity) ?(z_rows = []) ?(block_caps = [])
                    Lp.Problem.Eq 0.0))
             tpl.choices)
         b.templates;
-      Hashtbl.iter
-        (fun cand xs ->
+      (* Sorted extraction: the linking rows enter the BIP in candidate
+         order, not hash order, so the materialized LP is reproducible. *)
+      List.iter
+        (fun (cand, xs) ->
           ignore
             (Lp.Problem.add_row p
                ((z_var.(cand), -1.0) :: List.map (fun x -> (x, 1.0)) xs)
                Lp.Problem.Le 0.0))
-        links)
+        (Runtime.Tbl.sorted_bindings links))
     t.blocks;
   if budget < infinity then
     ignore

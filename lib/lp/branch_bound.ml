@@ -27,6 +27,10 @@ type options = {
   decision_vars : int list option;
   (* LP backend used for the root and node relaxations. *)
   backend : Backend.t;
+  (* Debug mode: certify every candidate incumbent with [Analyze.certify]
+     before accepting it; raise [Analyze.Certification_failed] if one
+     violates rows, bounds, or integrality of the branched variables. *)
+  certify_incumbents : bool;
 }
 
 let default_options =
@@ -39,6 +43,7 @@ let default_options =
     log_events = false;
     decision_vars = None;
     backend = Backend.default;
+    certify_incumbents = false;
   }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Limit
@@ -163,6 +168,19 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   let try_incumbent x obj =
     if obj < !incumbent_obj -. 1e-9 then begin
+      if options.certify_incumbents then begin
+        (* Certify against the node's (tightened) bounds and the rows —
+           tightenings are subsets of the original box, so passing here
+           implies feasibility for the original problem too.  Only the
+           branched variables are certified integral (restricted mode
+           leaves the per-block continuous part fractional by design). *)
+        let cert = Analyze.certify ~int_vars ~obj:(obj +. offset) p x in
+        if not cert.Analyze.cert_ok then
+          raise
+            (Analyze.Certification_failed
+               (Printf.sprintf "branch_bound incumbent rejected: %s"
+                  (Analyze.certificate_summary cert)))
+      end;
       incumbent := Some (Array.copy x);
       incumbent_obj := obj;
       true

@@ -24,6 +24,11 @@ type options = {
           the remaining LP have an integral optimum of equal objective —
           the structure of the CoPhy and ILP BIPs. *)
   backend : Backend.t;  (** LP backend for root and node relaxations *)
+  certify_incumbents : bool;
+      (** Debug mode: run {!Analyze.certify} on every candidate incumbent
+          (rows, bounds, integrality of the branched variables, objective
+          recomputation) before accepting it.
+          @raise Analyze.Certification_failed on a bad incumbent. *)
 }
 
 val default_options : options

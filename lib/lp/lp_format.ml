@@ -3,6 +3,8 @@
    integer sections).  Lets the solver interoperate with models produced
    by other tools, and backs the `lp_solve` command-line utility. *)
 
+module Fx = Runtime.Fx
+
 exception Format_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
@@ -10,11 +12,12 @@ let fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 (* --- Writing --- *)
 
 let write_term buf first coeff name =
-  if coeff <> 0.0 then begin
+  if Fx.nonzero coeff then begin
     if coeff >= 0.0 && not first then Buffer.add_string buf " + "
     else if coeff < 0.0 then Buffer.add_string buf (if first then "- " else " - ");
     let a = abs_float coeff in
-    if a <> 1.0 then Buffer.add_string buf (Printf.sprintf "%.12g " a);
+    if not (Fx.exactly a 1.0) then
+      Buffer.add_string buf (Printf.sprintf "%.12g " a);
     Buffer.add_string buf name
   end
 
@@ -24,7 +27,7 @@ let to_string (p : Problem.t) =
   let first = ref true in
   for v = 0 to Problem.nvars p - 1 do
     let var = Problem.var p v in
-    if var.Problem.obj <> 0.0 then begin
+    if Fx.nonzero var.Problem.obj then begin
       Buffer.add_char buf ' ';
       write_term buf !first var.Problem.obj var.Problem.vname;
       first := false
@@ -56,12 +59,12 @@ let to_string (p : Problem.t) =
     if var.Problem.kind <> Problem.Binary then begin
       let name = var.Problem.vname in
       match (var.Problem.lb, var.Problem.ub) with
-      | lb, ub when lb = neg_infinity && ub = infinity ->
+      | lb, ub when Fx.is_neg_inf lb && Fx.is_inf ub ->
           Buffer.add_string buf (Printf.sprintf " %s free\n" name)
-      | lb, ub when ub = infinity ->
-          if lb <> 0.0 then
+      | lb, ub when Fx.is_inf ub ->
+          if Fx.nonzero lb then
             Buffer.add_string buf (Printf.sprintf " %s >= %.12g\n" name lb)
-      | lb, ub when lb = neg_infinity ->
+      | lb, ub when Fx.is_neg_inf lb ->
           Buffer.add_string buf (Printf.sprintf " %s <= %.12g\n" name ub)
       | lb, ub ->
           Buffer.add_string buf
@@ -181,7 +184,7 @@ let rec parse_expr acc sign toks =
   | Minus :: rest -> parse_expr acc (-1.0) rest
   | Num c :: Word v :: rest when not (section_word v) ->
       parse_expr ((v, sign *. c) :: acc) 1.0 rest
-  | Num c :: rest when acc = [] && sign = 1.0 && c = 0.0 ->
+  | Num c :: rest when acc = [] && Fx.exactly sign 1.0 && Fx.is_zero c ->
       (* constant 0 objective *)
       parse_expr acc 1.0 rest
   | Word v :: rest when not (section_word v) ->
@@ -347,8 +350,10 @@ let of_string text =
   else begin
     let p2 = Problem.create () in
     let map = Hashtbl.create 64 in
-    Hashtbl.iter
-      (fun name v ->
+    (* Rebuild in ascending original-id order: p2's variable ids then
+       mirror p's exactly instead of following hash order. *)
+    List.iter
+      (fun (name, v) ->
         let var = Problem.var p v in
         let kind =
           if List.mem name !binaries then Problem.Binary
@@ -360,7 +365,8 @@ let of_string text =
             ~obj:var.Problem.obj ~name p2
         in
         Hashtbl.add map v v2)
-      vars;
+      (Runtime.Tbl.sorted_bindings vars
+      |> List.sort (fun (_, a) (_, b) -> compare a b));
     Array.iter
       (fun (r : Problem.row) ->
         ignore

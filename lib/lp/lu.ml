@@ -12,6 +12,8 @@
    triangular and U upper triangular in permuted coordinates, where P is
    the row (pr) and Q the basis-position (pc) pivot sequence. *)
 
+module Fx = Runtime.Fx
+
 type t = {
   m : int;
   pr : int array;                      (* step -> original row *)
@@ -43,7 +45,7 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
   for k = 0 to m - 1 do
     Array.iter
       (fun (i, a) ->
-        if a <> 0.0 then begin
+        if Fx.nonzero a then begin
           Hashtbl.replace rows.(i) k a;
           Hashtbl.replace colrows.(k) i ()
         end)
@@ -55,11 +57,8 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
   let diag = Array.make m 0.0 in
   let urow = Array.make m [||] and lcol = Array.make m [||] in
   let nnz = ref 0 in
-  (* Pre-sized scratch for sorting a column's rows deterministically. *)
-  let sorted_rows tbl =
-    let l = Hashtbl.fold (fun i () acc -> i :: acc) tbl [] in
-    List.sort compare l
-  in
+  (* A column's rows in deterministic (sorted) order. *)
+  let sorted_rows tbl = Runtime.Tbl.sorted_keys tbl in
   for step = 0 to m - 1 do
     (* --- pivot search: bounded Markowitz --- *)
     let minc = ref max_int in
@@ -116,12 +115,14 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
     (* --- retire the pivot row and column --- *)
     col_active.(p_c) <- false;
     let urow_entries =
-      Hashtbl.fold
-        (fun cj v acc -> if cj = p_c then acc else (cj, v) :: acc)
-        rows.(p_r) []
-      |> List.sort compare
+      Runtime.Tbl.sorted_bindings rows.(p_r)
+      |> List.filter (fun (cj, _) -> cj <> p_c)
     in
-    Hashtbl.iter (fun cj _ -> Hashtbl.remove colrows.(cj) p_r) rows.(p_r);
+    (* Justified hashtbl_order: removals target disjoint tables (one per
+       column) and commute, so visit order cannot matter. *)
+    (Hashtbl.iter [@lint.allow hashtbl_order])
+      (fun cj _ -> Hashtbl.remove colrows.(cj) p_r)
+      rows.(p_r);
     (* urow stores original basis positions for now; remapped to steps
        after every column has been eliminated. *)
     urow.(step) <- Array.of_list urow_entries;
@@ -176,7 +177,7 @@ let solve t b =
   for k = 0 to t.m - 1 do
     let vk = b.(t.pr.(k)) in
     u.(k) <- vk;
-    if vk <> 0.0 then
+    if Fx.nonzero vk then
       Array.iter
         (fun (i, l) -> b.(i) <- b.(i) -. (l *. vk))
         t.lcol.(k)
@@ -200,7 +201,7 @@ let solve_transpose t c =
   for k = 0 to t.m - 1 do
     let tk = u.(k) /. t.diag.(k) in
     u.(k) <- tk;
-    if tk <> 0.0 then
+    if Fx.nonzero tk then
       Array.iter (fun (j, uv) -> u.(j) <- u.(j) -. (uv *. tk)) t.urow.(k)
   done;
   for k = t.m - 1 downto 0 do

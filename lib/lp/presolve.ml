@@ -6,6 +6,8 @@
    bounds; singleton rows degenerate to a bound update and then drop as
    redundant, so they need no special case. *)
 
+module Fx = Runtime.Fx
+
 type stats = {
   mutable rows_removed : int;
   mutable vars_removed : int;
@@ -126,9 +128,9 @@ let run ?(integral = true) ?stats (p : Problem.t) =
         let maxact = ref 0.0 and ninf_max = ref 0 in
         List.iter
           (fun (_, _, cmin, cmax) ->
-            (if abs_float cmin = infinity then incr ninf_min
+            (if Fx.is_inf (abs_float cmin) then incr ninf_min
              else minact := !minact +. cmin);
-            if abs_float cmax = infinity then incr ninf_max
+            if Fx.is_inf (abs_float cmax) then incr ninf_max
             else maxact := !maxact +. cmax)
           coeffs;
         let minact_total = if !ninf_min > 0 then neg_infinity else !minact in
@@ -158,10 +160,10 @@ let run ?(integral = true) ?stats (p : Problem.t) =
               (fun (v, c, cmin, _) ->
                 let rest =
                   if !ninf_min = 0 then !minact -. cmin
-                  else if !ninf_min = 1 && abs_float cmin = infinity then !minact
+                  else if !ninf_min = 1 && Fx.is_inf (abs_float cmin) then !minact
                   else nan
                 in
-                if rest = rest (* not nan *) then begin
+                if not (Float.is_nan rest) then begin
                   let bound = (rhs -. rest) /. c in
                   if c > 0.0 then set_ub v bound else set_lb v bound;
                   check_bounds v
@@ -172,10 +174,10 @@ let run ?(integral = true) ?stats (p : Problem.t) =
               (fun (v, c, _, cmax) ->
                 let rest =
                   if !ninf_max = 0 then !maxact -. cmax
-                  else if !ninf_max = 1 && abs_float cmax = infinity then !maxact
+                  else if !ninf_max = 1 && Fx.is_inf (abs_float cmax) then !maxact
                   else nan
                 in
-                if rest = rest then begin
+                if not (Float.is_nan rest) then begin
                   let bound = (rhs -. rest) /. c in
                   if c > 0.0 then set_lb v bound else set_ub v bound;
                   check_bounds v

@@ -7,6 +7,8 @@
 
    Rows store their coefficients sparsely. *)
 
+module Fx = Runtime.Fx
+
 type var_kind = Continuous | Binary | Integer
 type sense = Le | Ge | Eq
 
@@ -70,12 +72,11 @@ let clean_coeffs t coeffs =
       if v < 0 || v >= t.nvars then invalid_arg "Problem.add_row: bad variable";
       Hashtbl.replace tbl v (c +. Option.value ~default:0.0 (Hashtbl.find_opt tbl v)))
     coeffs;
-  let arr =
-    Hashtbl.fold (fun v c acc -> if abs_float c > 1e-12 then (v, c) :: acc else acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> Array.of_list
-  in
-  arr
+  (* Sorted extraction keeps the row's coefficient order independent of
+     hash order (lint rule L2). *)
+  Runtime.Tbl.sorted_bindings tbl
+  |> List.filter (fun (_, c) -> abs_float c > 1e-12)
+  |> Array.of_list
 
 let add_row ?(name = "") t coeffs sense rhs =
   let coeffs = clean_coeffs t coeffs in
@@ -145,7 +146,7 @@ let pp ppf t =
   Fmt.pf ppf "@[<v>minimize ";
   for v = 0 to t.nvars - 1 do
     let c = t.vars.(v).obj in
-    if c <> 0.0 then Fmt.pf ppf "%+g %s " c t.vars.(v).vname
+    if Fx.nonzero c then Fmt.pf ppf "%+g %s " c t.vars.(v).vname
   done;
   Fmt.pf ppf "@ subject to:@ ";
   Array.iter

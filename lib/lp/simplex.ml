@@ -26,6 +26,8 @@
    differently, so degenerate problems may end on different optimal
    vertices. *)
 
+module Fx = Runtime.Fx
+
 type status = Optimal | Infeasible | Unbounded | Iter_limit
 
 type result = {
@@ -88,7 +90,7 @@ let compute_duals s y =
       Array.fill y 0 s.m 0.0;
       for i = 0 to s.m - 1 do
         let cb = s.cost.(s.basis.(i)) in
-        if cb <> 0.0 then begin
+        if Fx.nonzero cb then begin
           let base = i * s.m in
           for j = 0 to s.m - 1 do
             Array.unsafe_set y j
@@ -122,7 +124,7 @@ let ftran s j w =
       Array.fill w 0 s.m 0.0;
       Array.iter
         (fun (i, a) ->
-          if a <> 0.0 then
+          if Fx.nonzero a then
             for r = 0 to s.m - 1 do
               Array.unsafe_set w r
                 (Array.unsafe_get w r
@@ -136,7 +138,7 @@ let ftran s j w =
       for t = 0 to sb.neta - 1 do
         let e = sb.etas.(t) in
         let wr = w.(e.er) /. e.epiv in
-        if wr <> 0.0 then
+        if Fx.nonzero wr then
           Array.iter (fun (i, wi) -> w.(i) <- w.(i) -. (wi *. wr)) e.entries;
         w.(e.er) <- wr
       done
@@ -307,7 +309,7 @@ let run_phase s ~max_iters =
               end
             end
           done;
-          if !t_limit = infinity then Unbounded
+          if Fx.is_inf !t_limit then Unbounded
           else begin
             let t = !t_limit in
             (* apply the step *)
@@ -321,7 +323,7 @@ let run_phase s ~max_iters =
             let obj =
               let acc = ref 0.0 in
               for j = 0 to s.total - 1 do
-                if s.cost.(j) <> 0.0 then acc := !acc +. (s.cost.(j) *. s.value.(j))
+                if Fx.nonzero s.cost.(j) then acc := !acc +. (s.cost.(j) *. s.value.(j))
               done;
               !acc
             in
@@ -422,7 +424,7 @@ let solve ?(max_iters = 0) ?(basis = Dense) ?stats (p : Problem.t) =
   let resid = Array.make m 0.0 in
   Array.iteri (fun i (r : Problem.row) -> resid.(i) <- r.Problem.rhs) rows;
   for j = 0 to n + m - 1 do
-    if value.(j) <> 0.0 then
+    if Fx.nonzero value.(j) then
       Array.iter (fun (i, c) -> resid.(i) <- resid.(i) -. (c *. value.(j))) cols.(j)
   done;
   let bas = Array.make m 0 in

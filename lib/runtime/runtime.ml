@@ -4,18 +4,77 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
 (* ------------------------------------------------------------------ *)
+(* Float comparison helpers (lint rule L1)                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fx = struct
+  (* Monomorphic and NaN-honest replacements for polymorphic =/<> on
+     floats.  [exactly] is [Float.equal]: bitwise-intent equality that is
+     reflexive on nan (unlike [=]) and treats -0. as 0.  The [is_*]
+     predicates name the common sentinel tests so call sites state intent
+     instead of comparing against a literal. *)
+  let exactly = Float.equal
+  let is_zero x = Float.equal x 0.0
+  let nonzero x = not (Float.equal x 0.0)
+  let is_inf x = Float.equal x infinity
+  let is_neg_inf x = Float.equal x neg_infinity
+  let is_finite = Float.is_finite
+
+  (* Tolerance comparisons for computed quantities. *)
+  let default_tol = 1e-9
+  let approx ?(tol = default_tol) a b = abs_float (a -. b) <= tol
+
+  let approx_rel ?(tol = default_tol) a b =
+    abs_float (a -. b) <= tol *. (1.0 +. abs_float a +. abs_float b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic hash-table extraction (lint rule L2)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Tbl = struct
+  (* The one sanctioned way to enumerate a hash table: extract and sort,
+     so downstream order never depends on hash internals.  The raw folds
+     below are the justified exceptions — their output is immediately
+     canonicalized. *)
+
+  let sorted_keys tbl =
+    (* Justified: the fold's hash-order output feeds straight into sort. *)
+    let[@lint.allow hashtbl_order] keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    in
+    List.sort_uniq compare keys
+
+  let sorted_bindings tbl =
+    (* Justified: hash-order fold canonicalized by the stable sort on
+       keys (per-key insertion order of duplicate bindings survives). *)
+    let[@lint.allow hashtbl_order] bindings =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    in
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) bindings
+
+  let iter_sorted f tbl =
+    List.iter (fun (k, v) -> f k v) (sorted_bindings tbl)
+
+  let fold_sorted f tbl init =
+    List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings tbl)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Monotonic clock                                                     *)
 (* ------------------------------------------------------------------ *)
 
 module Clock = struct
-  let start = Unix.gettimeofday ()
+  (* Justified nondet_source: this module IS the sanctioned clock — the
+     one place in lib/ allowed to read the wall clock. *)
+  let[@lint.allow nondet_source] start = Unix.gettimeofday ()
 
   (* [Unix.gettimeofday] can step backwards (NTP adjustments); clamp to
      the largest value handed out so far so elapsed-time arithmetic never
      goes negative. *)
   let high_water = Atomic.make 0.0
 
-  let now () =
+  let[@lint.allow nondet_source] now () =
     let t = Unix.gettimeofday () -. start in
     let rec clamp () =
       let prev = Atomic.get high_water in
@@ -64,9 +123,12 @@ let worker_loop w () =
 (* [pool_lock] serializes parallel sections (one fan-out at a time) and
    protects pool growth. *)
 let pool_lock = Mutex.create ()
-let workers : worker list ref = ref []
-let domains : unit Domain.t list ref = ref []
-let shutdown_registered = ref false
+
+(* Justified global_state: the worker pool is a process singleton by
+   design; every access below is under [pool_lock]. *)
+let[@lint.allow global_state] workers : worker list ref = ref []
+let[@lint.allow global_state] domains : unit Domain.t list ref = ref []
+let[@lint.allow global_state] shutdown_registered = ref false
 let max_workers = 126
 
 let shutdown () =
@@ -113,7 +175,9 @@ let parallel_map ?jobs f arr =
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
-    let failure : exn option Atomic.t = Atomic.make None in
+    let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
     (* Small chunks relative to [n / jobs] so uneven element costs
        rebalance; chunk >= 1 keeps the cursor loop terminating. *)
     let chunk = max 1 (n / (jobs * 8)) in
@@ -129,7 +193,10 @@ let parallel_map ?jobs f arr =
               results.(i) <- Some (f arr.(i))
             done
           with e ->
-            ignore (Atomic.compare_and_set failure None (Some e));
+            (* Keep the worker-domain backtrace: the exception is
+               re-raised on the calling domain once workers drain. *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
             continue := false
         end
       done
@@ -163,11 +230,12 @@ let parallel_map ?jobs f arr =
      with e ->
        (* Only pool plumbing (e.g. Domain.spawn) can land here; [f]'s
           exceptions are routed through [failure]. *)
+       let bt = Printexc.get_raw_backtrace () in
        finally ();
-       raise e);
+       Printexc.raise_with_backtrace e bt);
     finally ();
     match Atomic.get failure with
-    | Some e -> raise e
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
         Array.map (function Some v -> v | None -> assert false) results
   end
@@ -229,7 +297,7 @@ module Stats = struct
       let prev = Atomic.get a in
       if not (Atomic.compare_and_set a prev (prev +. dt)) then go ()
     in
-    if dt <> 0.0 then go ()
+    if Fx.nonzero dt then go ()
 
   let stage_cell t = function
     | Inum_build -> t.inum_build_s

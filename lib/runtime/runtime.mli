@@ -17,6 +17,45 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], i.e. a job count matched to the
     hardware. *)
 
+(** Monomorphic float comparisons (lint rule L1: no polymorphic [=] /
+    [compare] on floats).  [exactly]/[is_zero]/[nonzero]/[is_inf] are
+    exact (bit-intent) tests for sentinels and skip-work fast paths,
+    NaN-reflexive unlike [=]; [approx]/[approx_rel] are the tolerance
+    comparisons for computed quantities. *)
+module Fx : sig
+  val exactly : float -> float -> bool
+  (** [Float.equal]: exact, [exactly nan nan = true], [-0. = 0.]. *)
+
+  val is_zero : float -> bool
+  val nonzero : float -> bool
+  val is_inf : float -> bool  (** equal to [infinity] *)
+
+  val is_neg_inf : float -> bool
+  val is_finite : float -> bool
+  val default_tol : float  (** [1e-9] *)
+
+  val approx : ?tol:float -> float -> float -> bool
+  (** absolute: [|a - b| <= tol] *)
+
+  val approx_rel : ?tol:float -> float -> float -> bool
+  (** relative: [|a - b| <= tol * (1 + |a| + |b|)] *)
+end
+
+(** Deterministic hash-table enumeration (lint rule L2: no order-sensitive
+    [Hashtbl.iter]/[fold]).  All functions sort by key with polymorphic
+    [compare], so results never depend on hash order. *)
+module Tbl : sig
+  val sorted_keys : ('a, 'b) Hashtbl.t -> 'a list
+  (** distinct keys, ascending *)
+
+  val sorted_bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+  (** all bindings sorted by key (stable: duplicate-key bindings keep
+      their relative order) *)
+
+  val iter_sorted : ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit
+  val fold_sorted : ('a -> 'b -> 'acc -> 'acc) -> ('a, 'b) Hashtbl.t -> 'acc -> 'acc
+end
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ?jobs f arr] maps [f] over [arr] using up to [jobs]
     domains (the caller participates, so at most [jobs - 1] pool workers

@@ -222,7 +222,9 @@ let agg_of_string = function
   | "MAX" -> Some Max
   | _ -> None
 
-let next_query_id = ref 0
+(* Atomic so concurrent parsers (e.g. per-statement INUM builds driven
+   through Runtime.parallel_map) hand out distinct ids without a race. *)
+let next_query_id = Atomic.make 0
 
 let parse_select schema st : query =
   expect_keyword st "SELECT";
@@ -308,8 +310,8 @@ let parse_select schema st : query =
     end
     else []
   in
-  incr next_query_id;
-  { query_id = !next_query_id; tables; select; predicates; joins; group_by;
+  let id = 1 + Atomic.fetch_and_add next_query_id 1 in
+  { query_id = id; tables; select; predicates; joins; group_by;
     order_by }
 
 let parse_update schema st : update =
@@ -334,8 +336,8 @@ let parse_update schema st : update =
         (parse_where schema [ target ] st)
     else []
   in
-  incr next_query_id;
-  { update_id = !next_query_id; target; set_columns; where }
+  let id = 1 + Atomic.fetch_and_add next_query_id 1 in
+  { update_id = id; target; set_columns; where }
 
 let parse_statement schema st : statement =
   match peek st with

@@ -361,6 +361,26 @@ let test_solver_paths_agree () =
     (decomposed.Cophy.Solver.objective
      <= (exact.Cophy.Solver.objective *. 1.10) +. 1.0)
 
+(* Debug-mode certification: both paths produce selections that pass
+   Lp.Analyze certification, and enabling it changes no answer. *)
+let test_solver_certified () =
+  let _, _, _, sp = build_problem ~n:3 ~cand_cap:4 () in
+  let budget = 0.5 *. db_size in
+  let run certify method_ =
+    Cophy.Solver.solve
+      ~options:{ Cophy.Solver.default_options with
+                 Cophy.Solver.method_;
+                 gap_tolerance = 1e-6; certify }
+      sp ~budget ~z_rows:[]
+  in
+  let plain = run false Cophy.Solver.Exact in
+  let exact = run true Cophy.Solver.Exact in
+  Alcotest.(check (float 1e-6)) "certification changes nothing"
+    plain.Cophy.Solver.objective exact.Cophy.Solver.objective;
+  let decomposed = run true Cophy.Solver.Decomposed in
+  Alcotest.(check bool) "decomposed selection certified non-trivially" true
+    (Array.length decomposed.Cophy.Solver.z > 0)
+
 (* --- Advisor pipeline --- *)
 
 let test_advisor_end_to_end () =
@@ -655,6 +675,7 @@ let () =
         [
           Alcotest.test_case "infeasible" `Quick test_solver_infeasible;
           Alcotest.test_case "paths agree" `Slow test_solver_paths_agree;
+          Alcotest.test_case "certified" `Quick test_solver_certified;
         ] );
       ("advisor", [ Alcotest.test_case "end to end" `Quick test_advisor_end_to_end ]);
       ( "pareto",

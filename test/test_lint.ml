@@ -1,0 +1,147 @@
+(* cophy-lint layer-1 fixtures: for each source rule L1-L5, a snippet that
+   must trigger and a near-miss that must not, plus the [@lint.allow]
+   suppression and bad-attribute behaviour. *)
+
+let lint src = Lint_core.lint_string ~file:"fixture.ml" src
+let rules src = List.map (fun v -> v.Lint_core.v_rule) (lint src)
+let triggers r src = List.mem r (rules src)
+
+let check_triggers rule name src =
+  Alcotest.(check bool) (name ^ " triggers") true (triggers rule src)
+
+let check_clean name src =
+  Alcotest.(check (list string))
+    (name ^ " is clean") []
+    (List.map Lint_core.rule_name (List.map (fun v -> v.Lint_core.v_rule) (lint src)))
+
+(* --- L1 float_eq --- *)
+
+let test_float_eq () =
+  check_triggers Lint_core.Float_eq "literal comparand" "let bad x = x = 1.0";
+  check_triggers Lint_core.Float_eq "float arithmetic comparand"
+    "let bad a b = a +. 1.0 <> b";
+  check_triggers Lint_core.Float_eq "polymorphic compare"
+    "let bad a = compare (abs_float a) 0.5";
+  check_triggers Lint_core.Float_eq "infinity sentinel"
+    "let bad lb = lb = neg_infinity";
+  check_triggers Lint_core.Float_eq "Float-module result"
+    "let bad a b = Float.min a b = 0.0";
+  (* near-misses: non-float operands, tolerance idiom, Fx helpers *)
+  check_clean "int comparison" "let ok (a : int) b = a = b";
+  check_clean "tolerance idiom" "let ok a = abs_float (a -. 1.0) <= 1e-9";
+  check_clean "Float.equal" "let ok a = Float.equal a 0.0";
+  check_clean "Float predicate is not floatish"
+    "let ok a b = Float.is_nan a = b";
+  check_clean "suppressed"
+    "let[@lint.allow float_eq] ok x = (* sentinel cmp *) x = infinity"
+
+(* --- L2 hashtbl_order --- *)
+
+let test_hashtbl_order () =
+  check_triggers Lint_core.Hashtbl_order "fold accumulation"
+    "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []";
+  check_triggers Lint_core.Hashtbl_order "iter side effects"
+    "let dump t = Hashtbl.iter (fun _ v -> print_int v) t";
+  check_clean "point lookups"
+    "let ok t k v = Hashtbl.replace t k v; Hashtbl.find_opt t k";
+  check_clean "length" "let ok t = Hashtbl.length t";
+  check_clean "binding-level suppression"
+    "let[@lint.allow hashtbl_order] keys t =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) t []";
+  check_clean "expression-level suppression"
+    "let ok t = (Hashtbl.iter [@lint.allow hashtbl_order]) (fun _ _ -> ()) t"
+
+(* --- L3 global_state --- *)
+
+let test_global_state () =
+  check_triggers Lint_core.Global_state "toplevel ref" "let counter = ref 0";
+  check_triggers Lint_core.Global_state "toplevel hashtable"
+    "let cache = Hashtbl.create 16";
+  check_triggers Lint_core.Global_state "toplevel array"
+    "let scratch = Array.make 8 0.0";
+  check_triggers Lint_core.Global_state "array literal"
+    "let lut = [| 1; 2; 3 |]";
+  check_triggers Lint_core.Global_state "inside a submodule"
+    "module M = struct let r = ref 0 end";
+  check_clean "Atomic is sanctioned" "let counter = Atomic.make 0";
+  check_clean "Mutex is sanctioned" "let lock = Mutex.create ()";
+  check_clean "function-local state is fine"
+    "let f () = let acc = ref 0 in incr acc; !acc";
+  check_clean "empty array literal is immutable-ish" "let none = [||]";
+  check_clean "suppressed"
+    "let[@lint.allow global_state] lut = (* never written *) [| 1; 2 |]"
+
+(* --- L4 catch_all --- *)
+
+let test_catch_all () =
+  check_triggers Lint_core.Catch_all "wildcard handler"
+    "let f g = try g () with _ -> 0";
+  check_triggers Lint_core.Catch_all "named catch-all"
+    "let f g = try g () with e -> ignore e; 0";
+  check_triggers Lint_core.Catch_all "match exception case"
+    "let f g = match g () with x -> x | exception _ -> 0";
+  check_clean "specific exception"
+    "let ok g = try g () with Not_found -> 0";
+  check_clean "backtrace-preserving re-raise"
+    "let ok g =\n\
+    \  try g ()\n\
+    \  with e ->\n\
+    \    let bt = Printexc.get_raw_backtrace () in\n\
+    \    Printexc.raise_with_backtrace e bt";
+  check_clean "suppressed"
+    "let[@lint.allow catch_all] ok g = try g () with _ -> 0"
+
+(* --- L5 nondet_source --- *)
+
+let test_nondet_source () =
+  check_triggers Lint_core.Nondet_source "wall clock"
+    "let t () = Unix.gettimeofday ()";
+  check_triggers Lint_core.Nondet_source "Sys.time" "let t () = Sys.time ()";
+  check_triggers Lint_core.Nondet_source "self_init"
+    "let r () = Random.self_init ()";
+  check_clean "seeded state"
+    "let ok seed = Random.State.make [| seed |]";
+  check_clean "suppressed"
+    "let[@lint.allow nondet_source] t () = Unix.gettimeofday ()"
+
+(* --- attribute hygiene --- *)
+
+let test_bad_attr () =
+  check_triggers Lint_core.Bad_attr "unknown rule name"
+    "let[@lint.allow nonsense] f x = x";
+  (* bad_attr itself is never suppressible *)
+  check_triggers Lint_core.Bad_attr "bad_attr not suppressible"
+    "let[@lint.allow bad_attr] f x = x";
+  (* a multi-rule payload applies every named rule *)
+  check_clean "multi-rule payload"
+    "let[@lint.allow float_eq hashtbl_order] f t x =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> ignore;\n\
+    \  x = 1.0"
+
+(* Scoping: an allow on one binding must not leak to its siblings. *)
+let test_allow_scoping () =
+  let src =
+    "let[@lint.allow float_eq] ok x = x = 1.0\n\
+     let bad y = y = 2.0"
+  in
+  let vs = lint src in
+  Alcotest.(check int) "sibling still reported" 1 (List.length vs);
+  Alcotest.(check int) "on the right line" 2 (List.hd vs).Lint_core.v_line
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "L1 float_eq" `Quick test_float_eq;
+          Alcotest.test_case "L2 hashtbl_order" `Quick test_hashtbl_order;
+          Alcotest.test_case "L3 global_state" `Quick test_global_state;
+          Alcotest.test_case "L4 catch_all" `Quick test_catch_all;
+          Alcotest.test_case "L5 nondet_source" `Quick test_nondet_source;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "bad payloads" `Quick test_bad_attr;
+          Alcotest.test_case "scoping" `Quick test_allow_scoping;
+        ] );
+    ]

@@ -786,6 +786,186 @@ let test_bb_decision_vars () =
   (* best: z2, y2 -> 1.5 + 4 = 5.5 *)
   check_float ~eps:1e-6 "restricted optimum" 5.5 r.Lp.Branch_bound.obj
 
+
+(* --- Analyze: model checks and solution certification --- *)
+
+let has_code c issues =
+  List.exists (fun (i : Lp.Analyze.issue) -> i.Lp.Analyze.code = c) issues
+
+let test_analyze_malformed_models () =
+  (* bound conflict *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p in
+  Lp.Problem.set_bounds p x ~lb:2.0 ~ub:1.0;
+  let issues = Lp.Analyze.check p in
+  Alcotest.(check bool) "bound-conflict flagged" true
+    (has_code "bound-conflict" issues);
+  Alcotest.(check bool) "bound conflict is an error" true
+    (Lp.Analyze.has_errors issues);
+  (* empty rows: infeasible vs redundant *)
+  let p = Lp.Problem.create () in
+  ignore (Lp.Problem.add_var p);
+  ignore (Lp.Problem.add_row ~name:"bad" p [] Lp.Problem.Ge 1.0);
+  ignore (Lp.Problem.add_row ~name:"redundant" p [] Lp.Problem.Le 1.0);
+  let issues = Lp.Analyze.check p in
+  Alcotest.(check bool) "empty infeasible row flagged" true
+    (has_code "empty-row-infeasible" issues);
+  Alcotest.(check bool) "empty satisfiable row is info" true
+    (has_code "empty-row" issues);
+  Alcotest.(check int) "only the infeasible one is an error" 1
+    (List.length (Lp.Analyze.errors issues));
+  (* duplicate equality rows with conflicting rhs *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p in
+  let y = Lp.Problem.add_var p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 2.0) ] Lp.Problem.Eq 1.0);
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 2.0) ] Lp.Problem.Eq 2.0);
+  ignore (Lp.Problem.add_row p [ (x, 1.0); (y, 2.0) ] Lp.Problem.Eq 1.0);
+  let issues = Lp.Analyze.check p in
+  Alcotest.(check bool) "conflicting duplicate Eq is an error" true
+    (has_code "duplicate-eq-conflict" issues);
+  Alcotest.(check bool) "exact duplicate is reported as redundant" true
+    (has_code "duplicate-row" issues);
+  (* dangling variable whose objective pushes to an infinite bound *)
+  let p = Lp.Problem.create () in
+  ignore (Lp.Problem.add_var ~obj:(-1.0) p);
+  Alcotest.(check bool) "dangling-unbounded flagged" true
+    (has_code "dangling-unbounded" (Lp.Analyze.check p));
+  (* pathological coefficient dynamic range *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~ub:1.0 p in
+  let y = Lp.Problem.add_var ~ub:1.0 p in
+  ignore (Lp.Problem.add_row p [ (x, 1e-8); (y, 1e8) ] Lp.Problem.Le 1.0);
+  let issues = Lp.Analyze.check p in
+  Alcotest.(check bool) "row-scaling flagged" true
+    (has_code "row-scaling" issues);
+  Alcotest.(check bool) "model-wide scaling flagged" true
+    (has_code "scaling" issues);
+  Alcotest.(check bool) "scaling diagnostics are not errors" false
+    (Lp.Analyze.has_errors issues)
+
+let test_analyze_clean_model () =
+  (* the dantzig instance: well-formed, well-scaled *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:(-3.0) p in
+  let y = Lp.Problem.add_var ~obj:(-5.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 4.0);
+  ignore (Lp.Problem.add_row p [ (y, 2.0) ] Lp.Problem.Le 12.0);
+  ignore (Lp.Problem.add_row p [ (x, 3.0); (y, 2.0) ] Lp.Problem.Le 18.0);
+  Alcotest.(check (list string)) "no issues at all" []
+    (List.map
+       (fun (i : Lp.Analyze.issue) -> i.Lp.Analyze.code)
+       (Lp.Analyze.check p))
+
+let test_certify_accepts_and_rejects () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:(-3.0) p in
+  let y = Lp.Problem.add_var ~obj:(-5.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 4.0);
+  ignore (Lp.Problem.add_row p [ (y, 2.0) ] Lp.Problem.Le 12.0);
+  ignore (Lp.Problem.add_row p [ (x, 3.0); (y, 2.0) ] Lp.Problem.Le 18.0);
+  let r = solve_lp p in
+  check_status "optimal" Lp.Simplex.Optimal r;
+  let cert =
+    Lp.Analyze.certify ~duals:r.Lp.Simplex.duals ~obj:r.Lp.Simplex.obj p
+      r.Lp.Simplex.x
+  in
+  Alcotest.(check bool) "optimum certifies" true cert.Lp.Analyze.cert_ok;
+  check_float "no row violation" 0.0 cert.Lp.Analyze.max_row_violation;
+  Alcotest.(check bool) "dual residual small" true
+    (cert.Lp.Analyze.max_dual_residual <= 1e-6);
+  (* corrupt the point: row 3 becomes violated *)
+  let bad = Array.copy r.Lp.Simplex.x in
+  bad.(0) <- bad.(0) +. 1.0;
+  let cert = Lp.Analyze.certify p bad in
+  Alcotest.(check bool) "corrupted point rejected" false
+    cert.Lp.Analyze.cert_ok;
+  Alcotest.(check bool) "violation reported" true
+    (cert.Lp.Analyze.max_row_violation > 1e-3);
+  (* wrong reported objective *)
+  let cert = Lp.Analyze.certify ~obj:(r.Lp.Simplex.obj +. 1.0) p r.Lp.Simplex.x in
+  Alcotest.(check bool) "objective mismatch rejected" false
+    cert.Lp.Analyze.cert_ok;
+  (* fractional integer variable *)
+  let p = Lp.Problem.create () in
+  let b = Lp.Problem.add_var ~kind:Lp.Problem.Binary p in
+  ignore (Lp.Problem.add_row p [ (b, 1.0) ] Lp.Problem.Le 1.0);
+  let cert = Lp.Analyze.certify p [| 0.5 |] in
+  Alcotest.(check bool) "fractional binary rejected" false
+    cert.Lp.Analyze.cert_ok;
+  (* ... unless integrality is waived (LP relaxation certificates) *)
+  let cert = Lp.Analyze.certify ~int_vars:[] p [| 0.5 |] in
+  Alcotest.(check bool) "relaxation certificate accepts" true
+    cert.Lp.Analyze.cert_ok;
+  (* length mismatch short-circuits *)
+  let cert = Lp.Analyze.certify p [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "length mismatch rejected" false
+    cert.Lp.Analyze.cert_ok
+
+let test_bb_certify_incumbents () =
+  (* knapsack-style BIP solved with incumbent certification on: same
+     answer as the plain solve, and no Certification_failed raised *)
+  let build () =
+    let p = Lp.Problem.create () in
+    let vars =
+      Array.init 6 (fun i ->
+          Lp.Problem.add_var ~kind:Lp.Problem.Binary
+            ~obj:(-.float_of_int (1 + (i * 2 mod 5)))
+            p)
+    in
+    ignore
+      (Lp.Problem.add_row p
+         (Array.to_list (Array.mapi (fun i v -> (v, float_of_int (1 + i))) vars))
+         Lp.Problem.Le 7.0);
+    p
+  in
+  let plain = Lp.Branch_bound.solve (build ()) in
+  let options =
+    { Lp.Branch_bound.default_options with
+      Lp.Branch_bound.certify_incumbents = true }
+  in
+  let certified = Lp.Branch_bound.solve ~options (build ()) in
+  check_float "same objective with certification"
+    plain.Lp.Branch_bound.obj certified.Lp.Branch_bound.obj
+
+let prop_analyze_accepts_solvable =
+  QCheck.Test.make
+    ~name:"check+certify accept every random LP the simplex solves" ~count:80
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p, _, _ = build_random_lp spec in
+      (* generator produces well-formed models: no static errors *)
+      (not (Lp.Analyze.has_errors (Lp.Analyze.check p)))
+      &&
+      let r = solve_lp p in
+      match r.Lp.Simplex.status with
+      | Lp.Simplex.Optimal ->
+          let cert =
+            Lp.Analyze.certify ~duals:r.Lp.Simplex.duals
+              ~obj:(r.Lp.Simplex.obj +. Lp.Problem.obj_offset p)
+              p r.Lp.Simplex.x
+          in
+          cert.Lp.Analyze.cert_ok
+      | _ -> true)
+
+let prop_bb_certified_matches_brute_force =
+  QCheck.Test.make
+    ~name:"certified branch&bound equals brute force" ~count:40
+    (QCheck.make random_bip_gen) (fun spec ->
+      let n, _, _ = spec in
+      let p, _ = build_random_bip spec in
+      let expected = brute_force p n in
+      let options =
+        { Lp.Branch_bound.default_options with
+          Lp.Branch_bound.certify_incumbents = true }
+      in
+      let r = Lp.Branch_bound.solve ~options p in
+      match r.Lp.Branch_bound.x with
+      | Some x ->
+          let cert = Lp.Analyze.certify ~obj:r.Lp.Branch_bound.obj p x in
+          cert.Lp.Analyze.cert_ok
+          && abs_float (r.Lp.Branch_bound.obj -. expected) < 1e-5
+      | None -> expected = infinity)
+
 let () =
   Alcotest.run "lp"
     [
@@ -845,6 +1025,18 @@ let () =
           Alcotest.test_case "gap termination" `Quick test_bb_gap_termination;
           Alcotest.test_case "decision vars" `Quick test_bb_decision_vars;
           QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "malformed models" `Quick
+            test_analyze_malformed_models;
+          Alcotest.test_case "clean model" `Quick test_analyze_clean_model;
+          Alcotest.test_case "certify accepts/rejects" `Quick
+            test_certify_accepts_and_rejects;
+          Alcotest.test_case "bb certify_incumbents" `Quick
+            test_bb_certify_incumbents;
+          QCheck_alcotest.to_alcotest prop_analyze_accepts_solvable;
+          QCheck_alcotest.to_alcotest prop_bb_certified_matches_brute_force;
         ] );
       ( "lp_format",
         [

@@ -1,0 +1,42 @@
+(* cophy-lint driver: lint every .ml file given on the command line and
+   exit nonzero when any unsuppressed violation remains.
+
+     dune build @lint        # runs this over every module in lib/
+
+   See lint_core.ml for the rule catalog and DESIGN.md §9 for the
+   [@lint.allow] escape-hatch policy. *)
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: files -> files
+    | [] -> []
+  in
+  if files = [] then begin
+    prerr_endline "usage: lint_main FILE.ml ...";
+    exit 2
+  end;
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      match Lint_core.lint_file file with
+      | viols ->
+          List.iter
+            (fun v ->
+              incr total;
+              Lint_core.pp_violation stderr v)
+            viols
+      | exception Syntaxerr.Error _ ->
+          incr total;
+          Printf.eprintf "%s: [parse] syntax error (lint could not parse)\n"
+            file
+      | exception Sys_error msg ->
+          incr total;
+          Printf.eprintf "%s: [io] %s\n" file msg)
+    files;
+  if !total > 0 then begin
+    Printf.eprintf "lint: %d violation(s) in %d file(s) scanned\n" !total
+      (List.length files);
+    exit 1
+  end
+  else Printf.printf "lint: OK (%d files)\n" (List.length files)
