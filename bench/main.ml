@@ -105,11 +105,14 @@ let lp_phase ?(check = false) ~backend_kind () =
       match r.Lp.Simplex.status with
       | Lp.Simplex.Optimal ->
           (* Certify against rows and bounds; duals come along for the
-             dual-residual report (presolve-removed rows report 0).
-             [int_vars:[]]: this is the LP relaxation, so the binary
-             marks are intentionally not enforced on the optimum. *)
+             dual-residual check — hard when the backend ran without
+             presolve (no removed-row slack to excuse), report-only
+             otherwise.  [int_vars:[]]: this is the LP relaxation, so
+             the binary marks are intentionally not enforced on the
+             optimum. *)
           let cert =
-            Lp.Analyze.certify ~duals:r.Lp.Simplex.duals
+            Lp.Analyze.certify ~presolve:backend.Lp.Backend.presolve
+              ~duals:r.Lp.Simplex.duals
               ~obj:(r.Lp.Simplex.obj +. Lp.Problem.obj_offset p)
               ~int_vars:[] p r.Lp.Simplex.x
           in

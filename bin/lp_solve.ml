@@ -79,7 +79,9 @@ let () =
       end;
       let certify ?duals ~obj x =
         if !want_check then begin
-          let cert = Lp.Analyze.certify ?duals ~obj p x in
+          (* --no-presolve removes the removed-row caveat, so certify
+             then enforces the dual-residual bound too *)
+          let cert = Lp.Analyze.certify ~presolve:!presolve ?duals ~obj p x in
           Fmt.pr "certificate: %s@." (Lp.Analyze.certificate_summary cert);
           if not cert.Lp.Analyze.cert_ok then begin
             List.iter (Fmt.epr "certify: %s@.") cert.Lp.Analyze.cert_issues;

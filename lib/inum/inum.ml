@@ -185,7 +185,9 @@ let build env (q : Ast.query) =
       (fun acc t ->
         if
           List.exists
-            (fun t' -> t'.beta = t.beta && t'.slot_reqs = t.slot_reqs)
+            (fun t' ->
+              Runtime.Fx.exactly t'.beta t.beta
+              && t'.slot_reqs = t.slot_reqs)
             acc
         then acc
         else t :: acc)

@@ -201,7 +201,8 @@ type certificate = {
 
 exception Certification_failed of string
 
-let certify ?(tol = 1e-6) ?duals ?obj ?int_vars (p : Problem.t) x =
+let certify ?(tol = 1e-6) ?(presolve = true) ?duals ?obj ?int_vars
+    (p : Problem.t) x =
   let nvars = Problem.nvars p in
   let rows = Problem.rows p in
   let issues = ref [] in
@@ -302,8 +303,10 @@ let certify ?(tol = 1e-6) ?duals ?obj ?int_vars (p : Problem.t) x =
       fail "reported objective differs from c'x + offset by %.3g (relative)"
         obj_gap;
     (* dual residuals: reduced costs of variables strictly inside their
-       bounds should vanish at an LP optimum.  Report-only — duals of
-       presolve-removed rows are slack (see Backend.solve). *)
+       bounds should vanish at an LP optimum.  Report-only when the
+       solve ran with presolve (duals of presolve-removed rows are
+       slack, see Backend.solve); a hard failure when [~presolve:false]
+       says every row's dual came straight from the simplex basis. *)
     let max_dual = ref 0.0 in
     (match duals with
     | Some y when Array.length y = Array.length rows ->
@@ -330,6 +333,11 @@ let certify ?(tol = 1e-6) ?duals ?obj ?int_vars (p : Problem.t) x =
         fail "dual vector has %d entries for %d rows" (Array.length y)
           (Array.length rows)
     | None -> ());
+    if (not presolve) && !max_dual > tol then
+      fail
+        "dual residual %.3g exceeds tolerance (solve ran without \
+         presolve, so no removed-row slack can excuse it)"
+        !max_dual;
     {
       cert_ok = !issues = [];
       max_row_violation = !max_row;

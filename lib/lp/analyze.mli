@@ -59,6 +59,7 @@ type certificate = {
 
 val certify :
   ?tol:float ->
+  ?presolve:bool ->
   ?duals:float array ->
   ?obj:float ->
   ?int_vars:int list ->
@@ -73,7 +74,14 @@ val certify :
     [int_vars] restricts the integrality check to a subset (default: all
     integer/binary variables of [p]) — branch-and-bound's restricted
     mode certifies only the decision variables it branched on.
-    [duals] (one per row) adds the dual-residual report. *)
+    [duals] (one per row) adds the dual-residual check.
+
+    [presolve] (default [true]) states how the incumbent was produced.
+    With presolve on, the dual-residual check is report-only: duals of
+    presolve-removed rows are reconstructed as zero and can be slack
+    (the documented caveat in {!Backend.solve}).  Pass [~presolve:false]
+    when the solve ran on the full model — the caveat doesn't apply, and
+    a dual residual above [tol] then fails the certificate. *)
 
 val pp_certificate : certificate Fmt.t
 

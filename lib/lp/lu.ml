@@ -59,6 +59,12 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
   let nnz = ref 0 in
   (* A column's rows in deterministic (sorted) order. *)
   let sorted_rows tbl = Runtime.Tbl.sorted_keys tbl in
+  (* [rows] and [colrows] are maintained as exact mirrors, so a lookup
+     along the mirror is always a hit; a miss would be a broken
+     invariant, not a catchable condition. *)
+  let get tbl k =
+    match Hashtbl.find_opt tbl k with Some v -> v | None -> assert false
+  in
   for step = 0 to m - 1 do
     (* --- pivot search: bounded Markowitz --- *)
     let minc = ref max_int in
@@ -80,14 +86,14 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
         let entries = sorted_rows colrows.(!j) in
         let colmax =
           List.fold_left
-            (fun acc i -> max acc (abs_float (Hashtbl.find rows.(i) !j)))
+            (fun acc i -> max acc (abs_float (get rows.(i) !j)))
             0.0 entries
         in
         if colmax > 0.0 then begin
           let cj = Hashtbl.length colrows.(!j) in
           List.iter
             (fun i ->
-              let a = abs_float (Hashtbl.find rows.(i) !j) in
+              let a = abs_float (get rows.(i) !j) in
               if a >= threshold *. colmax then begin
                 let cost = (Hashtbl.length rows.(i) - 1) * (cj - 1) in
                 if
@@ -107,7 +113,7 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
     done;
     if !best_i < 0 then raise (Singular step);
     let p_r = !best_i and p_c = !best_j in
-    let piv = Hashtbl.find rows.(p_r) p_c in
+    let piv = get rows.(p_r) p_c in
     pr.(step) <- p_r;
     pc.(step) <- p_c;
     rpos.(p_r) <- step;
@@ -120,9 +126,11 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
     in
     (* Justified hashtbl_order: removals target disjoint tables (one per
        column) and commute, so visit order cannot matter. *)
-    (Hashtbl.iter [@lint.allow hashtbl_order])
-      (fun cj _ -> Hashtbl.remove colrows.(cj) p_r)
-      rows.(p_r);
+    ((Hashtbl.iter [@lint.allow hashtbl_order])
+       (fun cj _ -> Hashtbl.remove colrows.(cj) p_r)
+       rows.(p_r)
+    [@dsa.allow nondet
+      "removals target disjoint per-column tables and commute"]);
     (* urow stores original basis positions for now; remapped to steps
        after every column has been eliminated. *)
     urow.(step) <- Array.of_list urow_entries;
@@ -133,7 +141,7 @@ let factor ~m ~(cols : (int * float) array array) ~(basis : int array) =
     let lentries =
       List.map
         (fun i ->
-          let l = Hashtbl.find rows.(i) p_c /. piv in
+          let l = get rows.(i) p_c /. piv in
           Hashtbl.remove rows.(i) p_c;
           List.iter
             (fun (cj, uv) ->

@@ -448,13 +448,14 @@ let solve ?(max_iters = 0) ?(basis = Dense) ?stats (p : Problem.t) =
         done;
         Dense_binv binv
     | Sparse ->
-        Sparse_lu
-          {
-            lu = Lu.factor ~m ~cols ~basis:bas;
-            etas = [||];
-            neta = 0;
-            eta_nnz = 0;
-          }
+        let lu =
+          (* The all-artificial starting basis is a signed diagonal, so
+             factorization cannot fail; the handler keeps [Lu.Singular]
+             syntactically contained in this module either way. *)
+          try Lu.factor ~m ~cols ~basis:bas
+          with Lu.Singular _ -> assert false
+        in
+        Sparse_lu { lu; etas = [||]; neta = 0; eta_nnz = 0 }
   in
   let cost = Array.make total 0.0 in
   let stats = match stats with Some st -> st | None -> create_stats () in

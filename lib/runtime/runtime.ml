@@ -41,7 +41,8 @@ module Tbl = struct
   let sorted_keys tbl =
     (* Justified: the fold's hash-order output feeds straight into sort. *)
     let[@lint.allow hashtbl_order] keys =
-      Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+      (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+      [@dsa.allow nondet "hash-order enumeration erased by sort_uniq below"])
     in
     List.sort_uniq compare keys
 
@@ -49,7 +50,9 @@ module Tbl = struct
     (* Justified: hash-order fold canonicalized by the stable sort on
        keys (per-key insertion order of duplicate bindings survives). *)
     let[@lint.allow hashtbl_order] bindings =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      [@dsa.allow nondet
+        "hash-order enumeration erased by the stable sort on keys below"])
     in
     List.stable_sort (fun (a, _) (b, _) -> compare a b) bindings
 
@@ -67,14 +70,23 @@ end
 module Clock = struct
   (* Justified nondet_source: this module IS the sanctioned clock — the
      one place in lib/ allowed to read the wall clock. *)
-  let[@lint.allow nondet_source] start = Unix.gettimeofday ()
+  let[@lint.allow nondet_source] [@dsa.allow
+                                   nondet
+                                     "Clock IS the sanctioned wall-clock \
+                                      source; consumers only feed Stats"]
+    start =
+    Unix.gettimeofday ()
 
   (* [Unix.gettimeofday] can step backwards (NTP adjustments); clamp to
      the largest value handed out so far so elapsed-time arithmetic never
      goes negative. *)
   let high_water = Atomic.make 0.0
 
-  let[@lint.allow nondet_source] now () =
+  let[@lint.allow nondet_source] [@dsa.allow
+                                   nondet
+                                     "Clock IS the sanctioned wall-clock \
+                                      source; consumers only feed Stats"]
+    now () =
     let t = Unix.gettimeofday () -. start in
     let rec clamp () =
       let prev = Atomic.get high_water in
@@ -131,7 +143,9 @@ let[@lint.allow global_state] domains : unit Domain.t list ref = ref []
 let[@lint.allow global_state] shutdown_registered = ref false
 let max_workers = 126
 
-let shutdown () =
+let[@dsa.allow
+     mutates_global "pool teardown; every write is behind pool_lock"]
+  shutdown () =
   Mutex.lock pool_lock;
   List.iter
     (fun w ->
@@ -146,7 +160,11 @@ let shutdown () =
   Mutex.unlock pool_lock
 
 (* Grow the pool to [n] workers.  Must be called with [pool_lock] held. *)
-let ensure_workers n =
+let[@dsa.allow
+     mutates_global
+       "pool growth; caller holds pool_lock (documented precondition)"]
+  [@dsa.allow io "one-shot at_exit hook so the pool joins cleanly"]
+  ensure_workers n =
   let n = min n max_workers in
   if not !shutdown_registered then begin
     shutdown_registered := true;

@@ -1,0 +1,10 @@
+(* Fixture: the same shape as [Df_unsafe.run] but with the io effect
+   justified by [@dsa.allow io "..."]: cophy-dsa must report nothing. *)
+
+let run arr =
+  Runtime.parallel_map
+    (fun x ->
+      (print_endline "df_allowed audit"
+      [@dsa.allow io "fixture: sanctioned per-item progress line"]);
+      x +. 1.0)
+    arr

@@ -1,0 +1,3 @@
+(** Justified [@dsa.allow] in a [parallel_map] closure (dsa fixture). *)
+
+val run : float array -> float array

@@ -1,0 +1,19 @@
+(* Fixture: exception-escape inference cases.
+
+     [swallowed]  raises then catches with a catch-all that does NOT
+                  re-raise: inferred raises must be {} (the swallow is
+                  respected).
+     [reraised]   catch-all that re-raises the caught variable: the
+                  handler is transparent, Failure must stay in the
+                  inferred set.
+     [escapes]    Hashtbl.find with no handler: Not_found escapes a
+                  public function and must trip [exception_escape]
+                  unless allowlisted. *)
+
+exception Local_probe
+
+let swallowed () = try raise Local_probe with _ -> 0
+
+let reraised () = try failwith "df_swallow" with e -> raise e
+
+let escapes tbl key = Hashtbl.find tbl key

@@ -1,0 +1,7 @@
+(** Exception swallow / re-raise / escape cases (dsa fixture). *)
+
+exception Local_probe
+
+val swallowed : unit -> int
+val reraised : unit -> 'a
+val escapes : (string, int) Hashtbl.t -> string -> int

@@ -1,0 +1,17 @@
+(* Fixture: a deliberately domain-unsafe closure handed to
+   [Runtime.parallel_map].  cophy-dsa must flag all three effect kinds
+   with rule [domain_safety]:
+
+     - mutates_global  ([incr hits] on module-level state)
+     - io              ([print_endline])
+     - nondet          ([Random.float] on the implicit global PRNG) *)
+
+let hits = ref 0
+
+let run arr =
+  Runtime.parallel_map
+    (fun x ->
+      incr hits;
+      print_endline "df_unsafe probe";
+      x +. Random.float 1.0)
+    arr

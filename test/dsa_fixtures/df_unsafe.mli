@@ -1,0 +1,4 @@
+(** Deliberately domain-unsafe [parallel_map] closure (dsa fixture). *)
+
+val hits : int ref
+val run : float array -> float array

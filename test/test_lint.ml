@@ -26,7 +26,23 @@ let test_float_eq () =
     "let bad lb = lb = neg_infinity";
   check_triggers Lint_core.Float_eq "Float-module result"
     "let bad a b = Float.min a b = 0.0";
+  (* alias / record-field float types, resolved by the type pre-pass *)
+  check_triggers Lint_core.Float_eq "float field vs float field"
+    "type stats = { elapsed : float }\nlet bad s t = s.elapsed = t.elapsed";
+  check_triggers Lint_core.Float_eq "float field vs int literal zero"
+    "type stats = { elapsed : float }\nlet bad s = s.elapsed = 0.";
+  check_triggers Lint_core.Float_eq "alias-typed constraint"
+    "type span = float\nlet bad a b = (a : span) = b";
+  check_triggers Lint_core.Float_eq "field of transitive alias type"
+    "type span = float\n\
+     type width = span\n\
+     type s = { dur : width }\n\
+     let bad x y = x.dur = y.dur";
   (* near-misses: non-float operands, tolerance idiom, Fx helpers *)
+  check_clean "int field comparison"
+    "type c = { n : int }\nlet ok x y = x.n = y.n";
+  check_clean "int alias constraint"
+    "type count = int\nlet ok a b = (a : count) = b";
   check_clean "int comparison" "let ok (a : int) b = a = b";
   check_clean "tolerance idiom" "let ok a = abs_float (a -. 1.0) <= 1e-9";
   check_clean "Float.equal" "let ok a = Float.equal a 0.0";
@@ -118,6 +134,27 @@ let test_bad_attr () =
     \  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> ignore;\n\
     \  x = 1.0"
 
+(* Cross-file type environment: a float alias declared in one file must
+   classify comparisons in another, mirroring lint_main's two-pass run. *)
+let test_crossfile_tyenv () =
+  let env = Lint_core.empty_tyenv () in
+  let decls =
+    Lint_core.parse_string ~file:"types.ml"
+      "type span = float\ntype stats = { elapsed : span }"
+  in
+  while Lint_core.scan_type_decls env decls do () done;
+  let vs =
+    Lint_core.lint_string ~tyenv:env ~file:"use.ml"
+      "let bad s t = s.elapsed = t.elapsed"
+  in
+  Alcotest.(check (list string))
+    "field typed in a sibling file triggers" [ "float_eq" ]
+    (List.map (fun v -> Lint_core.rule_name v.Lint_core.v_rule) vs);
+  (* without the shared env the same snippet is (wrongly but by design
+     of single-file mode) clean — guards that the env is what fires *)
+  check_clean "same snippet without the env"
+    "let ok s t = s.elapsed = t.elapsed"
+
 (* Scoping: an allow on one binding must not leak to its siblings. *)
 let test_allow_scoping () =
   let src =
@@ -142,6 +179,7 @@ let () =
       ( "attributes",
         [
           Alcotest.test_case "bad payloads" `Quick test_bad_attr;
+          Alcotest.test_case "cross-file tyenv" `Quick test_crossfile_tyenv;
           Alcotest.test_case "scoping" `Quick test_allow_scoping;
         ] );
     ]

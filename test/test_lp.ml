@@ -902,6 +902,48 @@ let test_certify_accepts_and_rejects () =
   Alcotest.(check bool) "length mismatch rejected" false
     cert.Lp.Analyze.cert_ok
 
+let test_certify_presolve_dual_gate () =
+  (* x free in [0, 10], optimum interior-adjacent: use a model where some
+     variable sits strictly inside its bounds at the optimum so the
+     reduced-cost test has teeth, then feed corrupted duals. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var ~obj:(-3.0) p in
+  let y = Lp.Problem.add_var ~obj:(-5.0) p in
+  ignore (Lp.Problem.add_row p [ (x, 1.0) ] Lp.Problem.Le 4.0);
+  ignore (Lp.Problem.add_row p [ (y, 2.0) ] Lp.Problem.Le 12.0);
+  ignore (Lp.Problem.add_row p [ (x, 3.0); (y, 2.0) ] Lp.Problem.Le 18.0);
+  let r = solve_lp p in
+  check_status "optimal" Lp.Simplex.Optimal r;
+  (* honest duals certify under both regimes *)
+  let cert =
+    Lp.Analyze.certify ~presolve:false ~duals:r.Lp.Simplex.duals
+      ~obj:r.Lp.Simplex.obj p r.Lp.Simplex.x
+  in
+  Alcotest.(check bool) "honest duals pass the hard gate" true
+    cert.Lp.Analyze.cert_ok;
+  (* corrupt the duals: the residual must appear in the report either
+     way, but only ~presolve:false turns it into a failure *)
+  let bad = Array.map (fun d -> d +. 0.5) r.Lp.Simplex.duals in
+  let report_only =
+    Lp.Analyze.certify ~duals:bad ~obj:r.Lp.Simplex.obj p r.Lp.Simplex.x
+  in
+  Alcotest.(check bool) "presolve mode stays report-only" true
+    report_only.Lp.Analyze.cert_ok;
+  Alcotest.(check bool) "residual still reported" true
+    (report_only.Lp.Analyze.max_dual_residual > 1e-3);
+  let hard =
+    Lp.Analyze.certify ~presolve:false ~duals:bad ~obj:r.Lp.Simplex.obj p
+      r.Lp.Simplex.x
+  in
+  Alcotest.(check bool) "no-presolve mode fails hard" false
+    hard.Lp.Analyze.cert_ok;
+  Alcotest.(check bool) "failure names the dual residual" true
+    (List.exists
+       (fun issue ->
+         (* the message cites the no-presolve rationale *)
+         String.length issue >= 13 && String.sub issue 0 13 = "dual residual")
+       hard.Lp.Analyze.cert_issues)
+
 let test_bb_certify_incumbents () =
   (* knapsack-style BIP solved with incumbent certification on: same
      answer as the plain solve, and no Certification_failed raised *)
@@ -1033,6 +1075,8 @@ let () =
           Alcotest.test_case "clean model" `Quick test_analyze_clean_model;
           Alcotest.test_case "certify accepts/rejects" `Quick
             test_certify_accepts_and_rejects;
+          Alcotest.test_case "certify presolve dual gate" `Quick
+            test_certify_presolve_dual_gate;
           Alcotest.test_case "bb certify_incumbents" `Quick
             test_bb_certify_incumbents;
           QCheck_alcotest.to_alcotest prop_analyze_accepts_solvable;

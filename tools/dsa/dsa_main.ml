@@ -1,0 +1,121 @@
+(* cophy-dsa driver.
+
+     dsa_main [--exceptions FILE] [--signatures-expected FILE]
+              [--emit-signatures] CMT_OR_CMTI_FILES...
+
+   - default mode runs the whole-program checks (domain_safety over
+     parallel_map / Domain.spawn closures, exception_escape against the
+     @raises allowlist, signature_drift against the committed snapshot)
+     and exits 1 when any violation remains;
+   - [--emit-signatures] prints the inferred public effect signatures to
+     stdout (the payload of tools/dsa/signatures.expected) and exits 0.
+
+   Run through dune:
+
+     dune build @dsa           # analyze every module in lib/
+     dune build @dsa-promote   # accept signature drift into the snapshot
+
+   See dsa_core.ml for the analysis and DESIGN.md §10 for the model. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let exceptions = ref None in
+  let signatures_expected = ref None in
+  let emit = ref false in
+  let debug = ref false in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--exceptions" :: f :: tl ->
+        exceptions := Some f;
+        parse tl
+    | "--signatures-expected" :: f :: tl ->
+        signatures_expected := Some f;
+        parse tl
+    | "--emit-signatures" :: tl ->
+        emit := true;
+        parse tl
+    | "--debug" :: tl ->
+        debug := true;
+        parse tl
+    | ("--exceptions" | "--signatures-expected") :: [] ->
+        prerr_endline "dsa: option expects a file argument";
+        exit 2
+    | f :: tl ->
+        files := f :: !files;
+        parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline
+      "usage: dsa_main [--exceptions FILE] [--signatures-expected FILE] \
+       [--emit-signatures] FILES.cmt[i]...";
+    exit 2
+  end;
+  let t =
+    try Dsa_core.analyze files
+    with e ->
+      Printf.eprintf "dsa: failed to load typed trees: %s\n"
+        (Printexc.to_string e);
+      exit 2
+  in
+  if !debug then begin
+    (* dump spawn roots and nodes carrying direct effects — the raw
+       inputs of the domain-safety check, for triaging its output *)
+    let nodes =
+      Hashtbl.fold (fun _ nd acc -> nd :: acc) t.Dsa_core.nodes []
+      |> List.sort (fun a b ->
+             compare a.Dsa_core.n_name b.Dsa_core.n_name)
+    in
+    List.iter
+      (fun nd ->
+        if nd.Dsa_core.n_spawn_root then
+          Printf.printf "root %s (%s)\n" nd.Dsa_core.n_name
+            nd.Dsa_core.n_loc;
+        List.iter
+          (fun (k, loc, what) ->
+            Printf.printf "direct %s %s: %s (%s)\n"
+              (Dsa_core.effect_name k) nd.Dsa_core.n_name what loc)
+          nd.Dsa_core.n_direct)
+      nodes;
+    let reach = Dsa_core.spawn_reachable t in
+    Printf.printf "spawn-reachable: %d nodes\n"
+      (Dsa_core.SSet.cardinal reach);
+    Dsa_core.SSet.iter (fun n -> Printf.printf "reach %s\n" n) reach
+  end;
+  if !emit then begin
+    print_string
+      "# cophy-dsa inferred effect signatures of public (.mli-exported)\n\
+       # functions in lib/.  Regenerate + accept with `dune build \
+       @dsa-promote`.\n";
+    List.iter print_endline (Dsa_core.signatures t)
+  end
+  else begin
+    let exceptions_toml = Option.map read_file !exceptions in
+    let signatures_expected =
+      Option.map
+        (fun f -> String.split_on_char '\n' (read_file f))
+        !signatures_expected
+    in
+    let viols =
+      try Dsa_core.run_checks ?exceptions_toml ?signatures_expected t
+      with Failure msg ->
+        prerr_endline ("dsa: " ^ msg);
+        exit 2
+    in
+    List.iter (Dsa_core.pp_violation stderr) viols;
+    if viols <> [] then begin
+      Printf.eprintf "dsa: %d violation(s)\n" (List.length viols);
+      exit 1
+    end
+    else
+      Printf.printf "dsa: OK (%d files, %d public signatures)\n"
+        (List.length files)
+        (List.length (Dsa_core.signatures t))
+  end

@@ -1,0 +1,49 @@
+(* Promotion helper for `dune build @dsa-promote`: copy the freshly
+   generated signatures snapshot over the committed
+   tools/dsa/signatures.expected in the *source* tree.
+
+   Dune actions run inside _build/<context>/tools/dsa, so the source
+   file lives at <workspace>/tools/dsa/signatures.expected where
+   <workspace> is the prefix of the cwd up to "_build".  (The canonical
+   dune-native alternative — `dune build @dsa` followed by
+   `dune promote` — also works; this alias exists so signature
+   acceptance is one command, mirroring @lint/@dsa.) *)
+
+let () =
+  match Sys.argv with
+  | [| _; src; rel_dest |] ->
+      let cwd = Sys.getcwd () in
+      let marker = Filename.dir_sep ^ "_build" ^ Filename.dir_sep in
+      let root =
+        (* longest prefix of cwd before the _build segment *)
+        let rec find i =
+          if i < 0 then None
+          else if
+            i + String.length marker <= String.length cwd
+            && String.sub cwd i (String.length marker) = marker
+          then Some (String.sub cwd 0 i)
+          else find (i - 1)
+        in
+        find (String.length cwd - 1)
+      in
+      let dest =
+        match root with
+        | Some r -> Filename.concat r rel_dest
+        | None ->
+            Printf.eprintf
+              "dsa-promote: cannot locate workspace root from %s\n" cwd;
+            exit 2
+      in
+      let content =
+        let ic = open_in_bin src in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin dest in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "dsa-promote: wrote %s\n" dest
+  | _ ->
+      prerr_endline "usage: dsa_promote GENERATED DEST_RELATIVE_TO_ROOT";
+      exit 2

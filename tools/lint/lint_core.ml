@@ -118,6 +118,73 @@ let allows_of_attributes (attrs : attributes) =
 (* Syntactic classifiers                                               *)
 (* ------------------------------------------------------------------ *)
 
+module SSet = Set.Make (String)
+
+(* --- cross-file float-type environment ---------------------------------
+
+   The purely expression-syntactic classifier misses comparisons whose
+   float type hides behind a type alias ([type span = float]) or a
+   record field access ([s.elapsed = t.elapsed]).  A pre-pass over the
+   type declarations of *all* files in the lint run records which type
+   names expand to [float] (transitively through aliases) and which
+   record fields carry such a type; [is_floatish] then classifies
+   [e.field] and [(e : alias)] operands too.  Names are matched on the
+   last path component — a deliberate over-approximation (any field
+   named like a float field counts) in keeping with the linter's
+   flag-first posture. *)
+
+type tyenv = {
+  mutable float_aliases : SSet.t;  (* type names whose manifest is float *)
+  mutable float_fields : SSet.t;   (* record fields of a float(-alias) type *)
+}
+
+let empty_tyenv () = { float_aliases = SSet.empty; float_fields = SSet.empty }
+
+let rec core_type_is_float env (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = lid; _ }, []) ->
+      let last = Longident.last lid in
+      last = "float"
+      || SSet.mem last env.float_aliases
+      || SSet.mem (String.concat "." (Longident.flatten lid)) env.float_aliases
+  | Ptyp_alias (t', _) -> core_type_is_float env t'
+  | _ -> false
+
+(* One scan of [str]'s type declarations into [env]; returns true when a
+   new alias or field was learned.  Callers iterate to a fixpoint so
+   alias-of-alias chains resolve regardless of file order. *)
+let scan_type_decls env (str : structure) =
+  let changed = ref false in
+  let learn_alias name =
+    if not (SSet.mem name env.float_aliases) then begin
+      env.float_aliases <- SSet.add name env.float_aliases;
+      changed := true
+    end
+  in
+  let learn_field name =
+    if not (SSet.mem name env.float_fields) then begin
+      env.float_fields <- SSet.add name env.float_fields;
+      changed := true
+    end
+  in
+  let super = Ast_iterator.default_iterator in
+  let type_declaration self (d : type_declaration) =
+    (match d.ptype_manifest with
+    | Some t when core_type_is_float env t -> learn_alias d.ptype_name.txt
+    | _ -> ());
+    (match d.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun (l : label_declaration) ->
+            if core_type_is_float env l.pld_type then learn_field l.pld_name.txt)
+          labels
+    | _ -> ());
+    super.type_declaration self d
+  in
+  let it = { super with type_declaration } in
+  it.structure it str;
+  !changed
+
 let float_prims =
   [ "+."; "-."; "*."; "/."; "~-."; "~+."; "**"; "abs_float"; "sqrt"; "exp";
     "log"; "log10"; "ceil"; "floor"; "float_of_int"; "float_of_string";
@@ -127,8 +194,9 @@ let float_consts =
   [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
     "min_float" ]
 
-(* Syntactically-evident float expressions (see header comment). *)
-let rec is_floatish (e : expression) =
+(* Syntactically-evident float expressions (see header comment), plus
+   alias/field classification through [tyenv]. *)
+let rec is_floatish env (e : expression) =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) -> true
   | Pexp_ident { txt = Longident.Lident s; _ } -> List.mem s float_consts
@@ -146,9 +214,12 @@ let rec is_floatish (e : expression) =
       ||
       (* unary minus over a float operand: [-. x], [- 1.0] *)
       match (lid, args) with
-      | Longident.Lident ("~-" | "~+"), [ (_, a) ] -> is_floatish a
+      | Longident.Lident ("~-" | "~+"), [ (_, a) ] -> is_floatish env a
       | _ -> false)
-  | Pexp_constraint (e', _) | Pexp_open (_, e') -> is_floatish e'
+  | Pexp_field (_, { txt = lid; _ }) ->
+      SSet.mem (Longident.last lid) env.float_fields
+  | Pexp_constraint (e', t) -> core_type_is_float env t || is_floatish env e'
+  | Pexp_open (_, e') -> is_floatish env e'
   | _ -> false
 
 let poly_cmp_ops = [ "="; "<>"; "=="; "!="; "compare" ]
@@ -217,7 +288,17 @@ let rec creates_mutable_state (e : expression) =
 (* The traversal                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let lint_structure ~file (str : structure) =
+let lint_structure ?tyenv ~file (str : structure) =
+  let tyenv =
+    match tyenv with
+    | Some env -> env
+    | None ->
+        (* single-file mode: the file's own type declarations still feed
+           alias/field classification *)
+        let env = empty_tyenv () in
+        while scan_type_decls env str do () done;
+        env
+  in
   let viols = ref [] in
   let allowed : rule list ref = ref [] in
   let report rule (loc : Location.t) message =
@@ -256,7 +337,7 @@ let lint_structure ~file (str : structure) =
     | Pexp_apply
         ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, args)
       when List.mem op poly_cmp_ops
-           && List.exists (fun (_, a) -> is_floatish a) args ->
+           && List.exists (fun (_, a) -> is_floatish tyenv a) args ->
         report Float_eq e.pexp_loc
           (Printf.sprintf
              "polymorphic (%s) on a float-typed expression; use Runtime.Fx \
@@ -359,18 +440,21 @@ let lint_structure ~file (str : structure) =
   it.structure it str;
   List.rev !viols
 
-let lint_string ~file src =
+let parse_string ~file src =
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf file;
-  let str = Parse.implementation lexbuf in
-  lint_structure ~file str
+  Parse.implementation lexbuf
 
-let lint_file file =
+let lint_string ?tyenv ~file src =
+  lint_structure ?tyenv ~file (parse_string ~file src)
+
+let parse_file file =
   let ic = open_in_bin file in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let lexbuf = Lexing.from_channel ic in
       Lexing.set_filename lexbuf file;
-      let str = Parse.implementation lexbuf in
-      lint_structure ~file str)
+      Parse.implementation lexbuf)
+
+let lint_file ?tyenv file = lint_structure ?tyenv ~file (parse_file file)

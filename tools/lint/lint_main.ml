@@ -3,7 +3,11 @@
 
      dune build @lint        # runs this over every module in lib/
 
-   See lint_core.ml for the rule catalog and DESIGN.md §9 for the
+   Two passes: first parse every file and fold its type declarations
+   into a shared float-type environment (so [type span = float] in one
+   module classifies [x.elapsed = y.elapsed] comparisons in another),
+   then lint each parsed tree against that environment.  See
+   lint_core.ml for the rule catalog and DESIGN.md §9 for the
    [@lint.allow] escape-hatch policy. *)
 
 let () =
@@ -17,23 +21,40 @@ let () =
     exit 2
   end;
   let total = ref 0 in
+  (* pass 1: parse + collect type declarations *)
+  let parsed =
+    List.filter_map
+      (fun file ->
+        match Lint_core.parse_file file with
+        | str -> Some (file, str)
+        | exception Syntaxerr.Error _ ->
+            incr total;
+            Printf.eprintf "%s: [parse] syntax error (lint could not parse)\n"
+              file;
+            None
+        | exception Sys_error msg ->
+            incr total;
+            Printf.eprintf "%s: [io] %s\n" file msg;
+            None)
+      files
+  in
+  let tyenv = Lint_core.empty_tyenv () in
+  let progress = ref true in
+  while !progress do
+    progress :=
+      List.fold_left
+        (fun acc (_, str) -> Lint_core.scan_type_decls tyenv str || acc)
+        false parsed
+  done;
+  (* pass 2: lint *)
   List.iter
-    (fun file ->
-      match Lint_core.lint_file file with
-      | viols ->
-          List.iter
-            (fun v ->
-              incr total;
-              Lint_core.pp_violation stderr v)
-            viols
-      | exception Syntaxerr.Error _ ->
+    (fun (file, str) ->
+      List.iter
+        (fun v ->
           incr total;
-          Printf.eprintf "%s: [parse] syntax error (lint could not parse)\n"
-            file
-      | exception Sys_error msg ->
-          incr total;
-          Printf.eprintf "%s: [io] %s\n" file msg)
-    files;
+          Lint_core.pp_violation stderr v)
+        (Lint_core.lint_structure ~tyenv ~file str))
+    parsed;
   if !total > 0 then begin
     Printf.eprintf "lint: %d violation(s) in %d file(s) scanned\n" !total
       (List.length files);
