@@ -18,12 +18,18 @@
    recommendation so job counts can be checked for identical results.
 
    --json <file> runs the full pipeline once and writes stage wall-times
-   and Runtime.Stats counters in a stable schema (schema_version 2) as a
+   and Runtime.Stats counters in a stable schema (schema_version 3) as a
    machine-readable perf baseline for future PRs.  It also times the LP
    relaxation of a materialized Theorem-1 BIP under the selected
    --backend (sparse revised simplex + presolve, or the dense reference
    kernel) so backend solve-phase speedups are recorded alongside the
-   pipeline numbers. *)
+   pipeline numbers.
+
+   --trace <file> turns on Runtime.Trace for the run and writes the
+   Chrome trace_event export to <file>; under --json the flat trace
+   metrics (per-phase span totals and counters) are additionally
+   embedded in the bench JSON under the "trace" key (null when tracing
+   is off). *)
 
 let bench_n = 100
 let bench_seed = 7
@@ -163,9 +169,13 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
   in
   let t = r.Cophy.Advisor.timings in
   let lp_json = lp_phase ~check ~backend_kind () in
+  let trace_json =
+    if Runtime.Trace.enabled () then Runtime.Trace.to_metrics_json ()
+    else "null"
+  in
   let json =
     Printf.sprintf
-      {|{"schema_version":2,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s}|}
+      {|{"schema_version":3,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s,"trace":%s}|}
       bench_n bench_seed jobs
       (backend_name backend_kind)
       bench_budget_fraction t.Cophy.Advisor.inum_seconds
@@ -179,7 +189,7 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
          (List.map
             (fun s -> Printf.sprintf "%S" s)
             (config_indexes r.Cophy.Advisor.config)))
-      lp_json
+      lp_json trace_json
   in
   output_string oc json;
   output_char oc '\n';
@@ -270,9 +280,16 @@ let () =
   let json = ref None in
   let check = ref false in
   let backend_kind = ref `Sparse in
+  let trace = ref None in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
+    | "--trace" :: f :: tl ->
+        trace := Some f;
+        parse tl
+    | [ "--trace" ] ->
+        Fmt.epr "--trace expects a file path@.";
+        exit 2
     | "--jobs" :: v :: tl -> (
         match int_of_string_opt v with
         | Some n ->
@@ -314,6 +331,17 @@ let () =
   parse args;
   let args = List.rev !rest in
   let jobs = if !jobs <= 0 then Runtime.recommended_jobs () else !jobs in
+  (match !trace with
+  | None -> ()
+  | Some tf ->
+      Runtime.Trace.enable ();
+      (* at_exit keeps the (partial) trace on early-exit paths too. *)
+      at_exit (fun () ->
+          let oc = open_out tf in
+          output_string oc (Runtime.Trace.to_chrome_json ());
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "wrote trace %s@." tf));
   match !json with
   | Some file -> json_mode ~check:!check ~jobs ~backend_kind:!backend_kind file
   | None ->

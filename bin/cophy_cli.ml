@@ -82,6 +82,28 @@ let explain_flag =
   let doc = "Print a per-statement explanation of the recommendation." in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record pipeline spans and counters and write them as Chrome \
+     trace_event JSON to $(docv) (open in chrome://tracing or Perfetto).  \
+     Tracing never changes the recommendation."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Enable tracing around [f] and write the Chrome export afterwards; the
+   [Fun.protect] keeps the partial trace on an exceptional exit. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      Runtime.Trace.enable ();
+      Fun.protect f ~finally:(fun () ->
+          let oc = open_out file in
+          output_string oc (Runtime.Trace.to_chrome_json ());
+          output_char oc '\n';
+          close_out oc;
+          Fmt.epr "# trace written to %s@." file)
+
 let make_inputs sf z shape n seed updates sql_file =
   let schema = Catalog.Tpch.schema ~sf ~z () in
   let workload =
@@ -110,7 +132,8 @@ let make_inputs sf z shape n seed updates sql_file =
 
 let advise_cmd =
   let run n seed z sf m shape updates sql_file gap verbose explain jobs backend
-      =
+      trace =
+    with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
@@ -173,7 +196,8 @@ let advise_cmd =
   Cmd.v (Cmd.info "advise" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ gap $ verbose $ explain_flag $ jobs $ backend_arg)
+      $ sql_file $ gap $ verbose $ explain_flag $ jobs $ backend_arg
+      $ trace_arg)
 
 (* --- compare --- *)
 
@@ -187,7 +211,8 @@ let compare_cmd =
           [ `Cophy; `ToolB ]
       & info [ "advisors" ] ~docv:"LIST" ~doc)
   in
-  let run n seed z sf m shape updates sql_file advisors jobs =
+  let run n seed z sf m shape updates sql_file advisors jobs trace =
+    with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
@@ -236,12 +261,13 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ advisors_arg $ jobs)
+      $ sql_file $ advisors_arg $ jobs $ trace_arg)
 
 (* --- pareto --- *)
 
 let pareto_cmd =
-  let run n seed z sf shape updates sql_file jobs =
+  let run n seed z sf shape updates sql_file jobs trace =
+    with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let env = Optimizer.Whatif.make_env schema in
@@ -266,7 +292,7 @@ let pareto_cmd =
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ shape $ updates $ sql_file
-      $ jobs)
+      $ jobs $ trace_arg)
 
 let main =
   let doc = "CoPhy: a scalable, portable, interactive index advisor" in

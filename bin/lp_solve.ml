@@ -2,7 +2,7 @@
 
      dune exec bin/lp_solve.exe -- model.lp [--gap 0.01] [--time 60]
                                   [--backend sparse|dense] [--no-presolve]
-                                  [--stats] [--check]
+                                  [--stats] [--check] [--trace FILE]
 
    Prints the status, objective, and nonzero variable values — handy for
    inspecting BIPs exported with Lp.Lp_format.to_file.  [--stats] adds
@@ -20,6 +20,7 @@ let () =
   let presolve = ref true in
   let want_stats = ref false in
   let want_check = ref false in
+  let trace = ref None in
   let set_backend s =
     match Lp.Backend.kind_of_string s with
     | Some k -> backend_kind := k
@@ -37,9 +38,23 @@ let () =
         "print kernel and presolve counters after solving" );
       ( "--check",
         Arg.Set want_check,
-        "analyze the model before solving and certify the solution after" ) ]
+        "analyze the model before solving and certify the solution after" );
+      ( "--trace",
+        Arg.String (fun f -> trace := Some f),
+        "FILE write kernel spans and counters as Chrome trace_event JSON" ) ]
   in
   Arg.parse specs (fun f -> file := f) "lp_solve [options] FILE.lp";
+  (* at_exit so the trace survives the early-exit paths (infeasible,
+     failed certificate, iteration limit). *)
+  (match !trace with
+  | None -> ()
+  | Some tf ->
+      Runtime.Trace.enable ();
+      at_exit (fun () ->
+          let oc = open_out tf in
+          output_string oc (Runtime.Trace.to_chrome_json ());
+          output_char oc '\n';
+          close_out oc));
   if !file = "" then begin
     prerr_endline "usage: lp_solve [options] FILE.lp";
     exit 2

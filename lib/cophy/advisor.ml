@@ -58,18 +58,25 @@ let advise ?(params = Optimizer.Cost_params.default)
   let stats = match stats with Some s -> s | None -> Runtime.Stats.create () in
   let env = Optimizer.Whatif.make_env ~params schema in
   let t0 = Runtime.Clock.now () in
-  let cache = Inum.build_workload ~jobs ~stats env w in
+  let cache =
+    Runtime.Trace.span "advisor.inum_build" (fun () ->
+        Inum.build_workload ~jobs ~stats env w)
+  in
   let t1 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Inum_build (t1 -. t0);
-  let cands =
-    match candidates with
-    | Some c -> Array.of_list c
-    | None -> Array.of_list (Cgen.generate ~dba:dba_candidates w)
-  in
-  let sp = Sproblem.build env cache cands in
-  let budget = budget_fraction *. Catalog.Tpch.database_size schema in
-  let z_rows, block_caps =
-    resolve_constraints env cache cands ~baseline constraints.Constr.hard
+  let sp, budget, z_rows, block_caps, cands =
+    Runtime.Trace.span "advisor.bip_build" (fun () ->
+        let cands =
+          match candidates with
+          | Some c -> Array.of_list c
+          | None -> Array.of_list (Cgen.generate ~dba:dba_candidates w)
+        in
+        let sp = Sproblem.build env cache cands in
+        let budget = budget_fraction *. Catalog.Tpch.database_size schema in
+        let z_rows, block_caps =
+          resolve_constraints env cache cands ~baseline constraints.Constr.hard
+        in
+        (sp, budget, z_rows, block_caps, cands))
   in
   let t2 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Bip_build (t2 -. t1);
@@ -92,8 +99,9 @@ let advise ?(params = Optimizer.Cost_params.default)
     | None -> solver_options
   in
   let report =
-    Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget
-      ~z_rows
+    Runtime.Trace.span "advisor.solve" (fun () ->
+        Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget
+          ~z_rows)
   in
   let t3 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Solve (t3 -. t2);

@@ -69,6 +69,11 @@ type result = {
 
 (* --- Block subproblem --- *)
 
+(* Trace probes: single [Atomic.get] each when tracing is off. *)
+let tr_iterations = Runtime.Trace.counter "decomposition.iterations"
+let tr_block_solves = Runtime.Trace.counter "decomposition.block_solves"
+let tr_ls_moves = Runtime.Trace.counter "decomposition.local_search_moves"
+
 (* Position of candidate [cand] in a block's sorted [cands_used] array.
    A read-only binary search (rather than a shared scratch position map)
    keeps the block subproblems free of shared mutable state, so they can
@@ -307,6 +312,7 @@ let local_search ?(jobs = 1) (sp : Sproblem.t) ~budget ~z_rows (z : bool array)
               (if z.(a) then !size +. sp.Sproblem.sizes.(a)
                else !size -. sp.Sproblem.sizes.(a));
             List.iter (fun (bi, c) -> bcost.(bi) <- c) changed;
+            Runtime.Trace.incr tr_ls_moves;
             improved := true
           end
           else z.(a) <- not z.(a)
@@ -497,6 +503,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
        && elapsed () < options.time_limit
      do
        incr iter;
+       Runtime.Trace.incr tr_iterations;
        (* z-part costs *)
        Array.blit sp.Sproblem.ucost 0 w 0 ncand;
        Array.iteri
@@ -517,6 +524,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
            block_indices
        in
        count_sproblems nblocks;
+       Runtime.Trace.add tr_block_solves nblocks;
        let lower = ref sp.Sproblem.fixed in
        Array.iteri
          (fun bi (v, used) ->

@@ -115,8 +115,15 @@ let sweep ?(epsilon = 0.05) ?(max_points = 16) ?(reuse = true)
     end
   in
   refine a b 6;
+  (* Explicit lexicographic float comparator: polymorphic [compare] on
+     (float, float) tuples orders nan by its boxed representation and is
+     exactly the pattern lint rule L1 rejects; [Float.compare] gives a
+     total, nan-consistent order. *)
   let sorted =
-    List.sort_uniq (fun p q -> compare (p.metric, p.cost) (q.metric, q.cost))
+    List.sort_uniq
+      (fun p q ->
+        let c = Float.compare p.metric q.metric in
+        if c <> 0 then c else Float.compare p.cost q.cost)
       !points
   in
   (sorted, !solves)

@@ -135,7 +135,8 @@ let check_feasibility ?(backend = Lp.Backend.default) (sp : Sproblem.t) ~budget
 
 let solve ?(options = default_options) ?(block_caps = []) ?accept
     (sp : Sproblem.t) ~budget ~z_rows =
-  check_feasibility ~backend:options.backend sp ~budget ~z_rows;
+  Runtime.Trace.span "solver.feasibility_check" (fun () ->
+      check_feasibility ~backend:options.backend sp ~budget ~z_rows);
   let t0 = Runtime.Clock.now () in
   let method_ =
     match options.method_ with
@@ -151,7 +152,10 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
   in
   match method_ with
   | Exact | Auto ->
-      let p, vars = Sproblem.to_lp ~budget ~z_rows ~block_caps sp in
+      let p, vars =
+        Runtime.Trace.span "solver.bip_to_lp" (fun () ->
+            Sproblem.to_lp ~budget ~z_rows ~block_caps sp)
+      in
       if options.certify then begin
         (* Static model analysis before the solve: a malformed BIP makes
            every downstream certificate meaningless. *)
@@ -192,7 +196,10 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
               options.on_feedback f);
         }
       in
-      let r = Lp.Branch_bound.solve ~options:bb_options p in
+      let r =
+        Runtime.Trace.span "solver.branch_bound" (fun () ->
+            Lp.Branch_bound.solve ~options:bb_options p)
+      in
       (match r.Lp.Branch_bound.status with
       | Lp.Branch_bound.Infeasible ->
           raise (Infeasible [ "BIP infeasible (query-cost or linking rows)" ])
@@ -257,7 +264,10 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
               options.on_feedback f);
         }
       in
-      let r = Decomposition.solve ~options:d_options ?accept sp ~budget ~z_rows in
+      let r =
+        Runtime.Trace.span "solver.decomposition" (fun () ->
+            Decomposition.solve ~options:d_options ?accept sp ~budget ~z_rows)
+      in
       if Runtime.Fx.is_inf r.Decomposition.bound then
         raise (Infeasible [ "z polytope infeasible" ]);
       if Runtime.Fx.is_inf r.Decomposition.obj then

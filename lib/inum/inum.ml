@@ -147,9 +147,24 @@ let dominates t1 t2 =
 
 (* --- Cache construction --- *)
 
+(* Trace probes: single [Atomic.get] each when tracing is off.
+   [inum.init_calls] counts template-plan probes issued to the what-if
+   optimizer (the paper's INUM "init" currency); [inum.beta_extractions]
+   the templates whose internal cost beta was materialized;
+   [inum.gamma_evals] the per-slot gamma lookups at cost-evaluation
+   time. *)
+let tr_init_calls = Runtime.Trace.counter "inum.init_calls"
+let tr_template_enums = Runtime.Trace.counter "inum.template_enumerations"
+let tr_beta = Runtime.Trace.counter "inum.beta_extractions"
+let tr_gamma = Runtime.Trace.counter "inum.gamma_evals"
+let tr_templates_kept = Runtime.Trace.counter "inum.templates_kept"
+
 let build env (q : Ast.query) =
+  Runtime.Trace.span "inum.build" @@ fun () ->
   let tables = Array.of_list q.Ast.tables in
   let combos = spec_combinations q tables in
+  Runtime.Trace.incr tr_template_enums;
+  Runtime.Trace.add tr_init_calls (List.length combos);
   let raw =
     List.filter_map
       (fun combo ->
@@ -171,6 +186,7 @@ let build env (q : Ast.query) =
                   | None -> Optimizer.Plan.Any_order)
                 tables
             in
+            Runtime.Trace.incr tr_beta;
             Some { beta = Optimizer.Plan.cost plan; slot_reqs; plan })
       combos
   in
@@ -194,6 +210,7 @@ let build env (q : Ast.query) =
       [] kept
     |> List.rev
   in
+  Runtime.Trace.add tr_templates_kept (List.length kept);
   {
     query = q;
     tables;
@@ -208,6 +225,7 @@ let build env (q : Ast.query) =
    with [index] ([None] = no index).  A [None] result encodes an infinite
    coefficient. *)
 let gamma t k ~table index =
+  Runtime.Trace.incr tr_gamma;
   let ti =
     let rec find i = if t.tables.(i) = table then i else find (i + 1) in
     find 0
@@ -218,6 +236,7 @@ let gamma t k ~table index =
 
 (* Minimum gamma over the indexes of [config] on [table] (and no-index). *)
 let best_slot_cost t (template : template) ti config =
+  Runtime.Trace.incr tr_gamma;
   let table = t.tables.(ti) in
   let req = template.slot_reqs.(ti) in
   let params = t.env.Optimizer.Whatif.params in
@@ -301,6 +320,7 @@ type workload_cache = {
 }
 
 let build_workload ?jobs ?stats env (w : Ast.workload) =
+  Runtime.Trace.span "inum.build_workload" @@ fun () ->
   (* Statement caches are independent: fan construction over the domain
      pool.  [parallel_map] is order-preserving, so [selects] keeps the
      workload's statement order at every job count. *)

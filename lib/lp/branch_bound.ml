@@ -115,6 +115,11 @@ end
 
 (* Round a relaxation solution and test feasibility — a cheap primal
    heuristic that often produces the first incumbent immediately. *)
+(* Trace probes: single [Atomic.get] each when tracing is off. *)
+let tr_nodes = Runtime.Trace.counter "bb.nodes"
+let tr_incumbents = Runtime.Trace.counter "bb.incumbents"
+let tr_prunes = Runtime.Trace.counter "bb.prunes"
+
 let rounding_heuristic p int_vars x =
   let x' = Array.copy x in
   List.iter (fun v -> x'.(v) <- Float.round x.(v)) int_vars;
@@ -183,6 +188,7 @@ let solve ?(options = default_options) (p : Problem.t) =
       end;
       incumbent := Some (Array.copy x);
       incumbent_obj := obj;
+      Runtime.Trace.incr tr_incumbents;
       true
     end
     else false
@@ -257,6 +263,7 @@ let solve ?(options = default_options) (p : Problem.t) =
         | Some node ->
             if node.node_bound >= !incumbent_obj -. 1e-9 then begin
               (* pruned by bound; if the queue empties we are optimal *)
+              Runtime.Trace.incr tr_prunes;
               if no_open () then begin
                 global_bound := !incumbent_obj;
                 status := Optimal;
@@ -282,6 +289,7 @@ let solve ?(options = default_options) (p : Problem.t) =
               end
               else begin
                 incr nodes;
+                Runtime.Trace.incr tr_nodes;
                 apply_fixings node.fixings;
                 let r = Backend.solve options.backend p in
                 (match r.Simplex.status with
@@ -342,7 +350,8 @@ let solve ?(options = default_options) (p : Problem.t) =
                             push_dive down_node;
                             push_heap up_node
                           end
-                    end));
+                    end
+                    else Runtime.Trace.incr tr_prunes));
                 if !nodes mod 16 = 0 then emit !global_bound;
                 if no_open () then begin
                   global_bound := !incumbent_obj;

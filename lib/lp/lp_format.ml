@@ -11,13 +11,31 @@ let fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
 (* --- Writing --- *)
 
+(* Shortest decimal form that re-parses bit-identically.  "%.12g" (the
+   historical choice) silently perturbs doubles that need up to 17
+   significant digits; "%.17g" everywhere is lossless but noisy
+   ("0.5" -> "0.5", but "0.1" -> "0.10000000000000001").  Probe
+   precisions upward and keep the first whose round trip is exact, so
+   common short values stay short and every float survives
+   [of_string (to_string p)] unchanged. *)
+let repr f =
+  let rec go p =
+    if p >= 17 then Printf.sprintf "%.17g" f
+    else
+      let s = Printf.sprintf "%.*g" p f in
+      match float_of_string_opt s with
+      | Some g when Fx.exactly g f -> s
+      | _ -> go (p + 1)
+  in
+  go 1
+
 let write_term buf first coeff name =
   if Fx.nonzero coeff then begin
     if coeff >= 0.0 && not first then Buffer.add_string buf " + "
     else if coeff < 0.0 then Buffer.add_string buf (if first then "- " else " - ");
     let a = abs_float coeff in
     if not (Fx.exactly a 1.0) then
-      Buffer.add_string buf (Printf.sprintf "%.12g " a);
+      Buffer.add_string buf (repr a ^ " ");
     Buffer.add_string buf name
   end
 
@@ -51,7 +69,7 @@ let to_string (p : Problem.t) =
         | Problem.Ge -> ">="
         | Problem.Eq -> "="
       in
-      Buffer.add_string buf (Printf.sprintf " %s %.12g\n" op r.Problem.rhs))
+      Buffer.add_string buf (Printf.sprintf " %s %s\n" op (repr r.Problem.rhs)))
     (Problem.rows p);
   Buffer.add_string buf "Bounds\n";
   for v = 0 to Problem.nvars p - 1 do
@@ -63,12 +81,12 @@ let to_string (p : Problem.t) =
           Buffer.add_string buf (Printf.sprintf " %s free\n" name)
       | lb, ub when Fx.is_inf ub ->
           if Fx.nonzero lb then
-            Buffer.add_string buf (Printf.sprintf " %s >= %.12g\n" name lb)
+            Buffer.add_string buf (Printf.sprintf " %s >= %s\n" name (repr lb))
       | lb, ub when Fx.is_neg_inf lb ->
-          Buffer.add_string buf (Printf.sprintf " %s <= %.12g\n" name ub)
+          Buffer.add_string buf (Printf.sprintf " %s <= %s\n" name (repr ub))
       | lb, ub ->
           Buffer.add_string buf
-            (Printf.sprintf " %.12g <= %s <= %.12g\n" lb name ub)
+            (Printf.sprintf " %s <= %s <= %s\n" (repr lb) name (repr ub))
     end
   done;
   let binaries =

@@ -43,9 +43,26 @@ type basis_kind = Dense | Sparse
 type kernel_stats = {
   mutable pivots : int;            (* basis changes (bound flips excluded) *)
   mutable refactorizations : int;  (* sparse-basis rebuilds mid-solve *)
+  mutable iterations : int;        (* pricing loop iterations, both phases *)
+  mutable etas_pushed : int;       (* product-form eta vectors appended *)
+  mutable max_eta_len : int;       (* peak eta-file length between rebuilds *)
 }
 
-let create_stats () = { pivots = 0; refactorizations = 0 }
+let create_stats () =
+  {
+    pivots = 0;
+    refactorizations = 0;
+    iterations = 0;
+    etas_pushed = 0;
+    max_eta_len = 0;
+  }
+
+(* Trace probes: single [Atomic.get] each when tracing is off. *)
+let tr_iterations = Runtime.Trace.counter "simplex.iterations"
+let tr_pivots = Runtime.Trace.counter "simplex.pivots"
+let tr_refactorizations = Runtime.Trace.counter "simplex.refactorizations"
+let tr_etas = Runtime.Trace.counter "simplex.etas_pushed"
+let tr_solves = Runtime.Trace.counter "simplex.solves"
 
 let tol = 1e-7
 let pivot_tol = 1e-9
@@ -153,7 +170,8 @@ let refactor s sb =
       sb.lu <- lu;
       sb.neta <- 0;
       sb.eta_nnz <- 0;
-      s.stats.refactorizations <- s.stats.refactorizations + 1
+      s.stats.refactorizations <- s.stats.refactorizations + 1;
+      Runtime.Trace.incr tr_refactorizations
   | exception Lu.Singular _ -> raise Singular_basis
 
 let push_eta sb e =
@@ -170,6 +188,7 @@ let push_eta sb e =
    where [w] = B_old^-1 A_enter. *)
 let update_basis s r w =
   s.stats.pivots <- s.stats.pivots + 1;
+  Runtime.Trace.incr tr_pivots;
   match s.repr with
   | Dense_binv binv ->
       let piv = w.(r) in
@@ -211,7 +230,10 @@ let update_basis s r w =
             incr k
           end
         done;
-        push_eta sb { er = r; epiv = w.(r); entries }
+        push_eta sb { er = r; epiv = w.(r); entries };
+        s.stats.etas_pushed <- s.stats.etas_pushed + 1;
+        if sb.neta > s.stats.max_eta_len then s.stats.max_eta_len <- sb.neta;
+        Runtime.Trace.incr tr_etas
       end
 
 (* Entering-variable direction: +1 when it will increase from its current
@@ -269,6 +291,8 @@ let run_phase s ~max_iters =
     if s.iters >= max_iters then Iter_limit
     else begin
       s.iters <- s.iters + 1;
+      s.stats.iterations <- s.stats.iterations + 1;
+      Runtime.Trace.incr tr_iterations;
       compute_duals s y;
       let bland = !stall > 200 in
       match price s y ~bland with
@@ -370,6 +394,7 @@ let run_phase s ~max_iters =
 (* --- Public entry point --- *)
 
 let solve ?(max_iters = 0) ?(basis = Dense) ?stats (p : Problem.t) =
+  Runtime.Trace.incr tr_solves;
   let m = Problem.nrows p in
   let n = Problem.nvars p in
   let rows = Problem.rows p in

@@ -32,6 +32,9 @@ type basis_kind =
 type kernel_stats = {
   mutable pivots : int;  (** basis changes (bound flips excluded) *)
   mutable refactorizations : int;  (** sparse-basis rebuilds mid-solve *)
+  mutable iterations : int;  (** pricing-loop iterations across both phases *)
+  mutable etas_pushed : int;  (** product-form eta vectors appended *)
+  mutable max_eta_len : int;  (** peak eta-file length between rebuilds *)
 }
 
 val create_stats : unit -> kernel_stats
@@ -39,6 +42,9 @@ val create_stats : unit -> kernel_stats
 (** Solve the LP relaxation (integrality marks are ignored).
     [max_iters = 0] picks a default proportional to the problem size.
     [basis] selects the kernel (default [Dense], the reference);
-    [stats] accumulates pivot/refactorization counters when given. *)
+    [stats] accumulates the kernel counters when given.  The same events
+    also tick the process-wide [Runtime.Trace] counters
+    [simplex.iterations] / [simplex.pivots] / [simplex.refactorizations]
+    / [simplex.etas_pushed] / [simplex.solves] when tracing is on. *)
 val solve :
   ?max_iters:int -> ?basis:basis_kind -> ?stats:kernel_stats -> Problem.t -> result

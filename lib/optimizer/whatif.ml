@@ -486,8 +486,15 @@ let finalize ctx entries =
 
 (* --- Public API --- *)
 
+(* Trace probes: single [Atomic.get] each when tracing is off.  Direct
+   what-if optimizations are the paper's expensive currency;
+   template probes are the INUM-side calls that replace them. *)
+let tr_optimize = Runtime.Trace.counter "whatif.optimize_calls"
+let tr_template_probes = Runtime.Trace.counter "whatif.template_probes"
+
 let optimize env (q : Ast.query) (config : Storage.Config.t) =
   ignore (Atomic.fetch_and_add env.calls 1);
+  Runtime.Trace.incr tr_optimize;
   let ctx = make_ctx env q (Direct config) in
   match finalize ctx (plan_joins ctx) with
   | Some plan -> plan
@@ -499,6 +506,7 @@ let cost env q config = Plan.cost (optimize env q config)
    obey [slot_specs].  The plan cost is the internal cost beta.  [None]
    when the specs admit no plan (e.g. an NLJ spec with no matching join). *)
 let template_plan env (q : Ast.query) ~slot_specs =
+  Runtime.Trace.incr tr_template_probes;
   let ctx = make_ctx env q (Template slot_specs) in
   finalize ctx (plan_joins ctx)
 

@@ -347,3 +347,230 @@ module Stats = struct
       (stage_seconds t Inum_build)
       (stage_seconds t Bip_build) (stage_seconds t Solve)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  (* Library-wide observability: named atomic counters plus
+     monotonic-clock spans kept in fixed-capacity per-domain ring
+     buffers.  Disabled (the default) every probe costs a single
+     [Atomic.get]; enabled, a counter tick is one [fetch_and_add] and a
+     span is two {!Clock.now} reads plus one preallocated ring slot.
+     Retained memory is bounded by [max_domains * ring_capacity] slots
+     no matter how long the traced run is, so the layer is safe to leave
+     compiled into the [parallel_map] hot paths. *)
+
+  let enabled_flag = Atomic.make false
+  let enabled () = Atomic.get enabled_flag
+  let enable () = Atomic.set enabled_flag true
+  let disable () = Atomic.set enabled_flag false
+
+  (* ---- counters ---- *)
+
+  type counter = { cname : string; cell : int Atomic.t }
+
+  let registry_lock = Mutex.create ()
+
+  (* Justified global_state: the counter registry is the process-wide
+     name -> cell map; every structural access is under
+     [registry_lock], and the cells themselves are Atomics. *)
+  let[@lint.allow global_state] registry : counter list ref = ref []
+
+  let counter name =
+    Mutex.lock registry_lock;
+    let c =
+      match List.find_opt (fun c -> String.equal c.cname name) !registry with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          registry := c :: !registry;
+          c
+    in
+    Mutex.unlock registry_lock;
+    c
+
+  let incr c =
+    if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell 1)
+
+  let add c k =
+    if k <> 0 && Atomic.get enabled_flag then
+      ignore (Atomic.fetch_and_add c.cell k)
+
+  let counters () =
+    Mutex.lock registry_lock;
+    let cs = !registry in
+    Mutex.unlock registry_lock;
+    List.map (fun c -> (c.cname, Atomic.get c.cell)) cs
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* ---- spans ---- *)
+
+  type span = { sname : string; ts : float; dur : float; dom : int }
+
+  let ring_capacity = 4096
+  let max_domains = 128
+
+  type ring = { slots : span array; mutable cursor : int }
+
+  let dummy_span = { sname = ""; ts = 0.0; dur = 0.0; dom = 0 }
+
+  (* Justified global_state: one ring slot per domain id.  Slot [d] is
+     written exclusively by domain [d] (see [record_span]), so no lock
+     is needed on the recording path. *)
+  let[@lint.allow global_state] rings : ring option array =
+    Array.make max_domains None
+
+  let dropped = Atomic.make 0
+  let dropped_spans () = Atomic.get dropped
+
+  (* The sanctioned ring-buffer mutation.  [rings.(dom)] is only ever
+     installed/written by domain [dom] itself, so concurrent recorders
+     never touch the same slot; readers ([spans]/exporters) run after
+     the parallel section's completion latch, which establishes the
+     happens-before edge.  On overflow the oldest slot is overwritten
+     (newest spans win) and [dropped] counts the loss. *)
+  let[@dsa.allow
+       mutates_global
+         "per-domain span ring: slot [dom] is written only by domain \
+          [dom]; exporters read after the parallel-section latch"]
+    [@dsa.allow
+      nondet
+        "Domain.self only routes the span to the recorder's own ring; \
+         results never depend on which domain recorded"]
+    record_span name t0 t1 =
+    let dom = (Domain.self () :> int) in
+    if dom < 0 || dom >= max_domains then
+      ignore (Atomic.fetch_and_add dropped 1)
+    else begin
+      let r =
+        match rings.(dom) with
+        | Some r -> r
+        | None ->
+            let r =
+              { slots = Array.make ring_capacity dummy_span; cursor = 0 }
+            in
+            rings.(dom) <- Some r;
+            r
+      in
+      if r.cursor >= ring_capacity then ignore (Atomic.fetch_and_add dropped 1);
+      r.slots.(r.cursor mod ring_capacity) <-
+        { sname = name; ts = t0; dur = t1 -. t0; dom };
+      r.cursor <- r.cursor + 1
+    end
+
+  let span name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let t0 = Clock.now () in
+      Fun.protect ~finally:(fun () -> record_span name t0 (Clock.now ())) f
+    end
+
+  let spans () =
+    let acc = ref [] in
+    Array.iter
+      (function
+        | None -> ()
+        | Some r ->
+            let n = min r.cursor ring_capacity in
+            let start = if r.cursor > ring_capacity then r.cursor else 0 in
+            for k = 0 to n - 1 do
+              acc := r.slots.((start + k) mod ring_capacity) :: !acc
+            done)
+      rings;
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.ts b.ts in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.dom b.dom in
+          if c <> 0 then c else String.compare a.sname b.sname)
+      !acc
+
+  let[@dsa.allow
+       mutates_global
+         "trace control plane: reset runs on the main domain between \
+          runs, never inside a parallel section"]
+    reset () =
+    Mutex.lock registry_lock;
+    List.iter (fun c -> Atomic.set c.cell 0) !registry;
+    Mutex.unlock registry_lock;
+    for d = 0 to max_domains - 1 do
+      rings.(d) <- None
+    done;
+    Atomic.set dropped 0
+
+  (* ---- exporters ---- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Aggregate spans by name: (name, count, total seconds), sorted. *)
+  let span_totals () =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun s ->
+        let n, d =
+          match Hashtbl.find_opt tbl s.sname with
+          | Some (n, d) -> (n, d)
+          | None -> (0, 0.0)
+        in
+        Hashtbl.replace tbl s.sname (n + 1, d +. s.dur))
+      (spans ());
+    Tbl.sorted_bindings tbl
+    |> List.map (fun (name, (n, d)) -> (name, n, d))
+
+  let to_metrics_json () =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b {|{"counters":{|};
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf {|"%s":%d|} (json_escape name) v))
+      (counters ());
+    Buffer.add_string b {|},"spans":{|};
+    List.iteri
+      (fun i (name, n, d) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf {|"%s":{"count":%d,"seconds":%.6f}|}
+             (json_escape name) n d))
+      (span_totals ());
+    Buffer.add_string b
+      (Printf.sprintf {|},"dropped_spans":%d}|} (dropped_spans ()));
+    Buffer.contents b
+
+  (* Chrome trace_event JSON (chrome://tracing, Perfetto): complete
+     ("ph":"X") events with microsecond timestamps.  The flat metrics
+     object rides along under a top-level "metrics" key, which the
+     trace viewers ignore. *)
+  let to_chrome_json () =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b {|{"traceEvents":[|};
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             {|{"name":"%s","cat":"cophy","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f}|}
+             (json_escape s.sname) s.dom (s.ts *. 1e6) (s.dur *. 1e6)))
+      (spans ());
+    Buffer.add_string b {|],"displayTimeUnit":"ms","metrics":|};
+    Buffer.add_string b (to_metrics_json ());
+    Buffer.add_char b '}';
+    Buffer.contents b
+end

@@ -126,3 +126,86 @@ module Stats : sig
   (** Stable one-object JSON dump:
       [{"counters":{...},"stage_seconds":{...}}]. *)
 end
+
+(** Zero-overhead-when-off observability: named atomic counters and
+    monotonic-clock spans recorded into fixed-capacity per-domain ring
+    buffers, with Chrome [trace_event] and flat-metrics JSON exporters.
+
+    Cost contract: with tracing disabled (the default) every probe —
+    {!Trace.incr}, {!Trace.add}, {!Trace.span} — performs exactly one
+    [Atomic.get] and nothing else, so instrumentation can stay compiled
+    into hot paths.  Enabled, a counter tick is a single
+    [Atomic.fetch_and_add] and a span costs two {!Clock.now} reads plus
+    one write into a preallocated ring slot; memory retained by tracing
+    is bounded by [max_domains * ring_capacity] span records.
+
+    Concurrency contract: counters are shared atomics (safe from any
+    domain, including {!parallel_map} workers); each domain records
+    spans only into its own ring, and exporters must run outside
+    parallel sections (the fan-out completion latch provides the
+    happens-before edge).  Tracing never changes results: probes read
+    the clock and mutate trace-private state only (the trace-neutrality
+    determinism tests pin this down). *)
+module Trace : sig
+  val enabled : unit -> bool
+  val enable : unit -> unit
+  val disable : unit -> unit
+
+  val reset : unit -> unit
+  (** Zero all counters, drop all recorded spans and the
+      {!dropped_spans} count.  Call between runs, never concurrently
+      with recording. *)
+
+  (** {2 Counters} *)
+
+  type counter
+  (** Handle to a named process-wide counter.  Obtain once (typically at
+      module initialization) with {!counter}; ticking through a handle
+      is lock-free. *)
+
+  val counter : string -> counter
+  (** Registers (or looks up) the counter named [name].  Idempotent:
+      the same name always yields the same cell. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val counters : unit -> (string * int) list
+  (** All registered counters with current values, sorted by name. *)
+
+  (** {2 Spans} *)
+
+  type span = {
+    sname : string;
+    ts : float;  (** start, seconds on {!Clock.now} *)
+    dur : float;  (** non-negative duration, seconds *)
+    dom : int;  (** recording domain id *)
+  }
+
+  val span : string -> (unit -> 'a) -> 'a
+  (** [span name f] runs [f ()], recording a span on the current
+      domain's ring if tracing is enabled (even when [f] raises). *)
+
+  val spans : unit -> span list
+  (** Retained spans from every domain ring, sorted by start time.
+      When a ring overflowed, only its newest {!ring_capacity} spans
+      survive. *)
+
+  val dropped_spans : unit -> int
+  (** Spans lost to ring overflow since the last {!reset}. *)
+
+  val ring_capacity : int
+  (** Per-domain ring size, in spans. *)
+
+  (** {2 Exporters} *)
+
+  val to_metrics_json : unit -> string
+  (** Flat metrics object:
+      [{"counters":{...},"spans":{name:{"count":..,"seconds":..}},
+        "dropped_spans":..}]. *)
+
+  val to_chrome_json : unit -> string
+  (** Chrome [trace_event] JSON (load in [chrome://tracing] or
+      Perfetto): one complete ("ph":"X") event per span, microsecond
+      timestamps, plus the {!to_metrics_json} object under a top-level
+      ["metrics"] key. *)
+end

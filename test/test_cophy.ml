@@ -635,6 +635,46 @@ let test_backend_determinism_decomposition () =
       (4, Lp.Backend.default, "jobs 4, sparse");
     ]
 
+(* Tracing must be pure observation: turning Runtime.Trace on cannot
+   change the recommendation, objective, or bound at any job count or
+   LP backend — the spans and counters only ever read the clock and
+   tick atomics, never feed back into the pipeline. *)
+let test_trace_neutrality () =
+  let w = small_workload ~n:8 ~seed:11 () in
+  let run ~trace ~jobs ~backend =
+    Runtime.Trace.reset ();
+    if trace then Runtime.Trace.enable ();
+    Fun.protect ~finally:Runtime.Trace.disable @@ fun () ->
+    Cophy.Advisor.advise ~jobs ~backend schema w ~budget_fraction:0.4
+  in
+  List.iter
+    (fun (jobs, backend, label) ->
+      let off = run ~trace:false ~jobs ~backend in
+      let on = run ~trace:true ~jobs ~backend in
+      Alcotest.(check bool)
+        (Printf.sprintf "config identical (%s)" label)
+        true
+        (Storage.Config.equal off.Cophy.Advisor.config on.Cophy.Advisor.config);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "objective bit-identical (%s)" label)
+        off.Cophy.Advisor.report.Cophy.Solver.objective
+        on.Cophy.Advisor.report.Cophy.Solver.objective;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "bound bit-identical (%s)" label)
+        off.Cophy.Advisor.report.Cophy.Solver.bound
+        on.Cophy.Advisor.report.Cophy.Solver.bound;
+      (* the traced run actually observed something *)
+      Alcotest.(check bool)
+        (Printf.sprintf "spans recorded (%s)" label)
+        true
+        (List.length (Runtime.Trace.spans ()) > 0))
+    [
+      (1, Lp.Backend.default, "jobs 1, sparse");
+      (4, Lp.Backend.default, "jobs 4, sparse");
+      (1, Lp.Backend.dense_reference, "jobs 1, dense");
+      (4, Lp.Backend.dense_reference, "jobs 4, dense");
+    ]
+
 let () =
   Alcotest.run "cophy"
     [
@@ -698,5 +738,7 @@ let () =
             test_backend_determinism_advisor;
           Alcotest.test_case "jobs x backend grid (decomposition)" `Quick
             test_backend_determinism_decomposition;
+          Alcotest.test_case "trace on/off x jobs x backend grid" `Quick
+            test_trace_neutrality;
         ] );
     ]

@@ -38,7 +38,18 @@ let test_float_eq () =
      type width = span\n\
      type s = { dur : width }\n\
      let bad x y = x.dur = y.dur";
+  (* tuple-immediate floats (the Pareto.sweep comparator gap): a tuple
+     whose component is floatish makes the whole comparison floatish *)
+  check_triggers Lint_core.Float_eq "tuple with float literal component"
+    "let bad a b = (a, 1.0) = (b, 2.0)";
+  check_triggers Lint_core.Float_eq "compare on float-field tuples"
+    "type p = { m : float; c : float }\n\
+     let bad p q = compare (p.m, p.c) (q.m, q.c)";
+  check_triggers Lint_core.Float_eq "nested tuple float"
+    "let bad a x y = ((a, 2.5), x) = ((a, 2.5), y)";
   (* near-misses: non-float operands, tolerance idiom, Fx helpers *)
+  check_clean "int-only tuple comparison"
+    "let ok (a : int) b = (a, 0) = (b, 1)";
   check_clean "int field comparison"
     "type c = { n : int }\nlet ok x y = x.n = y.n";
   check_clean "int alias constraint"

@@ -344,14 +344,22 @@ let test_lp_format_errors () =
 (* Random-problem round trip: of_string (to_string p) must preserve
    every variable (kind, bounds, objective) and row (sense, rhs,
    coefficients).  The parser may renumber variables when Binary/General
-   sections are present, so everything is compared by name.  Numbers are
-   quarter-integers: they print exactly under %.12g and re-parse
-   exactly, making float equality legitimate. *)
+   sections are present, so everything is compared by name.  The writer
+   prints shortest-round-trip representations, so arbitrary finite
+   floats — not just quarter-integers — must survive the file format
+   bit-for-bit (Fx.exactly, not an epsilon). *)
 
 let quantized rng = float_of_int (Random.State.int rng 33 - 16) /. 4.0
 
-let nonzero_quantized rng =
-  let v = quantized rng in
+let full_float rng =
+  match Random.State.int rng 4 with
+  | 0 -> quantized rng
+  | 1 -> Random.State.float rng 2.0 -. 1.0
+  | 2 -> (Random.State.float rng 2.0 -. 1.0) *. 1e9
+  | _ -> (Random.State.float rng 2.0 -. 1.0) *. 1e-9
+
+let nonzero_full rng =
+  let v = full_float rng in
   if v = 0.0 then 1.25 else v
 
 let build_random_lp_file_problem seed =
@@ -363,7 +371,7 @@ let build_random_lp_file_problem seed =
         let name = Printf.sprintf "v%d" i in
         (* the writer drops zero-coefficient objective terms, which
            would make the variable invisible to the parser *)
-        let obj = nonzero_quantized rng in
+        let obj = nonzero_full rng in
         match Random.State.int rng 4 with
         | 0 -> Lp.Problem.add_var ~kind:Lp.Problem.Binary ~obj ~name p
         | 1 -> Lp.Problem.add_var ~kind:Lp.Problem.Integer ~obj ~name p
@@ -374,10 +382,10 @@ let build_random_lp_file_problem seed =
             | 0 -> Lp.Problem.add_var ~obj ~name p
             | 1 ->
                 Lp.Problem.add_var ~lb:neg_infinity ~ub:infinity ~obj ~name p
-            | 2 -> Lp.Problem.add_var ~lb:(quantized rng) ~obj ~name p
+            | 2 -> Lp.Problem.add_var ~lb:(full_float rng) ~obj ~name p
             | _ ->
-                let lb = quantized rng in
-                let ub = lb +. abs_float (quantized rng) in
+                let lb = full_float rng in
+                let ub = lb +. abs_float (full_float rng) in
                 Lp.Problem.add_var ~lb ~ub ~obj ~name p))
   in
   let m = Random.State.int rng 5 in
@@ -386,7 +394,7 @@ let build_random_lp_file_problem seed =
       Array.to_list vars |> List.filter (fun _ -> Random.State.bool rng)
     in
     let members = if members = [] then [ vars.(0) ] else members in
-    let coeffs = List.map (fun v -> (v, nonzero_quantized rng)) members in
+    let coeffs = List.map (fun v -> (v, nonzero_full rng)) members in
     let sense =
       match Random.State.int rng 3 with
       | 0 -> Lp.Problem.Le
@@ -395,7 +403,7 @@ let build_random_lp_file_problem seed =
     in
     ignore
       (Lp.Problem.add_row ~name:(Printf.sprintf "c%d" r) p coeffs sense
-         (quantized rng))
+         (full_float rng))
   done;
   p
 
@@ -418,14 +426,35 @@ let lp_rows_by_name p =
              |> List.sort compare ) ))
   |> List.sort compare
 
+(* Exact (bitwise, NaN-honest) structural comparison of the by-name
+   listings: infinities must round trip as infinities and every finite
+   value to the identical bit pattern. *)
+let var_entry_exact (n1, (k1, lb1, ub1, o1)) (n2, (k2, lb2, ub2, o2)) =
+  String.equal n1 n2 && k1 = k2
+  && Runtime.Fx.exactly lb1 lb2
+  && Runtime.Fx.exactly ub1 ub2
+  && Runtime.Fx.exactly o1 o2
+
+let row_entry_exact (n1, (s1, rhs1, cs1)) (n2, (s2, rhs2, cs2)) =
+  String.equal n1 n2 && s1 = s2
+  && Runtime.Fx.exactly rhs1 rhs2
+  && List.length cs1 = List.length cs2
+  && List.for_all2
+       (fun (v1, c1) (v2, c2) -> String.equal v1 v2 && Runtime.Fx.exactly c1 c2)
+       cs1 cs2
+
 let prop_lp_format_roundtrip_random =
   QCheck.Test.make ~name:"roundtrip on random problems" ~count:200
     (QCheck.make QCheck.Gen.(int_range 0 1_000_000))
     (fun seed ->
       let p = build_random_lp_file_problem seed in
       let p' = Lp.Lp_format.of_string (Lp.Lp_format.to_string p) in
-      lp_vars_by_name p = lp_vars_by_name p'
-      && lp_rows_by_name p = lp_rows_by_name p')
+      let vs = lp_vars_by_name p and vs' = lp_vars_by_name p' in
+      let rs = lp_rows_by_name p and rs' = lp_rows_by_name p' in
+      List.length vs = List.length vs'
+      && List.length rs = List.length rs'
+      && List.for_all2 var_entry_exact vs vs'
+      && List.for_all2 row_entry_exact rs rs')
 
 (* --- Sparse LU factorization --- *)
 

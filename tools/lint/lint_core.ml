@@ -220,6 +220,11 @@ let rec is_floatish env (e : expression) =
       SSet.mem (Longident.last lid) env.float_fields
   | Pexp_constraint (e', t) -> core_type_is_float env t || is_floatish env e'
   | Pexp_open (_, e') -> is_floatish env e'
+  (* Tuple immediates: [compare (a.x, a.y) (b.x, b.y)] is still a
+     polymorphic structural walk over the float components, so a tuple
+     with any floatish component is floatish (closes the gap the
+     [Pareto.sweep] comparator slipped through). *)
+  | Pexp_tuple es -> List.exists (is_floatish env) es
   | _ -> false
 
 let poly_cmp_ops = [ "="; "<>"; "=="; "!="; "compare" ]
