@@ -18,12 +18,14 @@
    recommendation so job counts can be checked for identical results.
 
    --json <file> runs the full pipeline once and writes stage wall-times
-   and Runtime.Stats counters in a stable schema (schema_version 3) as a
+   and Runtime.Stats counters in a stable schema (schema_version 4) as a
    machine-readable perf baseline for future PRs.  It also times the LP
    relaxation of a materialized Theorem-1 BIP under the selected
    --backend (sparse revised simplex + presolve, or the dense reference
    kernel) so backend solve-phase speedups are recorded alongside the
-   pipeline numbers.
+   pipeline numbers, and replays a drifting workload through the serve
+   engine (the "serve" section: events/sec, latency quantiles, cache hit
+   rate, warm-vs-scratch retune latency at equal certified objective).
 
    --trace <file> turns on Runtime.Trace for the run and writes the
    Chrome trace_event export to <file>; under --json the flat trace
@@ -148,6 +150,126 @@ let lp_phase ?(check = false) ~backend_kind () =
     stats.Lp.Backend.presolve.Lp.Presolve.bounds_tightened
     cert_json
 
+(* Serving benchmark backing the daemon's acceptance criteria: replay a
+   drifting workload (bench_n templates) through the serve engine, then
+   compare warm retunes against cold from-scratch solves.
+
+   Reported invariants:
+   - [repeat_probes] must be 0: a repeat query (same canonical key) never
+     costs an optimizer probe, so keyed-store misses = distinct keys.
+   - [objectives_equal]: every warm retune lands on the same certified
+     objective as a from-scratch solve of the identical instance, up to
+     the solver's termination gap (both paths stop at [gap_tolerance],
+     so their incumbents can differ within it; the observed worst case
+     is recorded as [max_objective_rel_diff], typically ~1e-4).
+     Certification itself runs inside the solver ([certify:true]), so a
+     bad solution on either path aborts the bench.
+   - [speedup]: median warm retune latency vs. median cold solve (fresh
+     optimizer env, fresh store: the batch path the daemon replaces). *)
+let serve_events = 300
+let serve_drift_steps = 3
+
+let serve_phase ~jobs () =
+  let schema = Catalog.Tpch.schema () in
+  let events =
+    Workload.Replay.drift ~recommend_every:50 schema ~n:bench_n
+      ~events:serve_events ~seed:bench_seed
+  in
+  let engine = Serve.Engine.create ~window:256 ~jobs schema in
+  let distinct = Hashtbl.create 64 in
+  let n_statements = ref 0 in
+  let n_recommends = ref 0 in
+  let t0 = Runtime.Clock.now () in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Workload.Replay.Statement (s, d) ->
+          incr n_statements;
+          Hashtbl.replace distinct (Sqlast.Canon.statement_key s) ();
+          Serve.Engine.observe engine s d
+      | Workload.Replay.Recommend ->
+          incr n_recommends;
+          ignore (Serve.Engine.recommend engine))
+    events;
+  let replay_seconds = Runtime.Clock.now () -. t0 in
+  let st = Serve.Engine.stats_response engine in
+  let fget k =
+    match Option.bind (Serve.Json.member k st) Serve.Json.to_float with
+    | Some f -> f
+    | None ->
+        Fmt.epr "serve stats missing %S@." k;
+        exit 1
+  in
+  let session = Serve.Engine.session engine in
+  let store = Cophy.Interactive.store session in
+  let repeat_probes = Inum.Keyed.misses store - Hashtbl.length distinct in
+  (* warm retunes after small frequency deltas vs. cold solves of the
+     identical workload (fresh env + store + candidates = batch path) *)
+  let options =
+    {
+      Cophy.Solver.default_options with
+      Cophy.Solver.method_ = Cophy.Solver.Decomposed;
+      certify = true;
+    }
+  in
+  let budget = 0.25 *. Catalog.Tpch.database_size schema in
+  let warm_ms = ref [] in
+  let scratch_ms = ref [] in
+  let max_rel_diff = ref 0.0 in
+  for step = 1 to serve_drift_steps do
+    let w = Cophy.Interactive.workload session in
+    (* bump one statement's frequency per step, round-robin *)
+    let victim = List.nth w (step mod List.length w) in
+    Cophy.Interactive.set_weight session
+      (Sqlast.Ast.statement_id victim.Sqlast.Ast.stmt)
+      (victim.Sqlast.Ast.weight *. 1.5);
+    let t0 = Runtime.Clock.now () in
+    let warm = Cophy.Interactive.retune ~options session in
+    warm_ms := ((Runtime.Clock.now () -. t0) *. 1000.0) :: !warm_ms;
+    let t0 = Runtime.Clock.now () in
+    (* same instance (workload, weights, candidate pool), but cold: fresh
+       optimizer env and keyed store, so every INUM template rebuilds and
+       the decomposition starts without multipliers or an incumbent *)
+    let cold_session =
+      Cophy.Interactive.create ~jobs
+        ~candidates:(Cophy.Interactive.candidates session)
+        schema
+        (Cophy.Interactive.workload session)
+        ~budget
+    in
+    let cold = Cophy.Interactive.retune ~options cold_session in
+    scratch_ms := ((Runtime.Clock.now () -. t0) *. 1000.0) :: !scratch_ms;
+    let rel =
+      Float.abs (warm.Cophy.Solver.objective -. cold.Cophy.Solver.objective)
+      /. Float.max 1.0 cold.Cophy.Solver.objective
+    in
+    max_rel_diff := Float.max !max_rel_diff rel
+  done;
+  let objectives_equal = !max_rel_diff <= options.Cophy.Solver.gap_tolerance in
+  let median xs =
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    arr.(Array.length arr / 2)
+  in
+  let warm_median = median !warm_ms in
+  let scratch_median = median !scratch_ms in
+  Fmt.pr
+    "serve jobs=%d: %d events (%d recommends) in %.3fs, hit_rate=%.3f, \
+     repeat_probes=%d, warm=%.1fms scratch=%.1fms (x%.1f), \
+     objectives_equal=%b (max rel diff %.2e)@."
+    jobs !n_statements !n_recommends replay_seconds (fget "cache_hit_rate")
+    repeat_probes warm_median scratch_median
+    (scratch_median /. Float.max 1e-9 warm_median)
+    objectives_equal !max_rel_diff;
+  Printf.sprintf
+    {|{"events":%d,"recommends":%d,"events_per_sec":%.1f,"p50_ms":%.3f,"p99_ms":%.3f,"cache_hit_rate":%.6f,"distinct_keys":%d,"repeat_probes":%d,"warm_median_ms":%.3f,"scratch_median_ms":%.3f,"speedup":%.2f,"objectives_equal":%b,"max_objective_rel_diff":%.6e}|}
+    !n_statements !n_recommends
+    (float_of_int !n_statements /. Float.max 1e-9 replay_seconds)
+    (fget "p50_ms") (fget "p99_ms") (fget "cache_hit_rate")
+    (Hashtbl.length distinct) repeat_probes warm_median scratch_median
+    (scratch_median /. Float.max 1e-9 warm_median)
+    objectives_equal !max_rel_diff
+
 (* --json: one pipeline run, stable machine-readable schema.  [check]
    turns on Solver certification for the pipeline solve and the
    analyzer + certifier on the materialized BIP scenario. *)
@@ -169,13 +291,14 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
   in
   let t = r.Cophy.Advisor.timings in
   let lp_json = lp_phase ~check ~backend_kind () in
+  let serve_json = serve_phase ~jobs () in
   let trace_json =
     if Runtime.Trace.enabled () then Runtime.Trace.to_metrics_json ()
     else "null"
   in
   let json =
     Printf.sprintf
-      {|{"schema_version":3,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s,"trace":%s}|}
+      {|{"schema_version":4,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s,"serve":%s,"trace":%s}|}
       bench_n bench_seed jobs
       (backend_name backend_kind)
       bench_budget_fraction t.Cophy.Advisor.inum_seconds
@@ -189,7 +312,7 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
          (List.map
             (fun s -> Printf.sprintf "%S" s)
             (config_indexes r.Cophy.Advisor.config)))
-      lp_json trace_json
+      lp_json serve_json trace_json
   in
   output_string oc json;
   output_char oc '\n';

@@ -26,68 +26,31 @@ type recommendation = {
 let total_seconds r =
   r.timings.inum_seconds +. r.timings.build_seconds +. r.timings.solve_seconds
 
-(* Resolve a constraint set against a problem: z-only rows, per-statement
-   caps (relative to the baseline configuration), and the storage row. *)
-let resolve_constraints (env : Optimizer.Whatif.env) (cache : Inum.workload_cache)
-    candidates ~(baseline : Storage.Config.t) (cs : Constr.t list) =
-  let schema = env.Optimizer.Whatif.schema in
-  let z_only, caps = List.partition Constr.z_only cs in
-  let z_rows = Constr.linearize_all schema (Array.of_list (Array.to_list candidates)) z_only in
-  let block_caps =
-    List.concat_map
-      (function
-        | Constr.Query_cost_cap { query_pred; factor } ->
-            List.filter_map
-              (fun (q, _, inum) ->
-                if query_pred q.Sqlast.Ast.query_id then
-                  Some
-                    ( q.Sqlast.Ast.query_id,
-                      factor *. Inum.cost inum baseline )
-                else None)
-              cache.Inum.selects
-        | _ -> [])
-      caps
-  in
-  (z_rows, block_caps)
-
 let advise ?(params = Optimizer.Cost_params.default)
     ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
     ?(solver_options = Solver.default_options)
     ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats ?backend ?certify
     schema (w : Sqlast.Ast.workload) ~budget_fraction =
+  (* Batch advice is the one-shot form of an interactive session: create
+     (INUM through the keyed store + candidate generation), build the
+     BIP, retune once.  The two entry points share one code spine. *)
   let stats = match stats with Some s -> s | None -> Runtime.Stats.create () in
-  let env = Optimizer.Whatif.make_env ~params schema in
+  let budget = budget_fraction *. Catalog.Tpch.database_size schema in
   let t0 = Runtime.Clock.now () in
-  let cache =
+  let session =
     Runtime.Trace.span "advisor.inum_build" (fun () ->
-        Inum.build_workload ~jobs ~stats env w)
+        Interactive.create ~params ~constraints:constraints.Constr.hard
+          ~baseline ~jobs ?candidates ~dba_candidates ~stats schema w ~budget)
   in
   let t1 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Inum_build (t1 -. t0);
-  let sp, budget, z_rows, block_caps, cands =
+  let sp =
     Runtime.Trace.span "advisor.bip_build" (fun () ->
-        let cands =
-          match candidates with
-          | Some c -> Array.of_list c
-          | None -> Array.of_list (Cgen.generate ~dba:dba_candidates w)
-        in
-        let sp = Sproblem.build env cache cands in
-        let budget = budget_fraction *. Catalog.Tpch.database_size schema in
-        let z_rows, block_caps =
-          resolve_constraints env cache cands ~baseline constraints.Constr.hard
-        in
-        (sp, budget, z_rows, block_caps, cands))
+        Interactive.problem session)
   in
   let t2 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Bip_build (t2 -. t1);
-  let accept =
-    if List.exists Constr.is_udf constraints.Constr.hard then
-      Some (Constr.udf_acceptance cands constraints.Constr.hard)
-    else None
-  in
-  let solver_options =
-    { solver_options with Solver.jobs; stats = Some stats }
-  in
+  let solver_options = { solver_options with Solver.jobs } in
   let solver_options =
     match backend with
     | Some b -> { solver_options with Solver.backend = b }
@@ -100,18 +63,19 @@ let advise ?(params = Optimizer.Cost_params.default)
   in
   let report =
     Runtime.Trace.span "advisor.solve" (fun () ->
-        Solver.solve ~options:solver_options ~block_caps ?accept sp ~budget
-          ~z_rows)
+        Interactive.retune ~options:solver_options session)
   in
   let t3 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Solve (t3 -. t2);
-  Runtime.Stats.add_whatif_calls stats (Optimizer.Whatif.whatif_calls env);
+  Runtime.Stats.add_whatif_calls stats
+    (Optimizer.Whatif.whatif_calls (Interactive.env session));
+  let cands = Array.of_list (Interactive.candidates session) in
   let zero = Array.make (Array.length cands) false in
   {
     config = report.Solver.config;
     report;
     problem = sp;
-    cache;
+    cache = Interactive.cache session;
     candidates = cands;
     timings =
       {

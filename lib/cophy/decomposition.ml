@@ -38,6 +38,11 @@ type options = {
   on_event : event -> unit;
   log_events : bool;
   warm : multipliers option;
+  (* Prior incumbent selection, by index (so it survives candidate-set
+     changes between re-solves).  Considered before the greedy initial:
+     repaired if the budget shrank, so a warm restart is never worse
+     than the repaired prior incumbent. *)
+  warm_z : Storage.Index.t list option;
   local_search_period : int;
   jobs : int;
   stats : Runtime.Stats.t option;
@@ -52,6 +57,7 @@ let default_options =
     on_event = ignore;
     log_events = false;
     warm = None;
+    warm_z = None;
     local_search_period = 10;
     jobs = 1;
     stats = None;
@@ -466,6 +472,20 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
       end
     end
   in
+  (match options.warm_z with
+  | None -> ()
+  | Some ixs ->
+      (* Map the prior selection into this problem's candidate positions;
+         indexes no longer in the candidate set are dropped, and
+         [consider] repairs the rest if the constraints tightened. *)
+      let want = Hashtbl.create 32 in
+      List.iter (fun ix -> Hashtbl.replace want ix ()) ixs;
+      let zw = Array.make ncand false in
+      Array.iteri
+        (fun pos ix ->
+          if Hashtbl.mem want ix && not forced_zero.(pos) then zw.(pos) <- true)
+        sp.Sproblem.candidates;
+      consider zw);
   consider (greedy_initial ~jobs sp ~budget ~z_rows);
   (if !best_obj < infinity then begin
      let ls_z, ls_obj = local_search ~jobs sp ~budget ~z_rows !best_z !best_obj in

@@ -25,6 +25,11 @@ type options = {
       (** [elapsed] fields are measured on {!Runtime.Clock} *)
   log_events : bool;
   warm : multipliers option;
+  warm_z : Storage.Index.t list option;
+      (** prior incumbent selection, by index so it survives candidate-set
+          changes between re-solves; considered (and repaired if the
+          constraints tightened) before the greedy initial, so a warm
+          restart is never worse than the repaired prior incumbent *)
   local_search_period : int;
   jobs : int;
       (** domains for the per-block subproblem fan-out and block-cost

@@ -1,18 +1,27 @@
 (* Interactive tuning (paper §4.2).
 
-   A session keeps everything the advisor computed — the INUM cache, the
-   candidate set, the structured BIP and the solver's multipliers — so
-   that when the DBA tweaks the problem (adds candidate indexes, changes
-   the budget or the constraints, appends statements) only the delta is
-   recomputed: INUM runs only for new statements, the BIP is rebuilt from
-   cached coefficients, and the solver warm-starts from the previous
-   multipliers.  This is what makes re-tuning an order of magnitude
-   faster than solving from scratch (Fig. 6b). *)
+   A session keeps everything the advisor computed — the keyed INUM
+   store, the candidate set, the structured BIP, the solver's
+   multipliers and the previous incumbent — so that when the DBA (or
+   the serve daemon) tweaks the problem (adds candidate indexes,
+   changes the budget, the constraints or statement weights, appends
+   statements) only the delta is recomputed: INUM runs only for
+   statements whose canonical key was never seen, the BIP is rebuilt
+   from cached coefficients, and the solver warm-starts from the
+   previous multipliers and incumbent.  This is what makes re-tuning an
+   order of magnitude faster than solving from scratch (Fig. 6b).
+
+   [Advisor.advise] is the one-shot form of a session: create, build
+   the problem, retune once. *)
+
+open Sqlast
 
 type session = {
   env : Optimizer.Whatif.env;
   jobs : int;  (* domains for INUM builds and solver fan-outs *)
-  mutable workload : Sqlast.Ast.workload;
+  store : Inum.Keyed.store;  (* canonical key -> INUM templates *)
+  stats : Runtime.Stats.t;
+  mutable workload : Ast.workload;
   mutable cache : Inum.workload_cache;
   mutable candidates : Storage.Index.t array;
   mutable budget : float;
@@ -20,28 +29,53 @@ type session = {
   mutable baseline : Storage.Config.t;
   mutable problem : Sproblem.t option;          (* invalidated by deltas *)
   mutable multipliers : Decomposition.multipliers option;
+  mutable incumbent : Storage.Index.t list option;  (* previous selection *)
   mutable last : Solver.report option;
 }
 
 let create ?(params = Optimizer.Cost_params.default)
     ?(constraints = [ Constr.At_most_one_clustered ])
-    ?(baseline = Storage.Config.empty) ?(jobs = 1) schema workload ~budget =
-  let env = Optimizer.Whatif.make_env ~params schema in
-  let cache = Inum.build_workload ~jobs env workload in
+    ?(baseline = Storage.Config.empty) ?(jobs = 1) ?candidates
+    ?(dba_candidates = []) ?stats ?store schema workload ~budget =
+  let stats =
+    match stats with Some s -> s | None -> Runtime.Stats.create ()
+  in
+  let store =
+    match store with
+    | Some st -> st
+    | None -> Inum.Keyed.create (Optimizer.Whatif.make_env ~params schema)
+  in
+  let env = Inum.Keyed.env store in
+  let cache =
+    Inum.add_statements ~jobs ~stats store Inum.empty_cache workload
+  in
+  let candidates =
+    match candidates with
+    | Some c -> Array.of_list c
+    | None -> Array.of_list (Cgen.generate ~dba:dba_candidates workload)
+  in
   {
     env;
     jobs;
+    store;
+    stats;
     workload;
     cache;
-    candidates = Array.of_list (Cgen.generate workload);
+    candidates;
     budget;
     constraints;
     baseline;
     problem = None;
     multipliers = None;
+    incumbent = None;
     last = None;
   }
 
+let env s = s.env
+let store s = s.store
+let stats s = s.stats
+let workload s = s.workload
+let cache s = s.cache
 let candidates s = Array.to_list s.candidates
 let last_report s = s.last
 
@@ -70,17 +104,52 @@ let set_constraints s cs =
   s.constraints <- cs;
   s.problem <- None
 
-(* Append statements: INUM preprocessing runs only for the new ones. *)
+let set_baseline s b = s.baseline <- b
+
+(* Append statements.  INUM preprocessing runs only for statements whose
+   canonical key the session's store has never seen: repeats — including
+   statements already in the session — are cache hits and cost zero
+   optimizer probes (counted in the [inum.cache_hits] trace counter). *)
 let add_statements s stmts =
-  let delta = Inum.build_workload ~jobs:s.jobs s.env stmts in
+  s.cache <- Inum.add_statements ~jobs:s.jobs ~stats:s.stats s.store s.cache stmts;
   s.workload <- s.workload @ stmts;
+  s.problem <- None
+
+(* Change one statement's weight in place: no INUM work, the BIP is
+   rebuilt from cached coefficients on the next [retune], and the
+   multipliers survive (they are keyed by statement id and index). *)
+let set_weight s id weight =
+  let stmt_matches = function
+    | Ast.Select q -> q.Ast.query_id = id
+    | Ast.Update u -> u.Ast.update_id = id
+  in
+  s.workload <-
+    List.map
+      (fun (wt : Ast.weighted) ->
+        if stmt_matches wt.Ast.stmt then { wt with Ast.weight } else wt)
+      s.workload;
   s.cache <-
     {
-      Inum.selects = s.cache.Inum.selects @ delta.Inum.selects;
-      updates = s.cache.Inum.updates @ delta.Inum.updates;
-      total_init_calls =
-        s.cache.Inum.total_init_calls + delta.Inum.total_init_calls;
+      s.cache with
+      Inum.selects =
+        List.map
+          (fun ((q : Ast.query), w0, t) ->
+            if q.Ast.query_id = id then (q, weight, t) else (q, w0, t))
+          s.cache.Inum.selects;
+      updates =
+        List.map
+          (fun ((u : Ast.update), w0) ->
+            if u.Ast.update_id = id then (u, weight) else (u, w0))
+          s.cache.Inum.updates;
     };
+  s.problem <- None
+
+(* Drop statements.  The keyed store keeps its entries, so re-adding a
+   dropped statement later is still free. *)
+let remove_statements s ~drop =
+  s.workload <-
+    List.filter (fun (wt : Ast.weighted) -> not (drop wt.Ast.stmt)) s.workload;
+  s.cache <- Inum.remove_statements s.cache ~drop;
   s.problem <- None
 
 (* --- Re-tuning --- *)
@@ -93,26 +162,61 @@ let problem s =
       s.problem <- Some sp;
       sp
 
-let retune ?(options = Solver.default_options) s =
-  let sp = problem s in
-  let z_rows =
-    Constr.linearize_all s.env.Optimizer.Whatif.schema s.candidates
-      (List.filter Constr.z_only s.constraints)
+(* Resolve the session's constraints against the problem: z-only rows,
+   per-statement cost caps (relative to the baseline configuration), and
+   the black-box acceptance gate. *)
+let resolve_constraints s =
+  let schema = s.env.Optimizer.Whatif.schema in
+  let z_only, caps = List.partition Constr.z_only s.constraints in
+  let z_rows = Constr.linearize_all schema s.candidates z_only in
+  let block_caps =
+    List.concat_map
+      (function
+        | Constr.Query_cost_cap { query_pred; factor } ->
+            List.filter_map
+              (fun ((q : Ast.query), _, inum) ->
+                if query_pred q.Ast.query_id then
+                  Some (q.Ast.query_id, factor *. Inum.cost inum s.baseline)
+                else None)
+              s.cache.Inum.selects
+        | _ -> [])
+      caps
   in
   let accept =
     if List.exists Constr.is_udf s.constraints then
       Some (Constr.udf_acceptance s.candidates s.constraints)
     else None
   in
+  (z_rows, block_caps, accept)
+
+let retune ?options s =
+  (* Without explicit options a session re-solves with the decomposition:
+     it is the path whose multipliers persist, which is the point of a
+     session.  Callers (Advisor among them) may pass any method. *)
+  let options =
+    match options with
+    | Some o -> o
+    | None -> { Solver.default_options with Solver.method_ = Solver.Decomposed }
+  in
+  let sp = problem s in
+  let z_rows, block_caps, accept = resolve_constraints s in
   let options =
     {
       options with
       Solver.warm = s.multipliers;
-      method_ = Solver.Decomposed;
+      warm_z = s.incumbent;
       jobs = s.jobs;
+      stats = Some s.stats;
     }
   in
-  let report = Solver.solve ~options ?accept sp ~budget:s.budget ~z_rows in
-  s.multipliers <- report.Solver.multipliers;
+  let report =
+    Solver.solve ~options ~block_caps ?accept sp ~budget:s.budget ~z_rows
+  in
+  (* An exact solve returns no multipliers; keep the previous ones so a
+     later decomposed retune still warm-starts. *)
+  (match report.Solver.multipliers with
+  | Some _ as m -> s.multipliers <- m
+  | None -> ());
+  s.incumbent <- Some (Storage.Config.to_list report.Solver.config);
   s.last <- Some report;
   report

@@ -1,22 +1,38 @@
-(** Interactive tuning sessions (paper §4.2): the INUM cache, candidate
-    set, structured BIP and solver multipliers persist across the DBA's
-    tweaks, so only the delta is recomputed on each re-tune. *)
+(** Interactive tuning sessions (paper §4.2): the keyed INUM store,
+    candidate set, structured BIP, solver multipliers and previous
+    incumbent persist across the DBA's tweaks, so only the delta is
+    recomputed on each re-tune.  {!Advisor.advise} is the one-shot form
+    of a session; the serve daemon is the long-running form. *)
 
 type session
 
-(** Start a session: INUM preprocesses the workload once, CGen builds the
-    initial candidate set.  [jobs] (default [1]) sets the domain fan-out
-    for the session's INUM builds and re-tunes. *)
+(** Start a session: INUM preprocesses the workload through the keyed
+    store (statements with a previously seen canonical key cost zero
+    optimizer probes), and CGen builds the initial candidate set unless
+    [candidates] overrides it ([dba_candidates] extends it).  [jobs]
+    (default [1]) sets the domain fan-out for the session's INUM builds
+    and re-tunes.  [store] shares a keyed store across sessions (its
+    environment is used; [params] is then ignored); [stats] shares a
+    stats sink. *)
 val create :
   ?params:Optimizer.Cost_params.t ->
   ?constraints:Constr.t list ->
   ?baseline:Storage.Config.t ->
   ?jobs:int ->
+  ?candidates:Storage.Index.t list ->
+  ?dba_candidates:Storage.Index.t list ->
+  ?stats:Runtime.Stats.t ->
+  ?store:Inum.Keyed.store ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget:float ->
   session
 
+val env : session -> Optimizer.Whatif.env
+val store : session -> Inum.Keyed.store
+val stats : session -> Runtime.Stats.t
+val workload : session -> Sqlast.Ast.workload
+val cache : session -> Inum.workload_cache
 val candidates : session -> Storage.Index.t list
 val last_report : session -> Solver.report option
 
@@ -29,9 +45,31 @@ val remove_candidates : session -> Storage.Index.t list -> unit
 
 val set_budget : session -> float -> unit
 val set_constraints : session -> Constr.t list -> unit
+val set_baseline : session -> Storage.Config.t -> unit
 
-(** Append statements: INUM preprocessing runs only for the new ones. *)
+(** Append statements: INUM preprocessing runs only for statements whose
+    canonical key was never seen — repeats, including statements already
+    in the session, are keyed-store hits with zero optimizer probes
+    (counted in the [inum.cache_hits] trace counter). *)
 val add_statements : session -> Sqlast.Ast.workload -> unit
 
-(** Re-solve, warm-starting from the previous multipliers. *)
+(** [set_weight s id w] — change the weight of the statement with id
+    [id] (a frequency delta).  No INUM work; the BIP is rebuilt from
+    cached coefficients on the next {!retune}, and multipliers survive. *)
+val set_weight : session -> int -> float -> unit
+
+(** Drop the statements [drop] selects.  The keyed store keeps their
+    template caches, so re-adding them later is free. *)
+val remove_statements :
+  session -> drop:(Sqlast.Ast.statement -> bool) -> unit
+
+(** The session's structured BIP, rebuilt lazily after deltas. *)
+val problem : session -> Sproblem.t
+
+(** Re-solve, warm-starting from the previous multipliers and incumbent
+    selection (both maintained by the session; caller-supplied [warm] /
+    [warm_z] fields are overridden).  Without [options], solves with the
+    decomposition; with [options], the caller's method is honored —
+    query-cost-cap constraints are only enforced on the exact path.
+    @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val retune : ?options:Solver.options -> session -> Solver.report

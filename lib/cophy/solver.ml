@@ -27,6 +27,10 @@ type options = {
   on_feedback : feedback -> unit;
   log_events : bool;
   warm : Decomposition.multipliers option;
+  (* Prior incumbent selection by index: seeds Branch_bound's initial
+     incumbent on the exact path and the decomposition's first
+     [consider] on the decomposed path. *)
+  warm_z : Storage.Index.t list option;
   jobs : int;                (* domains for the decomposition fan-outs *)
   stats : Runtime.Stats.t option;
   backend : Lp.Backend.t;    (* LP backend for every LP this solve runs *)
@@ -46,6 +50,7 @@ let default_options =
     on_feedback = ignore;
     log_events = true;
     warm = None;
+    warm_z = None;
     jobs = 1;
     stats = None;
     backend = Lp.Backend.default;
@@ -196,6 +201,24 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
               options.on_feedback f);
         }
       in
+      let bb_options =
+        match options.warm_z with
+        | None -> bb_options
+        | Some ixs ->
+            (* Lift the prior selection to a full BIP point; an
+               infeasible one (tightened constraints) is ignored by
+               Branch_bound's feasibility guard. *)
+            let want = Hashtbl.create 32 in
+            List.iter (fun ix -> Hashtbl.replace want ix ()) ixs;
+            let zw =
+              Array.map (fun ix -> Hashtbl.mem want ix) sp.Sproblem.candidates
+            in
+            {
+              bb_options with
+              Lp.Branch_bound.initial_incumbent =
+                Some (Sproblem.lp_point_of_z sp p vars zw);
+            }
+      in
       let r =
         Runtime.Trace.span "solver.branch_bound" (fun () ->
             Lp.Branch_bound.solve ~options:bb_options p)
@@ -247,6 +270,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
           gap_tolerance = options.gap_tolerance;
           time_limit = options.time_limit;
           warm = options.warm;
+          warm_z = options.warm_z;
           log_events = options.log_events;
           jobs = options.jobs;
           stats = options.stats;

@@ -27,6 +27,10 @@ type options = {
       (** [elapsed] fields are measured on {!Runtime.Clock} *)
   log_events : bool;
   warm : Decomposition.multipliers option;  (** warm start (re-tuning) *)
+  warm_z : Storage.Index.t list option;
+      (** prior incumbent selection: seeds {!Lp.Branch_bound}'s initial
+          incumbent (exact path) or the decomposition's first incumbent
+          candidate (decomposed path) *)
   jobs : int;
       (** domains for the decomposition's parallel fan-outs (default [1];
           the result is identical at every job count) *)

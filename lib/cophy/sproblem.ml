@@ -351,3 +351,49 @@ let to_lp ?(budget = infinity) ?(z_rows = []) ?(block_caps = [])
 (* Read a configuration out of an LP/BIP solution vector. *)
 let z_of_lp_solution t vars x =
   Array.init (Array.length t.candidates) (fun pos -> x.(vars.z_var.(pos)) > 0.5)
+
+(* Lift a selection to a full BIP point: per block, the cheapest template
+   and slot choices admissible under [z] (the assignment [block_cost_z]'s
+   minimum is attained at).  The point satisfies the structural rows by
+   construction; budget and extra z rows depend on [z] itself, so an
+   infeasible selection yields an infeasible point — callers seeding
+   Branch_bound rely on its [Problem.feasible] guard. *)
+let lp_point_of_z t p vars (z : bool array) =
+  let x = Array.make (Lp.Problem.nvars p) 0.0 in
+  Array.iteri
+    (fun pos zv -> x.(zv) <- (if z.(pos) then 1.0 else 0.0))
+    vars.z_var;
+  Array.iteri
+    (fun bi b ->
+      let best = ref infinity and best_k = ref 0 in
+      let best_picks = ref [||] in
+      Array.iteri
+        (fun k tpl ->
+          let total = ref tpl.beta in
+          let picks =
+            Array.map
+              (fun slot ->
+                let m = ref infinity and pick = ref 0 in
+                Array.iteri
+                  (fun ci { cand; gamma } ->
+                    if (cand < 0 || z.(cand)) && gamma < !m then begin
+                      m := gamma;
+                      pick := ci
+                    end)
+                  slot;
+                total := !total +. !m;
+                !pick)
+              tpl.choices
+          in
+          if !total < !best then begin
+            best := !total;
+            best_k := k;
+            best_picks := picks
+          end)
+        b.templates;
+      x.(Hashtbl.find vars.y_var (bi, !best_k)) <- 1.0;
+      Array.iteri
+        (fun si ci -> x.(Hashtbl.find vars.x_var (bi, !best_k, si, ci)) <- 1.0)
+        !best_picks)
+    t.blocks;
+  x

@@ -85,3 +85,10 @@ val to_lp :
 
 (** Read the selection out of a BIP solution vector. *)
 val z_of_lp_solution : t -> lp_vars -> float array -> bool array
+
+(** [lp_point_of_z t p vars z] — lift a selection to a full BIP point
+    (the per-block template / slot assignment the minimum is attained
+    at), for warm-starting {!Lp.Branch_bound} with a prior incumbent.
+    Structural rows hold by construction; budget and extra z rows hold
+    iff [z] satisfies them. *)
+val lp_point_of_z : t -> Lp.Problem.t -> lp_vars -> bool array -> float array

@@ -311,6 +311,134 @@ let best_instantiation t config =
   let cost, k, picks = !best in
   (cost, k, picks)
 
+(* --- Keyed template store --- *)
+
+let tr_cache_hits = Runtime.Trace.counter "inum.cache_hits"
+let tr_cache_misses = Runtime.Trace.counter "inum.cache_misses"
+let tr_cache_evictions = Runtime.Trace.counter "inum.cache_evictions"
+
+module Keyed = struct
+  (* Canonical key -> statement cache, with an LRU stamp from a logical
+     access clock.  Building on [Canon.normalize q] (not [q] itself) is
+     what makes a hit bit-identical to a fresh build: the canonical form
+     pins the clause order every float reduction runs in, so any two
+     statements with the same key build the same [t]. *)
+  type entry = { cache : t; mutable stamp : int }
+
+  type store = {
+    env : Optimizer.Whatif.env;
+    capacity : int option;
+    tbl : (string, entry) Hashtbl.t;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ?capacity env =
+    (match capacity with
+    | Some c when c < 1 -> invalid_arg "Inum.Keyed.create: capacity < 1"
+    | _ -> ());
+    {
+      env;
+      capacity;
+      tbl = Hashtbl.create 64;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let env s = s.env
+  let length s = Hashtbl.length s.tbl
+  let hits s = s.hits
+  let misses s = s.misses
+  let evictions s = s.evictions
+
+  let hit_rate s =
+    let total = s.hits + s.misses in
+    if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+  (* Internal: LRU touch.  Returns whether the key was present. *)
+  let touch s k =
+    match Hashtbl.find_opt s.tbl k with
+    | Some e ->
+        s.tick <- s.tick + 1;
+        e.stamp <- s.tick;
+        true
+    | None -> false
+
+  (* Internal: evict the least-recently-used entry.  Stamps are unique
+     (the clock ticks on every touch), so the minimum is unambiguous and
+     the scan is enumeration-order independent. *)
+  let evict_lru s =
+    let victim =
+      Runtime.Tbl.fold_sorted
+        (fun k (e : entry) acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (k, e.stamp))
+        s.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+        Hashtbl.remove s.tbl k;
+        s.evictions <- s.evictions + 1;
+        Runtime.Trace.incr tr_cache_evictions
+
+  (* Internal: insert a freshly built cache under [k], evicting down to
+     capacity. *)
+  let insert s k cache =
+    s.tick <- s.tick + 1;
+    Hashtbl.replace s.tbl k { cache; stamp = s.tick };
+    match s.capacity with
+    | Some cap ->
+        while Hashtbl.length s.tbl > cap do
+          evict_lru s
+        done
+    | None -> ()
+
+  let mem_key s k = Hashtbl.mem s.tbl k
+  let mem s q = mem_key s (Canon.key q)
+
+  (* Internal: lookup without touching the LRU clock or hit counters. *)
+  let peek s k =
+    match Hashtbl.find_opt s.tbl k with Some e -> Some e.cache | None -> None
+
+  (* Internal: batch hit/miss accounting for [add_statements]. *)
+  let record_batch s ~hit ~miss =
+    s.hits <- s.hits + hit;
+    s.misses <- s.misses + miss;
+    Runtime.Trace.add tr_cache_hits hit;
+    Runtime.Trace.add tr_cache_misses miss
+
+  let find_or_build s q =
+    let k = Canon.key q in
+    match Hashtbl.find_opt s.tbl k with
+    | Some e ->
+        s.tick <- s.tick + 1;
+        e.stamp <- s.tick;
+        s.hits <- s.hits + 1;
+        Runtime.Trace.incr tr_cache_hits;
+        e.cache
+    | None ->
+        s.misses <- s.misses + 1;
+        Runtime.Trace.incr tr_cache_misses;
+        let cache = build s.env (Canon.normalize q) in
+        insert s k cache;
+        cache
+
+  let evict s q =
+    let k = Canon.key q in
+    if Hashtbl.mem s.tbl k then (
+      Hashtbl.remove s.tbl k;
+      s.evictions <- s.evictions + 1;
+      Runtime.Trace.incr tr_cache_evictions;
+      true)
+    else false
+end
+
 (* --- Workload-level cache --- *)
 
 type workload_cache = {
@@ -319,30 +447,89 @@ type workload_cache = {
   total_init_calls : int;
 }
 
-let build_workload ?jobs ?stats env (w : Ast.workload) =
-  Runtime.Trace.span "inum.build_workload" @@ fun () ->
-  (* Statement caches are independent: fan construction over the domain
-     pool.  [parallel_map] is order-preserving, so [selects] keeps the
-     workload's statement order at every job count. *)
-  let selects =
-    Runtime.parallel_map ?jobs
-      (fun (q, weight) -> (q, weight, build env q))
-      (Array.of_list (Ast.selects w))
-    |> Array.to_list
+let empty_cache = { selects = []; updates = []; total_init_calls = 0 }
+
+let add_statements ?jobs ?stats (store : Keyed.store) cache (w : Ast.workload) =
+  Runtime.Trace.span "inum.add_statements" @@ fun () ->
+  let keyed =
+    List.map (fun (q, weight) -> (Canon.key q, q, weight)) (Ast.selects w)
   in
-  let updates = Ast.updates w in
-  let total_init_calls =
-    List.fold_left (fun acc (_, _, c) -> acc + c.init_calls) 0 selects
+  (* Keys that need a fresh build: not in the store and not earlier in
+     this same delta, in first-appearance order. *)
+  let seen = Hashtbl.create 16 in
+  let missing =
+    List.filter_map
+      (fun (k, q, _) ->
+        if Keyed.mem_key store k || Hashtbl.mem seen k then None
+        else (
+          Hashtbl.add seen k ();
+          Some (k, q)))
+      keyed
+  in
+  (* Statement caches are independent: fan construction of the missing
+     ones over the domain pool.  [parallel_map] is order-preserving and
+     each build works on the canonical form, so the result is identical
+     at every job count. *)
+  let built =
+    Runtime.parallel_map ?jobs
+      (fun (k, q) -> (k, build (Keyed.env store) (Canon.normalize q)))
+      (Array.of_list missing)
+  in
+  (* Resolve each statement before mutating the store: a small-capacity
+     store may evict batch members on insert, but the returned
+     [workload_cache] must still reference every build. *)
+  let resolved = Hashtbl.create 16 in
+  List.iter
+    (fun (k, _, _) ->
+      if not (Hashtbl.mem resolved k) then
+        match Keyed.peek store k with
+        | Some c -> Hashtbl.add resolved k c
+        | None -> ())
+    keyed;
+  Array.iter (fun (k, c) -> Hashtbl.replace resolved k c) built;
+  Array.iter (fun (k, c) -> Keyed.insert store k c) built;
+  (* A statement is a hit when its key was cached before this call or
+     built earlier in the same delta; only misses spend optimizer
+     probes. *)
+  let n_miss = List.length missing in
+  Keyed.record_batch store ~hit:(List.length keyed - n_miss) ~miss:n_miss;
+  List.iter (fun (k, _, _) -> ignore (Keyed.touch store k)) keyed;
+  let selects_delta =
+    List.map (fun (k, q, weight) -> (q, weight, Hashtbl.find resolved k)) keyed
+  in
+  let fresh_probes =
+    Array.fold_left (fun acc (_, c) -> acc + c.init_calls) 0 built
   in
   (match stats with
   | None -> ()
   | Some st ->
-      Runtime.Stats.add_inum_probes st total_init_calls;
+      Runtime.Stats.add_inum_probes st fresh_probes;
       Runtime.Stats.add_inum_templates st
-        (List.fold_left
-           (fun acc (_, _, c) -> acc + Array.length c.templates)
-           0 selects));
-  { selects; updates; total_init_calls }
+        (Array.fold_left
+           (fun acc (_, c) -> acc + Array.length c.templates)
+           0 built));
+  {
+    selects = cache.selects @ selects_delta;
+    updates = cache.updates @ Ast.updates w;
+    (* Probes actually spent: statements resolved from the store cost
+       nothing. *)
+    total_init_calls = cache.total_init_calls + fresh_probes;
+  }
+
+let remove_statements cache ~drop =
+  {
+    cache with
+    selects =
+      List.filter (fun (q, _, _) -> not (drop (Ast.Select q))) cache.selects;
+    updates =
+      List.filter (fun (u, _) -> not (drop (Ast.Update u))) cache.updates;
+  }
+
+let build_workload ?jobs ?stats env (w : Ast.workload) =
+  Runtime.Trace.span "inum.build_workload" @@ fun () ->
+  (* One-shot form of the incremental path: a fresh store, one delta.
+     Statement order and [total_init_calls] stay independent of [jobs]. *)
+  add_statements ?jobs ?stats (Keyed.create env) empty_cache w
 
 (* INUM approximation of the total workload cost under [config], including
    index-maintenance and base-update costs. *)

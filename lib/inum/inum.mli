@@ -49,16 +49,83 @@ val cost : t -> Storage.Config.t -> float
 val best_instantiation :
   t -> Storage.Config.t -> float * int * Storage.Index.t option array
 
+(** Persistent keyed template store: canonical statement key
+    ({!Sqlast.Canon.key}) -> statement cache.  A repeat query — any
+    statement whose canonical form was seen before — costs zero optimizer
+    probes.  Builds run on the canonical form, so a hit returns a cache
+    bit-identical to a fresh {!build} of the normalized query.  Hits,
+    misses, and evictions are mirrored into the [inum.cache_*] trace
+    counters. *)
+module Keyed : sig
+  type store
+
+  (** [create ?capacity env] — a fresh store.  With [capacity], the store
+      keeps at most that many entries, evicting least-recently-used
+      first (the access clock is a deterministic logical counter).
+      @raise Invalid_argument when [capacity < 1]. *)
+  val create : ?capacity:int -> Optimizer.Whatif.env -> store
+
+  val env : store -> Optimizer.Whatif.env
+  val length : store -> int
+
+  val hits : store -> int
+  (** statements resolved without an optimizer probe *)
+
+  val misses : store -> int
+  (** statements that required a fresh {!build} *)
+
+  val evictions : store -> int
+
+  val hit_rate : store -> float
+  (** [hits / (hits + misses)]; [0.] before any lookup *)
+
+  val mem : store -> Sqlast.Ast.query -> bool
+
+  (** [find_or_build s q] — the cached template set for [q]'s canonical
+      key, building (and caching) it on a miss. *)
+  val find_or_build : store -> Sqlast.Ast.query -> t
+
+  (** Explicitly drop [q]'s entry; [false] when absent. *)
+  val evict : store -> Sqlast.Ast.query -> bool
+end
+
 (** Caches for a whole workload: SELECTs and update query shells, plus the
-    update statements for maintenance costing. *)
+    update statements for maintenance costing.  [total_init_calls] counts
+    optimizer probes actually spent: statements resolved from a keyed
+    store contribute zero. *)
 type workload_cache = {
   selects : (Sqlast.Ast.query * float * t) list;
   updates : (Sqlast.Ast.update * float) list;
   total_init_calls : int;
 }
 
-(** Build the caches for every SELECT in the workload, fanning statement
-    cache construction over up to [jobs] domains (default
+val empty_cache : workload_cache
+
+(** [add_statements store cache w] — [cache] extended with every statement
+    of [w] (order preserved, appended after existing statements).
+    Statement caches are resolved through [store]: repeat keys are hits
+    (zero probes), and only missing keys are built, fanned over up to
+    [jobs] domains.  The result is independent of [jobs].  When [stats]
+    is given, accumulates probe / template counters for the fresh builds
+    only.  Entries evicted from [store] by capacity pressure stay
+    referenced by the returned cache. *)
+val add_statements :
+  ?jobs:int ->
+  ?stats:Runtime.Stats.t ->
+  Keyed.store ->
+  workload_cache ->
+  Sqlast.Ast.workload ->
+  workload_cache
+
+(** [remove_statements cache ~drop] — [cache] without the statements
+    [drop] selects.  Purely structural: the keyed store keeps its
+    entries, so re-adding a dropped statement is still free. *)
+val remove_statements :
+  workload_cache -> drop:(Sqlast.Ast.statement -> bool) -> workload_cache
+
+(** Build the caches for every SELECT in the workload — the one-shot form
+    of {!add_statements} over a fresh store — fanning statement cache
+    construction over up to [jobs] domains (default
     {!Runtime.recommended_jobs}).  Statement order and
     [total_init_calls] are independent of [jobs]; [jobs:1] runs entirely
     on the calling domain.  When [stats] is given, accumulates

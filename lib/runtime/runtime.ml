@@ -574,3 +574,47 @@ module Trace = struct
     Buffer.add_char b '}';
     Buffer.contents b
 end
+
+(* --- Request batching --- *)
+
+(* A deferred fan-out queue over the domain pool.  Producers [add]
+   independent requests as thunks; [flush] runs everything pending in one
+   [parallel_map] fan-out and returns the results in submission order.
+   The win over calling [parallel_map] at every request is amortization:
+   a stream of small requests (the serve daemon's per-event INUM builds,
+   multi-configuration what-if probes) pays one fan-out per drain instead
+   of one per request, and single-item drains never touch the pool.
+
+   Batches are owned by their creator and are not safe for concurrent
+   [add]/[flush] from multiple domains; the thunks themselves run on pool
+   workers and must be independent, exactly as for [parallel_map]. *)
+module Batch = struct
+  type 'a t = {
+    jobs : int;
+    mutable pending : (unit -> 'a) list;  (* reverse submission order *)
+    mutable npending : int;
+  }
+
+  let tr_items = Trace.counter "runtime.batch_items"
+  let tr_flushes = Trace.counter "runtime.batch_flushes"
+
+  let create ?(jobs = 1) () = { jobs = max 1 jobs; pending = []; npending = 0 }
+
+  let add b thunk =
+    b.pending <- thunk :: b.pending;
+    b.npending <- b.npending + 1
+
+  let length b = b.npending
+
+  let flush b =
+    match b.pending with
+    | [] -> []
+    | pending ->
+        let thunks = Array.of_list (List.rev pending) in
+        b.pending <- [];
+        b.npending <- 0;
+        Trace.add tr_items (Array.length thunks);
+        Trace.incr tr_flushes;
+        parallel_map ~jobs:b.jobs (fun thunk -> thunk ()) thunks
+        |> Array.to_list
+end

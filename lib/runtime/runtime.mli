@@ -209,3 +209,29 @@ module Trace : sig
       timestamps, plus the {!to_metrics_json} object under a top-level
       ["metrics"] key. *)
 end
+
+(** Deferred request batching over the domain pool: queue independent
+    requests as thunks, then run everything pending in one
+    {!parallel_map} fan-out.  Amortizes fan-out cost for request streams
+    (the serve daemon batches INUM builds and what-if evaluations this
+    way); a single-item flush runs on the calling domain.
+
+    A batch is single-owner state: [add]/[flush] must not race from
+    several domains.  Thunks must be independent, exactly as for
+    {!parallel_map}; results come back in submission order, and a thunk
+    that raises propagates its exception out of [flush] after the
+    drain. *)
+module Batch : sig
+  type 'a t
+
+  val create : ?jobs:int -> unit -> 'a t
+  (** [jobs] caps the flush fan-out (default [1] = sequential). *)
+
+  val add : 'a t -> (unit -> 'a) -> unit
+  val length : 'a t -> int
+  (** Requests queued since the last flush. *)
+
+  val flush : 'a t -> 'a list
+  (** Run all pending thunks (one pool fan-out) and clear the queue;
+      [[]] when nothing is pending. *)
+end

@@ -1,0 +1,357 @@
+(* The serve engine: a long-running advisor session behind a
+   line-delimited JSON protocol.
+
+   Requests (one object per line):
+     {"op":"statement","sql":"SELECT ...","delta":2.0}
+         observe a statement with a frequency delta (default 1.0)
+     {"op":"recommend"}
+         flush pending observations, warm-started re-solve, respond with
+         the recommended indexes
+     {"op":"whatif","sql":"SELECT ..."}
+         INUM cost of a statement under the last recommendation vs. no
+         indexes (keyed-store lookup: repeats cost zero probes)
+     {"op":"stats"}
+         counters: events, window, cache hits/misses, probe counts,
+         latency quantiles
+     {"op":"quit"}
+         acknowledge; the daemon closes the stream
+
+   Frequencies live in a sliding window of the last [window] observation
+   events (count-based, so the engine is deterministic — no wall clock).
+   Statements are deduplicated by canonical key: the session holds one
+   statement per key whose weight is the key's delta mass inside the
+   window.  When a key's mass drops to zero it leaves the session; its
+   INUM templates stay in the keyed store, so returning queries cost
+   zero optimizer probes.
+
+   Every response is deterministic in the event stream except the
+   explicitly named latency fields ([*_ms]), which measure wall-clock
+   work; CI strips those before comparing runs. *)
+
+open Sqlast
+
+let tr_events = Runtime.Trace.counter "serve.events"
+let tr_statements = Runtime.Trace.counter "serve.statements"
+let tr_recommends = Runtime.Trace.counter "serve.recommends"
+let tr_whatifs = Runtime.Trace.counter "serve.whatifs"
+let tr_window_evictions = Runtime.Trace.counter "serve.window_evictions"
+let tr_flushed_new = Runtime.Trace.counter "serve.flushed_new_statements"
+
+type entry = {
+  id : int;  (* statement id of the first-seen spelling *)
+  stmt : Ast.statement;
+  mutable weight : float;  (* delta mass inside the window *)
+  mutable in_session : bool;
+}
+
+type t = {
+  schema : Catalog.Schema.t;
+  jobs : int;
+  window_cap : int;
+  certify : bool;
+  session : Cophy.Interactive.session;
+  by_key : (string, entry) Hashtbl.t;
+  window : (string * float) Queue.t;
+  (* keys touched since the last flush, in first-touch order (reversed) *)
+  mutable dirty : string list;
+  dirty_set : (string, unit) Hashtbl.t;
+  mutable events : int;
+  mutable recommends : int;
+  mutable whatifs : int;
+  mutable latencies_ms : float list;  (* recommend latencies, unsorted *)
+}
+
+let weight_eps = 1e-9
+
+let create ?(params = Optimizer.Cost_params.default) ?(window = 256)
+    ?(jobs = 1) ?(budget_fraction = 0.25) ?(certify = true) schema =
+  if window < 1 then invalid_arg "Engine.create: window < 1";
+  let budget = budget_fraction *. Catalog.Tpch.database_size schema in
+  let session =
+    Cophy.Interactive.create ~params ~jobs schema [] ~budget
+  in
+  {
+    schema;
+    jobs;
+    window_cap = window;
+    certify;
+    session;
+    by_key = Hashtbl.create 256;
+    window = Queue.create ();
+    dirty = [];
+    dirty_set = Hashtbl.create 64;
+    events = 0;
+    recommends = 0;
+    whatifs = 0;
+    latencies_ms = [];
+  }
+
+let session t = t.session
+
+let mark_dirty t key =
+  if not (Hashtbl.mem t.dirty_set key) then begin
+    Hashtbl.add t.dirty_set key ();
+    t.dirty <- key :: t.dirty
+  end
+
+let statement_id = function
+  | Ast.Select q -> q.Ast.query_id
+  | Ast.Update u -> u.Ast.update_id
+
+(* Record one observation: update the window and the per-key mass; all
+   session work is deferred to the next [flush]. *)
+let observe t stmt delta =
+  Runtime.Trace.incr tr_events;
+  Runtime.Trace.incr tr_statements;
+  t.events <- t.events + 1;
+  let key = Canon.statement_key stmt in
+  let entry =
+    match Hashtbl.find_opt t.by_key key with
+    | Some e -> e
+    | None ->
+        let e =
+          { id = statement_id stmt; stmt; weight = 0.0; in_session = false }
+        in
+        Hashtbl.add t.by_key key e;
+        e
+  in
+  entry.weight <- entry.weight +. delta;
+  mark_dirty t key;
+  Queue.push (key, delta) t.window;
+  while Queue.length t.window > t.window_cap do
+    let k, d = Queue.pop t.window in
+    Runtime.Trace.incr tr_window_evictions;
+    (match Hashtbl.find_opt t.by_key k with
+    | Some e -> e.weight <- e.weight -. d
+    | None -> ());
+    mark_dirty t k
+  done
+
+(* Apply deferred observations to the session: new keys enter (candidate
+   generation batched over the domain pool, INUM builds resolved through
+   the keyed store), weight changes sync, and zero-mass keys leave. *)
+let flush t =
+  match t.dirty with
+  | [] -> ()
+  | _ ->
+      Runtime.Trace.span "serve.flush" @@ fun () ->
+      let dirty = List.rev t.dirty in
+      t.dirty <- [];
+      Hashtbl.reset t.dirty_set;
+      let entering =
+        List.filter_map
+          (fun key ->
+            match Hashtbl.find_opt t.by_key key with
+            | Some e when (not e.in_session) && e.weight > weight_eps ->
+                Some e
+            | _ -> None)
+          dirty
+      in
+      (match entering with
+      | [] -> ()
+      | es ->
+          Runtime.Trace.add tr_flushed_new (List.length es);
+          (* candidate generation for a burst of new statements, fanned
+             over the domain pool as one batch *)
+          let batch = Runtime.Batch.create ~jobs:t.jobs () in
+          List.iter
+            (fun e ->
+              Runtime.Batch.add batch (fun () ->
+                  Cophy.Cgen.generate
+                    [ { Ast.stmt = e.stmt; weight = e.weight } ]))
+            es;
+          let cands = List.concat (Runtime.Batch.flush batch) in
+          Cophy.Interactive.add_candidates t.session cands;
+          Cophy.Interactive.add_statements t.session
+            (List.map (fun e -> { Ast.stmt = e.stmt; weight = e.weight }) es);
+          List.iter (fun e -> e.in_session <- true) es);
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt t.by_key key with
+          | None -> ()
+          | Some e ->
+              if e.weight <= weight_eps then begin
+                if e.in_session then begin
+                  Cophy.Interactive.remove_statements t.session
+                    ~drop:(fun st -> statement_id st = e.id);
+                  e.in_session <- false
+                end;
+                Hashtbl.remove t.by_key key
+              end
+              else if e.in_session then
+                Cophy.Interactive.set_weight t.session e.id e.weight)
+        dirty
+
+let window_size t = Queue.length t.window
+let session_statements t = Hashtbl.length t.by_key
+
+(* --- Quantiles --- *)
+
+(* Nearest-rank quantile over the recorded latencies. *)
+let quantile_ms t q =
+  match t.latencies_ms with
+  | [] -> 0.0
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let rank =
+        max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+      in
+      arr.(rank)
+
+(* --- Operations --- *)
+
+(* Serving-level hit rate: the fraction of observation events answered
+   without a fresh INUM build.  Repeats are deduplicated by canonical
+   key before they reach the keyed store, so the store's own hit counter
+   undercounts reuse; every fresh build is a store miss, which makes
+   [events - misses] the number of zero-probe observations. *)
+let cache_hit_rate t =
+  if t.events = 0 then 0.0
+  else
+    let misses = Inum.Keyed.misses (Cophy.Interactive.store t.session) in
+    float_of_int (max 0 (t.events - misses)) /. float_of_int t.events
+
+let last_config t =
+  match Cophy.Interactive.last_report t.session with
+  | Some r -> r.Cophy.Solver.config
+  | None -> Storage.Config.empty
+
+let recommend t =
+  Runtime.Trace.span "serve.recommend" @@ fun () ->
+  flush t;
+  let t0 = Runtime.Clock.now () in
+  let options =
+    {
+      Cophy.Solver.default_options with
+      Cophy.Solver.method_ = Cophy.Solver.Decomposed;
+      certify = t.certify;
+    }
+  in
+  let report = Cophy.Interactive.retune ~options t.session in
+  let ms = (Runtime.Clock.now () -. t0) *. 1000.0 in
+  Runtime.Trace.incr tr_recommends;
+  t.recommends <- t.recommends + 1;
+  t.latencies_ms <- ms :: t.latencies_ms;
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str "recommend");
+      ("objective", Json.Num report.Cophy.Solver.objective);
+      ("bound", Json.Num report.Cophy.Solver.bound);
+      ("gap", Json.Num report.Cophy.Solver.gap);
+      ( "indexes",
+        Json.List
+          (List.map
+             (fun ix -> Json.Str (Storage.Index.to_string ix))
+             (Storage.Config.to_list report.Cophy.Solver.config)) );
+      ("statements", Json.Num (float_of_int (session_statements t)));
+      ("window", Json.Num (float_of_int (window_size t)));
+      ("cache_hit_rate", Json.Num (cache_hit_rate t));
+      ("latency_ms", Json.Num ms);
+      ("p50_ms", Json.Num (quantile_ms t 0.5));
+      ("p99_ms", Json.Num (quantile_ms t 0.99));
+    ]
+
+let whatif t stmt =
+  Runtime.Trace.span "serve.whatif" @@ fun () ->
+  flush t;
+  Runtime.Trace.incr tr_whatifs;
+  t.whatifs <- t.whatifs + 1;
+  let store = Cophy.Interactive.store t.session in
+  match stmt with
+  | Ast.Update _ ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("op", Json.Str "whatif");
+          ("error", Json.Str "whatif supports SELECT statements only");
+        ]
+  | Ast.Select q ->
+      let inum = Inum.Keyed.find_or_build store q in
+      let base = Inum.cost inum Storage.Config.empty in
+      let under = Inum.cost inum (last_config t) in
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("op", Json.Str "whatif");
+          ("cost_base", Json.Num base);
+          ("cost_recommended", Json.Num under);
+          ( "improvement",
+            Json.Num (if base > 0.0 then (base -. under) /. base else 0.0) );
+        ]
+
+let stats_response t =
+  flush t;
+  let store = Cophy.Interactive.store t.session in
+  let st = Cophy.Interactive.stats t.session in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.Str "stats");
+      ("events", Json.Num (float_of_int t.events));
+      ("window", Json.Num (float_of_int (window_size t)));
+      ("statements", Json.Num (float_of_int (session_statements t)));
+      ("recommends", Json.Num (float_of_int t.recommends));
+      ("whatifs", Json.Num (float_of_int t.whatifs));
+      ("cache_hits", Json.Num (float_of_int (Inum.Keyed.hits store)));
+      ("cache_misses", Json.Num (float_of_int (Inum.Keyed.misses store)));
+      ("cache_evictions", Json.Num (float_of_int (Inum.Keyed.evictions store)));
+      ("cache_hit_rate", Json.Num (cache_hit_rate t));
+      ("inum_probes", Json.Num (float_of_int (Runtime.Stats.inum_probes st)));
+      ("p50_ms", Json.Num (quantile_ms t 0.5));
+      ("p99_ms", Json.Num (quantile_ms t 0.99));
+    ]
+
+(* --- Protocol dispatch --- *)
+
+let err msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let handle t request =
+  match Json.member "op" request with
+  | None -> err "missing \"op\""
+  | Some op -> (
+      match Json.to_str op with
+      | None -> err "\"op\" must be a string"
+      | Some "statement" -> (
+          match Option.bind (Json.member "sql" request) Json.to_str with
+          | None -> err "statement: missing \"sql\""
+          | Some sql -> (
+              let delta =
+                match
+                  Option.bind (Json.member "delta" request) Json.to_float
+                with
+                | Some d -> d
+                | None -> 1.0
+              in
+              match Parse.statement t.schema sql with
+              | stmt ->
+                  observe t stmt delta;
+                  Json.Obj
+                    [
+                      ("ok", Json.Bool true);
+                      ("op", Json.Str "statement");
+                      ("key", Json.Str (Canon.statement_key stmt));
+                    ]
+              | exception Parse.Parse_error m -> err ("parse error: " ^ m)))
+      | Some "recommend" -> recommend t
+      | Some "whatif" -> (
+          match Option.bind (Json.member "sql" request) Json.to_str with
+          | None -> err "whatif: missing \"sql\""
+          | Some sql -> (
+              match Parse.statement t.schema sql with
+              | stmt -> whatif t stmt
+              | exception Parse.Parse_error m -> err ("parse error: " ^ m)))
+      | Some "stats" -> stats_response t
+      | Some "quit" ->
+          Json.Obj [ ("ok", Json.Bool true); ("op", Json.Str "quit") ]
+      | Some other -> err (Printf.sprintf "unknown op %S" other))
+
+let handle_line t line =
+  let response =
+    match Json.of_string line with
+    | request -> handle t request
+    | exception Json.Parse_error m -> err ("bad request: " ^ m)
+  in
+  Json.to_string response

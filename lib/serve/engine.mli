@@ -1,0 +1,62 @@
+(** The serve engine: a long-running {!Cophy.Interactive} session behind
+    a line-delimited JSON protocol (one request object per line, one
+    response object per line).
+
+    Operations: [statement] (observe a statement with a frequency
+    delta), [recommend] (warm-started re-solve), [whatif] (INUM cost of
+    a statement under the last recommendation), [stats], [quit].
+
+    Frequencies live in a sliding window over the last [window]
+    observation events (count-based: deterministic, no wall clock).
+    Statements are deduplicated by canonical key; a key's weight is its
+    delta mass inside the window, and zero-mass keys leave the session
+    while their INUM templates stay in the keyed store.  Responses are
+    deterministic in the event stream except the [*_ms] latency
+    fields. *)
+
+type t
+
+(** [create schema] — a fresh engine with an empty session.
+    [window] (default [256]) is the sliding-window capacity in events;
+    [budget_fraction] (default [0.25]) the storage budget as a fraction
+    of the database size; [certify] (default [true]) runs
+    {!Lp.Analyze.certify} on every recommendation.
+    @raise Invalid_argument when [window < 1]. *)
+val create :
+  ?params:Optimizer.Cost_params.t ->
+  ?window:int ->
+  ?jobs:int ->
+  ?budget_fraction:float ->
+  ?certify:bool ->
+  Catalog.Schema.t ->
+  t
+
+val session : t -> Cophy.Interactive.session
+
+(** Record one observation; session work is deferred to {!flush}. *)
+val observe : t -> Sqlast.Ast.statement -> float -> unit
+
+(** Apply deferred observations: new canonical keys enter the session
+    (candidate generation batched over the domain pool, INUM resolved
+    through the keyed store), weights sync, zero-mass keys leave.
+    Idempotent; [recommend]/[whatif]/[stats] flush implicitly. *)
+val flush : t -> unit
+
+val window_size : t -> int
+val session_statements : t -> int
+
+(** Warm-started re-solve; the response carries objective, bound, gap,
+    the recommended indexes, cache hit rate and latency quantiles. *)
+val recommend : t -> Json.t
+
+(** INUM cost of a SELECT under the last recommendation vs. no indexes. *)
+val whatif : t -> Sqlast.Ast.statement -> Json.t
+
+val stats_response : t -> Json.t
+
+(** Dispatch one protocol request. *)
+val handle : t -> Json.t -> Json.t
+
+(** Parse one request line and answer with one response line (never
+    raises on malformed input — errors come back as [{"ok":false,...}]). *)
+val handle_line : t -> string -> string

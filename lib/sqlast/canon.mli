@@ -1,0 +1,36 @@
+(** Query canonicalization: a normal form and a stable text key, so that
+    repeat statements are recognized across irrelevant spelling changes.
+
+    Two statements that differ only in whitespace, literal constants,
+    column qualification, or the order of order-insensitive clauses
+    (FROM list, WHERE conjuncts, GROUP BY columns, select list) parse
+    to the same {!normalize}d form and therefore the same {!key}.
+    Structurally different statements — different tables, predicate
+    shapes, selectivities, aggregation, ORDER BY — get distinct keys.
+
+    The keyed INUM template cache ({!Inum.Keyed}) builds on the
+    canonical form, so a cache hit returns templates bit-identical to a
+    fresh build of the normalized query: canonicalization fixes the
+    clause order every float reduction runs in. *)
+
+val normalize : Ast.query -> Ast.query
+(** The canonical representative of a query's equivalence class:
+    [query_id] is masked to [0]; tables, select items, predicates,
+    joins (orientation-normalized) and group-by columns are sorted
+    under explicit total orders.  ORDER BY is semantically ordered and
+    kept as written.  Idempotent. *)
+
+val normalize_update : Ast.update -> Ast.update
+(** Canonical update: [update_id] masked to [0], SET columns and WHERE
+    predicates sorted. *)
+
+val key : Ast.query -> string
+(** Stable cache key of {!normalize}: equal iff the normal forms are
+    equal.  Selectivities are rendered in hexadecimal float notation,
+    so the key distinguishes any two different selectivity values. *)
+
+val update_key : Ast.update -> string
+
+val statement_key : Ast.statement -> string
+(** [key]/[update_key] with a [select:]/[update:] tag, so a SELECT can
+    never collide with an UPDATE. *)

@@ -1,0 +1,67 @@
+(* Drifting replay streams for the serve daemon and its bench leg.
+
+   A stream interleaves statement observations (a statement plus a
+   frequency delta) with recommendation markers.  Frequencies drift: the
+   "hot set" of templates slides across the template population as the
+   stream progresses, the way real workloads rotate through reporting
+   periods — so a long-running advisor sees both heavy repetition
+   (keyed-INUM cache hits) and genuine novelty (new canonical keys).
+
+   Deterministic in the seed, like every generator in this library. *)
+
+open Sqlast
+
+type event =
+  | Statement of Ast.statement * float  (* observation: statement, delta *)
+  | Recommend  (* ask the advisor for a recommendation at this point *)
+
+let statement_of_weighted (wt : Ast.weighted) = wt.Ast.stmt
+
+(* Geometric-ish offset from the hot center: offset o with probability
+   proportional to decay^o.  Small support, cheap inverse sampling. *)
+let sample_offset rng ~spread =
+  let u = Random.State.float rng 1.0 in
+  let decay = 0.5 in
+  let rec go o acc p =
+    if o >= spread then spread - 1
+    else if u < acc +. p then o
+    else go (o + 1) (acc +. p) (p *. decay)
+  in
+  go 0 0.0 (1.0 -. decay)
+
+let drift ?(recommend_every = 0) ?(update_fraction = 0.0) schema ~n ~events
+    ~seed =
+  if n < 1 then invalid_arg "Replay.drift: n < 1";
+  if events < 0 then invalid_arg "Replay.drift: events < 0";
+  let base = Gen.hom schema ~n ~seed in
+  let base =
+    if update_fraction > 0.0 then
+      Gen.with_updates schema ~fraction:update_fraction ~seed base
+    else base
+  in
+  let stmts = Array.of_list (List.map statement_of_weighted base) in
+  let rng = Random.State.make [| seed; 0x5e7e |] in
+  let spread = max 1 (min n 8) in
+  let out = ref [] in
+  let emitted = ref 0 in
+  for i = 0 to events - 1 do
+    (* the hot window slides across the whole population over the
+       stream's lifetime *)
+    let center =
+      if events <= 1 then 0 else i * (n - 1) / max 1 (events - 1)
+    in
+    let j = (center + sample_offset rng ~spread) mod n in
+    out := Statement (stmts.(j), 1.0) :: !out;
+    incr emitted;
+    if recommend_every > 0 && !emitted mod recommend_every = 0 then
+      out := Recommend :: !out
+  done;
+  (* a stream always ends in a recommendation point *)
+  (match !out with
+  | Recommend :: _ | [] -> ()
+  | _ -> out := Recommend :: !out);
+  List.rev !out
+
+let statements evs =
+  List.filter_map (function Statement (s, d) -> Some (s, d) | Recommend -> None)
+    evs

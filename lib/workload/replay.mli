@@ -1,0 +1,28 @@
+(** Drifting replay streams for the serve daemon and its bench leg:
+    statement observations (with frequency deltas) whose hot set slides
+    across the template population, interleaved with recommendation
+    markers.  Deterministic in the seed. *)
+
+type event =
+  | Statement of Sqlast.Ast.statement * float
+      (** observe a statement with a frequency delta *)
+  | Recommend  (** ask for a recommendation at this point *)
+
+(** [drift schema ~n ~events ~seed] — a stream of [events] observations
+    over [n] homogeneous templates ({!Gen.hom}), hot set drifting from
+    the first template to the last over the stream's lifetime.  With
+    [recommend_every > 0] (default [0]: none mid-stream), a {!Recommend}
+    marker every that many observations; the stream always ends with
+    one.  [update_fraction] mixes UPDATE statements in ({!Gen.with_updates}).
+    @raise Invalid_argument when [n < 1] or [events < 0]. *)
+val drift :
+  ?recommend_every:int ->
+  ?update_fraction:float ->
+  Catalog.Schema.t ->
+  n:int ->
+  events:int ->
+  seed:int ->
+  event list
+
+(** The observations of a stream, markers dropped. *)
+val statements : event list -> (Sqlast.Ast.statement * float) list

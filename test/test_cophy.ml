@@ -272,14 +272,21 @@ let test_decomposition_warm_start () =
   let _, _, _, sp = build_problem ~n:8 () in
   let budget = 0.5 *. db_size in
   let r1 = Cophy.Decomposition.solve sp ~budget ~z_rows:[] in
+  (* the full warm seam: prior multipliers plus the prior incumbent
+     selection — the retune pattern — makes the restart never worse *)
+  let warm_sel =
+    Cophy.Sproblem.config_of sp r1.Cophy.Decomposition.z
+    |> Storage.Config.to_list
+  in
   let options =
     { Cophy.Decomposition.default_options with
       Cophy.Decomposition.warm = Some r1.Cophy.Decomposition.multipliers;
+      warm_z = Some warm_sel;
       max_iters = 50 }
   in
   let r2 = Cophy.Decomposition.solve ~options sp ~budget ~z_rows:[] in
   Alcotest.(check bool) "warm restart no worse" true
-    (r2.Cophy.Decomposition.obj <= (r1.Cophy.Decomposition.obj *. 1.001) +. 1.0)
+    (r2.Cophy.Decomposition.obj <= r1.Cophy.Decomposition.obj +. 1e-6)
 
 let test_update_heavy_advisor () =
   let w =
@@ -505,6 +512,55 @@ let test_interactive_budget_change () =
     (Storage.Config.total_size schema poor.Cophy.Solver.config
      <= (0.1 *. db_size) +. 1.0)
 
+(* A warm retune after a frequency drift must land on the same certified
+   objective as solving the drifted workload from scratch — across jobs
+   and workload densities.  [certify:true] makes the solver certify each
+   recommendation against the z polytope, so a pass here covers the
+   serving loop's correctness contract. *)
+let test_interactive_warm_equals_scratch () =
+  let drifted_weight i w = if i mod 2 = 0 then w *. 3.0 else w *. 0.5 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let ctx = Printf.sprintf "jobs=%d n=%d" jobs n in
+          let budget = 0.5 *. db_size in
+          let w = Workload.Gen.hom schema ~n ~seed:21 in
+          let options =
+            {
+              Cophy.Solver.default_options with
+              Cophy.Solver.method_ = Cophy.Solver.Decomposed;
+              certify = true;
+            }
+          in
+          let session = Cophy.Interactive.create ~jobs schema w ~budget in
+          ignore (Cophy.Interactive.retune ~options session);
+          List.iteri
+            (fun i { Ast.stmt; weight } ->
+              Cophy.Interactive.set_weight session (Ast.statement_id stmt)
+                (drifted_weight i weight))
+            w;
+          let warm = Cophy.Interactive.retune ~options session in
+          let w' =
+            List.mapi
+              (fun i wt -> { wt with Ast.weight = drifted_weight i wt.Ast.weight })
+              w
+          in
+          let scratch_session =
+            Cophy.Interactive.create ~jobs
+              ~candidates:(Cophy.Interactive.candidates session)
+              schema w' ~budget
+          in
+          let scratch = Cophy.Interactive.retune ~options scratch_session in
+          let rel_diff =
+            Float.abs (warm.Cophy.Solver.objective -. scratch.Cophy.Solver.objective)
+            /. Float.max 1.0 scratch.Cophy.Solver.objective
+          in
+          Alcotest.(check bool)
+            (ctx ^ ": warm retune = scratch objective") true (rel_diff <= 1e-9))
+        [ 4; 9 ])
+    [ 1; 4 ]
+
 (* --- Parallel determinism (jobs must not change any result) --- *)
 
 (* Subgradient iteration order, incumbents and the final recommendation
@@ -727,6 +783,8 @@ let () =
         [
           Alcotest.test_case "retune" `Quick test_interactive_retune;
           Alcotest.test_case "budget change" `Quick test_interactive_budget_change;
+          Alcotest.test_case "warm = scratch (jobs x density grid)" `Quick
+            test_interactive_warm_equals_scratch;
         ] );
       ( "determinism",
         [

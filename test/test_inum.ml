@@ -203,6 +203,99 @@ let test_update_maintenance_in_workload_cost () =
   let c_without = Inum.workload_cost e cache Storage.Config.empty in
   Alcotest.(check bool) "maintenance charged" true (c_with > c_without)
 
+(* --- Keyed store --- *)
+
+(* A cache hit must return exactly what a fresh build of the normalized
+   query would: same templates (betas, slot requirements, plans) and the
+   same cost surface, bit for bit. *)
+let same_cache c1 c2 =
+  Inum.tables c1 = Inum.tables c2
+  && List.length (Inum.templates c1) = List.length (Inum.templates c2)
+  && List.for_all2
+       (fun (a : Inum.template) (b : Inum.template) ->
+         Float.equal a.Inum.beta b.Inum.beta
+         && a.Inum.slot_reqs = b.Inum.slot_reqs
+         && a.Inum.plan = b.Inum.plan)
+       (Inum.templates c1) (Inum.templates c2)
+
+let test_keyed_hit_bit_identical () =
+  let e = env () in
+  let store = Inum.Keyed.create e in
+  let q = join_query () in
+  let c1 = Inum.Keyed.find_or_build store q in
+  Alcotest.(check int) "first lookup misses" 1 (Inum.Keyed.misses store);
+  (* a differently spelled repeat: reversed tables, flipped join, new id *)
+  let q' =
+    {
+      q with
+      Ast.query_id = 99;
+      tables = List.rev q.Ast.tables;
+      joins =
+        List.map
+          (fun { Ast.left; right } -> { Ast.left = right; right = left })
+          q.Ast.joins;
+    }
+  in
+  let c2 = Inum.Keyed.find_or_build store q' in
+  Alcotest.(check int) "repeat hits" 1 (Inum.Keyed.hits store);
+  Alcotest.(check int) "no second build" 1 (Inum.Keyed.misses store);
+  Alcotest.(check bool) "hit is the stored cache" true (c1 == c2);
+  let fresh = Inum.build e (Canon.normalize q) in
+  Alcotest.(check bool) "hit bit-identical to fresh build" true
+    (same_cache c2 fresh);
+  let cfg =
+    Storage.Config.of_list
+      [ ix "orders" [ "o_orderdate" ]; ix "lineitem" [ "l_orderkey" ] ]
+  in
+  Alcotest.(check (float 0.0)) "identical cost surface"
+    (Inum.cost fresh cfg) (Inum.cost c2 cfg)
+
+let test_keyed_capacity_lru () =
+  let e = env () in
+  let store = Inum.Keyed.create ~capacity:1 e in
+  let q1 = simple_query () in
+  let q2 = join_query () in
+  ignore (Inum.Keyed.find_or_build store q1);
+  ignore (Inum.Keyed.find_or_build store q2);
+  Alcotest.(check int) "capacity enforced" 1 (Inum.Keyed.length store);
+  Alcotest.(check int) "eviction counted" 1 (Inum.Keyed.evictions store);
+  Alcotest.(check bool) "old key evicted" false (Inum.Keyed.mem store q1);
+  Alcotest.(check bool) "new key kept" true (Inum.Keyed.mem store q2);
+  (* the evicted key rebuilds on return *)
+  ignore (Inum.Keyed.find_or_build store q1);
+  Alcotest.(check int) "rebuild is a miss" 3 (Inum.Keyed.misses store)
+
+let test_add_statements_dedupe () =
+  let e = env () in
+  let store = Inum.Keyed.create e in
+  let w = Workload.Gen.hom schema ~n:5 ~seed:11 in
+  let cache = Inum.add_statements store Inum.empty_cache w in
+  let first_probes = cache.Inum.total_init_calls in
+  Alcotest.(check bool) "probes spent on first add" true (first_probes > 0);
+  (* re-adding the same statements must cost zero probes *)
+  let cache2 = Inum.add_statements store cache w in
+  Alcotest.(check int) "repeat add costs zero probes" first_probes
+    cache2.Inum.total_init_calls;
+  Alcotest.(check int) "both copies referenced" (2 * List.length w)
+    (List.length cache2.Inum.selects);
+  Alcotest.(check bool) "repeats are hits" true (Inum.Keyed.hits store > 0);
+  Alcotest.(check (float 1e-9)) "hit rate reflects reuse"
+    0.5 (Inum.Keyed.hit_rate store)
+
+(* Resolution through the store is invariant in jobs and identical to a
+   fresh direct build of the canonical form. *)
+let prop_keyed_matches_fresh =
+  QCheck.Test.make ~name:"keyed store resolves to fresh builds" ~count:5
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let e = env () in
+      let w = Workload.Gen.hom schema ~n:4 ~seed in
+      let store = Inum.Keyed.create e in
+      let cache = Inum.add_statements ~jobs:4 store Inum.empty_cache w in
+      List.for_all
+        (fun (q, _, c) -> same_cache c (Inum.build e (Canon.normalize q)))
+        cache.Inum.selects)
+
 let () =
   Alcotest.run "inum"
     [
@@ -227,5 +320,14 @@ let () =
         [
           Alcotest.test_case "cache" `Quick test_workload_cache;
           Alcotest.test_case "update maintenance" `Quick test_update_maintenance_in_workload_cost;
+        ] );
+      ( "keyed",
+        [
+          Alcotest.test_case "hit bit-identical" `Quick
+            test_keyed_hit_bit_identical;
+          Alcotest.test_case "capacity lru" `Quick test_keyed_capacity_lru;
+          Alcotest.test_case "add_statements dedupe" `Quick
+            test_add_statements_dedupe;
+          QCheck_alcotest.to_alcotest prop_keyed_matches_fresh;
         ] );
     ]

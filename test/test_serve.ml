@@ -1,0 +1,243 @@
+(* Tests for the serve layer: the hand-rolled JSON codec and the
+   protocol engine (dedupe, sliding window, warm recommendations,
+   trace-invariant determinism). *)
+
+open Sqlast
+
+let schema = Catalog.Tpch.schema ()
+
+(* --- Json --- *)
+
+let test_json_print () =
+  let v =
+    Serve.Json.Obj
+      [
+        ("s", Serve.Json.Str "a\"b\\c\nd");
+        ("i", Serve.Json.Num 42.0);
+        ("f", Serve.Json.Num 1.5);
+        ("nan", Serve.Json.Num Float.nan);
+        ("l", Serve.Json.List [ Serve.Json.Bool true; Serve.Json.Null ]);
+      ]
+  in
+  Alcotest.(check string) "printing"
+    {|{"s":"a\"b\\c\nd","i":42,"f":1.5,"nan":null,"l":[true,null]}|}
+    (Serve.Json.to_string v)
+
+let test_json_parse () =
+  let v =
+    Serve.Json.of_string
+      {| { "op" : "statement", "delta": -2.5e1, "t":true, "u":"A\n",
+           "xs": [1, 2, {"y": null}] } |}
+  in
+  Alcotest.(check bool) "op member" true
+    (Serve.Json.member "op" v = Some (Serve.Json.Str "statement"));
+  Alcotest.(check bool) "number" true
+    (Option.bind (Serve.Json.member "delta" v) Serve.Json.to_float
+    = Some (-25.0));
+  Alcotest.(check bool) "unicode escape" true
+    (Option.bind (Serve.Json.member "u" v) Serve.Json.to_str = Some "A\n");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" bad)
+        true
+        (match Serve.Json.of_string bad with
+        | _ -> false
+        | exception Serve.Json.Parse_error _ -> true))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "{} trailing"; "\"unterminated" ]
+
+(* Printed values reparse to themselves (for the value space the daemon
+   emits: finite numbers that survive the %.12g print precision). *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Serve.Json.Null;
+        map (fun b -> Serve.Json.Bool b) bool;
+        map (fun i -> Serve.Json.Num (float_of_int i)) (int_range (-1000) 1000);
+        map (fun s -> Serve.Json.Str s) (string_size ~gen:printable (0 -- 12));
+      ]
+  in
+  let value =
+    oneof
+      [
+        scalar;
+        map (fun xs -> Serve.Json.List xs) (list_size (0 -- 6) scalar);
+        map
+          (fun kvs -> Serve.Json.Obj kvs)
+          (list_size (0 -- 6)
+             (pair (string_size ~gen:printable (1 -- 8)) scalar));
+      ]
+  in
+  value
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"printed JSON reparses to itself" ~count:200
+    (QCheck.make json_gen)
+    (fun v -> Serve.Json.of_string (Serve.Json.to_string v) = v)
+
+(* --- Engine --- *)
+
+let sql_of stmt = Print.statement_to_string stmt
+
+let statements ~n ~seed =
+  Workload.Gen.hom schema ~n ~seed
+  |> List.map (fun { Ast.stmt; _ } -> stmt)
+
+let engine ?window ?certify () = Serve.Engine.create ?window ?certify schema
+
+let observe_all e stmts =
+  List.iter (fun s -> Serve.Engine.observe e s 1.0) stmts
+
+let test_engine_dedupe () =
+  let e = engine () in
+  let stmts = statements ~n:3 ~seed:5 in
+  observe_all e stmts;
+  observe_all e stmts;
+  Serve.Engine.flush e;
+  Alcotest.(check int) "one entry per canonical key" (List.length stmts)
+    (Serve.Engine.session_statements e);
+  Alcotest.(check int) "window counts every event" (2 * List.length stmts)
+    (Serve.Engine.window_size e);
+  (* repeat observations reached the session without new INUM builds *)
+  let store = Cophy.Interactive.store (Serve.Engine.session e) in
+  Alcotest.(check int) "distinct builds only" (List.length stmts)
+    (Inum.Keyed.misses store)
+
+let test_engine_window_eviction () =
+  let e = engine ~window:4 () in
+  let stmts = statements ~n:2 ~seed:6 in
+  (* fill the window with the first statement, then push it out *)
+  List.iter (fun _ -> Serve.Engine.observe e (List.hd stmts) 1.0) [ 1; 2; 3; 4 ];
+  Serve.Engine.flush e;
+  Alcotest.(check int) "one statement" 1 (Serve.Engine.session_statements e);
+  List.iter
+    (fun _ -> Serve.Engine.observe e (List.nth stmts 1) 1.0)
+    [ 1; 2; 3; 4 ];
+  Serve.Engine.flush e;
+  Alcotest.(check int) "window capped" 4 (Serve.Engine.window_size e);
+  Alcotest.(check int) "zero-mass key left the session" 1
+    (Serve.Engine.session_statements e)
+
+let member_exn k v =
+  match Serve.Json.member k v with
+  | Some x -> x
+  | None -> Alcotest.failf "missing %S in %s" k (Serve.Json.to_string v)
+
+let test_engine_recommend_whatif_stats () =
+  let e = engine () in
+  let stmts = statements ~n:3 ~seed:7 in
+  observe_all e stmts;
+  (* certify:true (the default) would have raised on a bad solution *)
+  let r = Serve.Engine.recommend e in
+  Alcotest.(check bool) "ok" true (member_exn "ok" r = Serve.Json.Bool true);
+  (match member_exn "indexes" r with
+  | Serve.Json.List ixs ->
+      Alcotest.(check bool) "some indexes" true (List.length ixs > 0)
+  | _ -> Alcotest.fail "indexes not a list");
+  Alcotest.(check bool) "latency fields present" true
+    (Serve.Json.member "p50_ms" r <> None
+    && Serve.Json.member "p99_ms" r <> None);
+  let wi = Serve.Engine.whatif e (List.hd stmts) in
+  Alcotest.(check bool) "whatif ok" true
+    (member_exn "ok" wi = Serve.Json.Bool true);
+  let improvement =
+    Option.get (Serve.Json.to_float (member_exn "improvement" wi))
+  in
+  Alcotest.(check bool) "recommended config no worse" true
+    (improvement >= 0.0);
+  let st = Serve.Engine.stats_response e in
+  Alcotest.(check bool) "whatif was a cache hit" true
+    (Option.get (Serve.Json.to_float (member_exn "cache_hits" st)) >= 1.0);
+  Alcotest.(check bool) "probes counted" true
+    (Option.get (Serve.Json.to_float (member_exn "inum_probes" st)) > 0.0)
+
+let test_handle_line_errors () =
+  let e = engine () in
+  let expect_error line =
+    let resp = Serve.Json.of_string (Serve.Engine.handle_line e line) in
+    Alcotest.(check bool)
+      (Printf.sprintf "error for %s" line)
+      true
+      (member_exn "ok" resp = Serve.Json.Bool false
+      && Serve.Json.member "error" resp <> None)
+  in
+  expect_error "not json";
+  expect_error {|{"no_op":1}|};
+  expect_error {|{"op":"frobnicate"}|};
+  expect_error {|{"op":"statement"}|};
+  expect_error {|{"op":"statement","sql":"SELECT garbage FROM nowhere"}|};
+  expect_error {|{"op":"whatif","sql":"UPDATE orders SET o_comment = ?"}|}
+
+(* The protocol is deterministic in the event stream: replies are byte
+   identical across runs and trace on/off, once the named latency
+   fields are stripped. *)
+let strip_latency v =
+  match v with
+  | Serve.Json.Obj kvs ->
+      Serve.Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             String.length k < 3 || String.sub k (String.length k - 3) 3 <> "_ms")
+           kvs)
+  | v -> v
+
+let run_stream lines =
+  let e = engine () in
+  List.map
+    (fun line ->
+      Serve.Json.to_string
+        (strip_latency (Serve.Json.of_string (Serve.Engine.handle_line e line))))
+    lines
+
+let test_engine_deterministic_under_trace () =
+  let stmts = statements ~n:3 ~seed:8 in
+  let lines =
+    List.concat_map
+      (fun s ->
+        [
+          Serve.Json.to_string
+            (Serve.Json.Obj
+               [
+                 ("op", Serve.Json.Str "statement");
+                 ("sql", Serve.Json.Str (sql_of s));
+                 ("delta", Serve.Json.Num 2.0);
+               ]);
+        ])
+      stmts
+    @ [ {|{"op":"recommend"}|}; {|{"op":"stats"}|} ]
+  in
+  let plain = run_stream lines in
+  Runtime.Trace.reset ();
+  Runtime.Trace.enable ();
+  let traced =
+    Fun.protect ~finally:Runtime.Trace.disable (fun () -> run_stream lines)
+  in
+  List.iter2
+    (Alcotest.(check string) "trace does not change replies")
+    plain traced;
+  Alcotest.(check bool) "serve spans recorded" true
+    (List.length (Runtime.Trace.spans ()) > 0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "dedupe" `Quick test_engine_dedupe;
+          Alcotest.test_case "window eviction" `Quick
+            test_engine_window_eviction;
+          Alcotest.test_case "recommend/whatif/stats" `Quick
+            test_engine_recommend_whatif_stats;
+          Alcotest.test_case "protocol errors" `Quick test_handle_line_errors;
+          Alcotest.test_case "deterministic under trace" `Quick
+            test_engine_deterministic_under_trace;
+        ] );
+    ]

@@ -203,6 +203,97 @@ let prop_workload_roundtrip =
           | exception Parse.Parse_error _ -> false)
         w)
 
+(* --- Canonicalization --- *)
+
+(* A spelling-only permutation of a query: every list whose order the
+   canonical form ignores is reversed, joins are flipped, and the id is
+   renamed.  The canonical key must not see any of it. *)
+let scramble (q : Ast.query) =
+  {
+    q with
+    Ast.query_id = q.Ast.query_id + 1000;
+    tables = List.rev q.Ast.tables;
+    select = List.rev q.Ast.select;
+    predicates = List.rev q.Ast.predicates;
+    joins =
+      List.rev_map
+        (fun { Ast.left; right } -> { Ast.left = right; right = left })
+        q.Ast.joins;
+    group_by = List.rev q.Ast.group_by;
+  }
+
+let test_canon_idempotent () =
+  let q = Canon.normalize (sample_query ()) in
+  Alcotest.(check bool) "normalize is idempotent" true (Canon.normalize q = q);
+  Alcotest.(check string) "key stable under normalize" (Canon.key q)
+    (Canon.key (Canon.normalize q))
+
+let test_canon_statement_key_prefixes () =
+  let q = sample_query () in
+  let u =
+    {
+      Ast.update_id = 9;
+      target = "orders";
+      set_columns = [ "o_comment" ];
+      where =
+        [ Ast.predicate ~selectivity:0.01
+            (Ast.col_ref "orders" "o_orderkey") Ast.Eq ];
+    }
+  in
+  let sk = Canon.statement_key (Ast.Select q) in
+  let uk = Canon.statement_key (Ast.Update u) in
+  Alcotest.(check bool) "select prefixed" true
+    (String.length sk > 7 && String.sub sk 0 7 = "select:");
+  Alcotest.(check bool) "update prefixed" true
+    (String.length uk > 7 && String.sub uk 0 7 = "update:");
+  Alcotest.(check bool) "keys differ across kinds" true (sk <> uk)
+
+(* Invariance: the key ignores spelling (list order, join orientation,
+   query id) across randomly generated workloads. *)
+let prop_canon_key_invariant =
+  QCheck.Test.make ~name:"canonical key ignores spelling" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let w = Workload.Gen.hom schema ~n:12 ~seed in
+      List.for_all
+        (fun { Ast.stmt; _ } ->
+          match stmt with
+          | Ast.Update _ -> true
+          | Ast.Select q -> Canon.key q = Canon.key (scramble q))
+        w)
+
+(* Distinctness: structural edits — a changed selectivity, a dropped
+   select item, a dropped predicate — must change the key. *)
+let prop_canon_key_distinct =
+  QCheck.Test.make ~name:"canonical key separates structures" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let w = Workload.Gen.hom schema ~n:12 ~seed in
+      List.for_all
+        (fun { Ast.stmt; _ } ->
+          match stmt with
+          | Ast.Update _ -> true
+          | Ast.Select q ->
+              let k = Canon.key q in
+              let sel_changed =
+                match q.Ast.predicates with
+                | [] -> true
+                | p :: rest ->
+                    let p' =
+                      { p with Ast.selectivity = p.Ast.selectivity /. 2.0 }
+                    in
+                    Canon.key { q with Ast.predicates = p' :: rest } <> k
+                    && (rest = []
+                       || Canon.key { q with Ast.predicates = rest } <> k)
+              in
+              let select_changed =
+                match q.Ast.select with
+                | [] | [ _ ] -> true
+                | _ :: rest -> Canon.key { q with Ast.select = rest } <> k
+              in
+              sel_changed && select_changed)
+        w)
+
 let () =
   Alcotest.run "sqlast"
     [
@@ -226,5 +317,13 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "script" `Quick test_parse_script;
           QCheck_alcotest.to_alcotest prop_workload_roundtrip;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "idempotent" `Quick test_canon_idempotent;
+          Alcotest.test_case "statement key prefixes" `Quick
+            test_canon_statement_key_prefixes;
+          QCheck_alcotest.to_alcotest prop_canon_key_invariant;
+          QCheck_alcotest.to_alcotest prop_canon_key_distinct;
         ] );
     ]
