@@ -130,9 +130,19 @@ let make_inputs sf z shape n seed updates sql_file =
 
 (* --- advise --- *)
 
+let plain_solver_flag =
+  let doc =
+    "Disable the core-guided MIP engine on the decomposed solver path \
+     (workload compression, benefit-initialized multipliers, reduced-cost \
+     hardening, integer z subproblems) and run the plain subgradient loop \
+     instead.  Useful for ablation runs; the recommendation quality is the \
+     same, the solve is slower."
+  in
+  Arg.(value & flag & info [ "plain-solver" ] ~doc)
+
 let advise_cmd =
   let run n seed z sf m shape updates sql_file gap verbose explain jobs backend
-      trace =
+      plain_solver trace =
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
@@ -140,6 +150,7 @@ let advise_cmd =
     let solver_options =
       { Cophy.Solver.default_options with
         Cophy.Solver.gap_tolerance = gap;
+        core_guided = not plain_solver;
         backend = resolve_backend backend;
         on_feedback =
           (if verbose then fun (f : Cophy.Solver.feedback) ->
@@ -197,7 +208,7 @@ let advise_cmd =
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
       $ sql_file $ gap $ verbose $ explain_flag $ jobs $ backend_arg
-      $ trace_arg)
+      $ plain_solver_flag $ trace_arg)
 
 (* --- compare --- *)
 

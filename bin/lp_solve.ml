@@ -2,15 +2,21 @@
 
      dune exec bin/lp_solve.exe -- model.lp [--gap 0.01] [--time 60]
                                   [--backend sparse|dense] [--no-presolve]
+                                  [--jobs 4] [--no-cuts] [--no-warm]
                                   [--stats] [--check] [--trace FILE]
 
    Prints the status, objective, and nonzero variable values — handy for
-   inspecting BIPs exported with Lp.Lp_format.to_file.  [--stats] adds
-   kernel counters (simplex pivots, sparse refactorizations) and the
-   presolve's row/variable/bound reductions.  [--check] runs the
-   Lp.Analyze model checks before solving (static errors abort with exit
-   code 4) and certifies the solution afterwards (a failed certificate
-   aborts with exit code 5). *)
+   inspecting BIPs exported with Lp.Lp_format.to_file.  Integer models
+   run the best-first branch-and-bound: [--jobs] sets the parallel
+   node-evaluation width (the certified objective is identical at every
+   job count), [--no-cuts] disables cover-cut separation, and
+   [--no-warm] makes every node re-solve cold instead of warm-starting
+   the dual simplex from its parent basis.  [--stats] adds kernel
+   counters (simplex pivots, dual iterations, warm resolves, sparse
+   refactorizations) and the presolve's row/variable/bound reductions.
+   [--check] runs the Lp.Analyze model checks before solving (static
+   errors abort with exit code 4) and certifies the solution afterwards
+   (a failed certificate aborts with exit code 5). *)
 
 let () =
   let file = ref "" in
@@ -21,6 +27,9 @@ let () =
   let want_stats = ref false in
   let want_check = ref false in
   let trace = ref None in
+  let jobs = ref 1 in
+  let cuts = ref true in
+  let warm = ref true in
   let set_backend s =
     match Lp.Backend.kind_of_string s with
     | Some k -> backend_kind := k
@@ -29,6 +38,13 @@ let () =
   let specs =
     [ ("--gap", Arg.Set_float gap, "relative optimality gap (default 1e-6)");
       ("--time", Arg.Set_float time, "time limit in seconds");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "parallel node evaluations in branch and bound (default 1)" );
+      ("--no-cuts", Arg.Clear cuts, "disable cover-cut separation");
+      ( "--no-warm",
+        Arg.Clear warm,
+        "re-solve every node cold instead of warm-starting the dual simplex" );
       ( "--backend",
         Arg.Symbol ([ "sparse"; "dense" ], set_backend),
         " LP kernel: sparse revised simplex (default) or dense reference" );
@@ -70,6 +86,10 @@ let () =
         (if !presolve then " + presolve" else "");
       Fmt.pr "lp solves: %d@." stats.Lp.Backend.lp_solves;
       Fmt.pr "pivots: %d@." stats.Lp.Backend.kernel.Lp.Simplex.pivots;
+      Fmt.pr "dual iterations: %d@."
+        stats.Lp.Backend.kernel.Lp.Simplex.dual_iterations;
+      Fmt.pr "warm resolves: %d@."
+        stats.Lp.Backend.kernel.Lp.Simplex.warm_resolves;
       Fmt.pr "refactorizations: %d@."
         stats.Lp.Backend.kernel.Lp.Simplex.refactorizations;
       if !presolve then
@@ -110,6 +130,9 @@ let () =
           { Lp.Branch_bound.default_options with
             Lp.Branch_bound.gap_tolerance = !gap;
             time_limit = !time;
+            jobs = max 1 !jobs;
+            cuts = !cuts;
+            warm_start = !warm;
             backend }
         in
         let r = Lp.Branch_bound.solve ~options p in
@@ -127,8 +150,10 @@ let () =
             print_stats ();
             exit (if r.Lp.Branch_bound.status = Lp.Branch_bound.Infeasible then 1 else 3)
         | Some x ->
-            Fmt.pr "objective: %.9g@.nodes: %d@." r.Lp.Branch_bound.obj
-              r.Lp.Branch_bound.nodes;
+            Fmt.pr "objective: %.9g@.nodes: %d@.cuts: %d (uncertified %d)@.warm resolves: %d@."
+              r.Lp.Branch_bound.obj r.Lp.Branch_bound.nodes
+              r.Lp.Branch_bound.cuts_added r.Lp.Branch_bound.cuts_uncertified
+              r.Lp.Branch_bound.warm_resolves;
             Array.iteri
               (fun v value ->
                 if abs_float value > 1e-9 then

@@ -42,6 +42,21 @@ type options = {
   backend : Lp.Backend.t;
       (** LP backend for the z subproblem (used when extra z-rows make
           the greedy fractional knapsack inapplicable) *)
+  core_guided : bool;
+      (** Core-guided lower bounds (BCD2-style), on by default:
+          multipliers start from a one-pass benefit estimate instead of
+          zero; knapsack reduced costs harden z variables whose opposite
+          bound is priced above the incumbent (trace counter
+          [cg.hardened]); a binary search probes thresholds between the
+          bound and the incumbent and raises the proven bound to the
+          highest threshold the restricted knapsack clears; and every few
+          iterations the z subproblem is solved to integrality by
+          {!Lp.Branch_bound}, whose proven bound is a tighter Lagrangian
+          component and whose solution feeds the incumbent side.  All
+          fixings are conditional on the incumbent, which the final
+          [min bound obj] keeps sound.  [false] restores the plain
+          subgradient loop (the PR-6 behaviour, used as the bench
+          baseline). *)
 }
 
 val default_options : options

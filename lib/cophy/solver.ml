@@ -11,6 +11,13 @@
 
 exception Infeasible of string list
 
+(* Trace probe: warm-started prior selections that had to be dropped.
+   (The decomposed path's repaired/rejected counters live in
+   [Decomposition]; this one covers the exact path, which cannot
+   repair.) *)
+let tr_warm_rejected = Runtime.Trace.counter "solver.warm_rejected"
+
+
 type solve_method = Auto | Exact | Decomposed
 
 type feedback = {
@@ -39,6 +46,9 @@ type options = {
      against the hard constraints.  Raises
      [Lp.Analyze.Certification_failed] on any failure. *)
   certify : bool;
+  (* Core-guided bound tightening on the decomposed path (see
+     [Decomposition.options.core_guided]). *)
+  core_guided : bool;
 }
 
 let default_options =
@@ -55,6 +65,7 @@ let default_options =
     stats = None;
     backend = Lp.Backend.default;
     certify = false;
+    core_guided = true;
   }
 
 type report = {
@@ -188,6 +199,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
           decision_vars = Some (Array.to_list vars.Sproblem.z_var);
           backend = options.backend;
           certify_incumbents = options.certify;
+          jobs = options.jobs;
           on_event =
             (fun (e : Lp.Branch_bound.event) ->
               let f =
@@ -213,11 +225,15 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
             let zw =
               Array.map (fun ix -> Hashtbl.mem want ix) sp.Sproblem.candidates
             in
-            {
-              bb_options with
-              Lp.Branch_bound.initial_incumbent =
-                Some (Sproblem.lp_point_of_z sp p vars zw);
-            }
+            let x0 = Sproblem.lp_point_of_z sp p vars zw in
+            (* The exact path has no repair: a prior selection that no
+               longer fits the constraints is dropped, and observably so. *)
+            if Lp.Problem.feasible p x0 then
+              { bb_options with Lp.Branch_bound.initial_incumbent = Some x0 }
+            else begin
+              Runtime.Trace.incr tr_warm_rejected;
+              bb_options
+            end
       in
       let r =
         Runtime.Trace.span "solver.branch_bound" (fun () ->
@@ -275,6 +291,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
           jobs = options.jobs;
           stats = options.stats;
           backend = options.backend;
+          core_guided = options.core_guided;
           on_event =
             (fun (e : Decomposition.event) ->
               let f =

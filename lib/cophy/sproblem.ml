@@ -154,6 +154,41 @@ let build ?(prune = true) (env : Optimizer.Whatif.env)
     cand_blocks = Array.map (fun l -> Array.of_list (List.rev l)) cand_blocks;
   }
 
+(* --- Workload compression --- *)
+
+(* Statements with identical cost structure (same templates, same
+   candidate slots) are interchangeable in the BIP: any selection costs
+   them the same, so a group contributes [sum of weights * cost].  Merge
+   each group into its first member with the summed weight.  Keys are
+   marshalled bytes — identical blocks come from identical computations,
+   so float equality is bit-exact here. *)
+let compress t =
+  let tbl = Hashtbl.create 97 in
+  let order = ref [] in
+  Array.iter
+    (fun b ->
+      let key = Marshal.to_string (b.templates, b.cands_used) [] in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := { !cell with weight = !cell.weight +. b.weight }
+      | None ->
+          let cell = ref b in
+          Hashtbl.replace tbl key cell;
+          order := cell :: !order)
+    t.blocks;
+  let blocks = Array.of_list (List.rev_map (fun c -> !c) !order) in
+  let cand_blocks = Array.make (Array.length t.candidates) [] in
+  Array.iteri
+    (fun bi b ->
+      Array.iter
+        (fun pos -> cand_blocks.(pos) <- bi :: cand_blocks.(pos))
+        b.cands_used)
+    blocks;
+  {
+    t with
+    blocks;
+    cand_blocks = Array.map (fun l -> Array.of_list (List.rev l)) cand_blocks;
+  }
+
 (* --- Evaluation --- *)
 
 (* Query-cost part of one block under selection [z] (1 = selected). *)

@@ -50,6 +50,16 @@ val build :
   Storage.Index.t array ->
   t
 
+(** Workload compression: statements with identical cost structure
+    (equal [templates] and [cands_used]) are interchangeable under every
+    selection, so each group collapses into its first member with the
+    summed weight.  Every selection's objective is preserved (up to float
+    re-association); merged statements' [qid]s disappear from [blocks].
+    Homogeneous workloads shrink by an order of magnitude, which is what
+    makes the decomposition's per-iteration cost independent of workload
+    repetition. *)
+val compress : t -> t
+
 (** Query-cost part of one block given a selection. *)
 val block_cost_z : block -> bool array -> float
 

@@ -1,8 +1,26 @@
 (* Branch & bound for binary/mixed-integer programs over the simplex
-   relaxation.  Best-first exploration with an initial depth-first dive,
-   most-fractional branching, a rounding heuristic for early incumbents,
-   and the continuous feedback stream (time, incumbent, best bound) that
-   CoPhy's early-termination feature consumes. *)
+   relaxation, rebuilt as a warm-started, cut-generating, parallel
+   best-first node-pool search.
+
+   The engine never mutates variable bounds of the input problem: a node
+   is a list of bound tightenings passed to the simplex session as
+   overrides, which is what lets one immutable {!Problem.t} be shared by
+   every worker domain.  Root processing separates lifted cover cuts
+   from the storage-budget knapsack rows ({!Cuts}) and installs the
+   violated ones as ordinary rows before the tree starts.  Node
+   re-solves restore the parent's basis snapshot and repair primal
+   feasibility with the dual simplex ({!Simplex.warm_solve}) — typically
+   a handful of pivots instead of a full two-phase solve.
+
+   Parallelism is bulk-synchronous through {!Runtime.Search}: each round
+   pops up to [batch] best nodes, evaluates their LPs concurrently (node
+   [i] of a round always runs on session [i]), and merges sequentially
+   in pop order.  Pop order, slot assignment and merge order are all
+   independent of the job count, so the search trajectory — incumbent,
+   bound, and node counts — is bit-identical at any [jobs].  The
+   incumbent objective lives in an [Atomic] cell: written only during
+   the sequential merge, read by concurrent evaluators for
+   start-of-round pruning. *)
 
 type event = {
   elapsed : float;           (* seconds since solve started *)
@@ -10,6 +28,27 @@ type event = {
   bound : float;             (* proven lower bound *)
   nodes : int;
 }
+
+(* Pluggable search strategy: how the node pool is ordered and how the
+   branching variable is picked.  Both orders run through the same
+   deterministic round engine. *)
+module Search = struct
+  type node_order =
+    | Best_bound   (* lowest parent LP bound first (proves bounds fast) *)
+    | Depth_first  (* deepest, most recent first (finds incumbents fast) *)
+
+  type branching =
+    | Most_fractional  (* max distance to the nearest integer *)
+    | Cost_weighted    (* fractionality scaled by 1 + |objective coeff| *)
+
+  type t = {
+    node_order : node_order;
+    branching : branching;
+    batch : int;  (* nodes popped per bulk-synchronous round *)
+  }
+
+  let default = { node_order = Best_bound; branching = Most_fractional; batch = 8 }
+end
 
 type options = {
   gap_tolerance : float;     (* stop when (inc - bound)/|inc| <= this *)
@@ -25,12 +64,18 @@ type options = {
      equal objective — which holds for selection-style programs like the
      CoPhy and ILP BIPs, where the y/x part is a per-block minimum. *)
   decision_vars : int list option;
-  (* LP backend used for the root and node relaxations. *)
+  (* Stats sink: kernel counters of every session are merged here after
+     the solve (the node LPs themselves always run the sparse session
+     kernel; presolve would break basis identity across nodes). *)
   backend : Backend.t;
   (* Debug mode: certify every candidate incumbent with [Analyze.certify]
      before accepting it; raise [Analyze.Certification_failed] if one
      violates rows, bounds, or integrality of the branched variables. *)
   certify_incumbents : bool;
+  jobs : int;                (* concurrent node evaluations per round *)
+  cuts : bool;               (* separate cover cuts at the root *)
+  warm_start : bool;         (* dual-simplex re-solves from parent bases *)
+  search : Search.t;
 }
 
 let default_options =
@@ -44,6 +89,10 @@ let default_options =
     decision_vars = None;
     backend = Backend.default;
     certify_incumbents = false;
+    jobs = 1;
+    cuts = true;
+    warm_start = true;
+    search = Search.default;
   }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Limit
@@ -54,76 +103,82 @@ type result = {
   obj : float;               (* objective of [x] (with problem offset) *)
   bound : float;             (* proven lower bound (with offset) *)
   nodes : int;
+  cuts_added : int;          (* cover cuts installed at the root *)
+  warm_resolves : int;       (* node LPs re-solved from a parent basis *)
+  cuts_uncertified : int;    (* added cuts violated by the incumbent (0!) *)
   events : event list;       (* reverse-chronological feedback trace *)
 }
 
 let int_tol = 1e-6
 
-let _is_integral v = abs_float (v -. Float.round v) <= int_tol
-
-(* Most-fractional integer variable of the relaxation solution. *)
-let branch_var int_vars x =
-  let best = ref (-1) and best_frac = ref int_tol in
+(* Branching variable of the relaxation solution under the chosen rule;
+   [None] when every integer variable is integral. *)
+let branch_var (p : Problem.t) branching int_vars x =
+  let best = ref (-1) and best_score = ref 0.0 in
   List.iter
     (fun v ->
       let f = abs_float (x.(v) -. Float.round x.(v)) in
-      if f > !best_frac then begin
-        best := v;
-        best_frac := f
+      if f > int_tol then begin
+        let score =
+          match branching with
+          | Search.Most_fractional -> f
+          | Search.Cost_weighted ->
+              f *. (1.0 +. abs_float (Problem.var p v).Problem.obj)
+        in
+        if score > !best_score then begin
+          best := v;
+          best_score := score
+        end
       end)
     int_vars;
   if !best >= 0 then Some !best else None
 
-(* A node is a set of tightened variable bounds. *)
+(* A node: its parent's LP bound, the accumulated bound tightenings
+   (newest first; they are passed oldest-first to the session so the
+   newest — tightest — override wins), and the parent basis snapshot to
+   warm the dual re-solve from.  [seq] is the deterministic creation
+   index used to break every ordering tie. *)
 type node = {
-  node_bound : float;                (* parent LP bound (without offset) *)
+  nb : float;
   fixings : (int * float * float) list;
   depth : int;
+  seq : int;
+  parent : Simplex.Basis.t option;
 }
 
-module Heap = struct
-  (* Simple pairing-heap keyed by node bound (min-first). *)
-  type t = Empty | Node of node * t list
+type eval_out =
+  | Pruned  (* start-of-round bound prune, no LP solved *)
+  | Solved of Simplex.result * Simplex.Basis.t option
 
-  let empty = Empty
-  let is_empty h = h = Empty
-
-  let merge a b =
-    match (a, b) with
-    | Empty, x | x, Empty -> x
-    | Node (na, ca), Node (nb, cb) ->
-        if na.node_bound <= nb.node_bound then Node (na, b :: ca)
-        else Node (nb, a :: cb)
-
-  let insert n h = merge (Node (n, [])) h
-
-  let rec merge_pairs = function
-    | [] -> Empty
-    | [ h ] -> h
-    | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
-
-  let pop = function
-    | Empty -> None
-    | Node (n, children) -> Some (n, merge_pairs children)
-
-  let min_bound = function
-    | Empty -> infinity
-    | Node (n, _) -> n.node_bound
-
-  let _ = min_bound
-end
-
-(* Round a relaxation solution and test feasibility — a cheap primal
-   heuristic that often produces the first incumbent immediately. *)
 (* Trace probes: single [Atomic.get] each when tracing is off. *)
 let tr_nodes = Runtime.Trace.counter "bb.nodes"
 let tr_incumbents = Runtime.Trace.counter "bb.incumbents"
 let tr_prunes = Runtime.Trace.counter "bb.prunes"
+let tr_cuts_added = Runtime.Trace.counter "bb.cuts_added"
+let tr_warm_resolves = Runtime.Trace.counter "bb.warm_resolves"
+let tr_cuts_uncertified = Runtime.Trace.counter "bb.cuts_uncertified"
 
 let rounding_heuristic p int_vars x =
   let x' = Array.copy x in
   List.iter (fun v -> x'.(v) <- Float.round x.(v)) int_vars;
   if Problem.feasible p x' then Some x' else None
+
+let node_compare order (a : node) (b : node) =
+  match order with
+  | Search.Best_bound -> (
+      match Float.compare a.nb b.nb with
+      | 0 -> (
+          match Int.compare b.depth a.depth with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+  | Search.Depth_first -> (
+      match Int.compare b.depth a.depth with
+      | 0 -> (
+          match Int.compare b.seq a.seq with
+          | 0 -> Float.compare a.nb b.nb
+          | c -> c)
+      | c -> c)
 
 let solve ?(options = default_options) (p : Problem.t) =
   let t0 = Runtime.Clock.now () in
@@ -135,36 +190,46 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   let restricted = options.decision_vars <> None in
   let offset = Problem.obj_offset p in
-  (* Save original bounds so we can restore after each node. *)
-  let orig_bounds =
-    Array.init (Problem.nvars p) (fun v ->
-        let vr = Problem.var p v in
-        (vr.Problem.lb, vr.Problem.ub))
+  let batch = max 1 options.search.Search.batch in
+  let jobs = max 1 options.jobs in
+  (* One simplex session per evaluation slot, all bound to the shared
+     problem; per-slot kernel stats are merged after the run so the
+     counters are deterministic too. *)
+  let slot_stats = Array.init batch (fun _ -> Simplex.create_stats ()) in
+  let sessions =
+    Array.init batch (fun i -> Simplex.new_session ~stats:slot_stats.(i) p)
   in
-  let restore_bounds () =
-    Array.iteri (fun v (lb, ub) -> Problem.set_bounds p v ~lb ~ub) orig_bounds
-  in
-  let apply_fixings fx =
-    restore_bounds ();
-    List.iter (fun (v, lb, ub) -> Problem.set_bounds p v ~lb ~ub) fx
+  let merged = Simplex.create_stats () in
+  let lp_solves = ref 0 in
+  let finish_stats () =
+    Array.iter (fun s -> Simplex.add_stats ~into:merged s) slot_stats;
+    (match options.backend.Backend.stats with
+    | Some bs ->
+        Simplex.add_stats ~into:bs.Backend.kernel merged;
+        bs.Backend.lp_solves <- bs.Backend.lp_solves + !lp_solves
+    | None -> ());
+    Runtime.Trace.add tr_warm_resolves merged.Simplex.warm_resolves
   in
   let incumbent = ref None in
-  let incumbent_obj = ref infinity in
+  (* Objective of the incumbent, without offset.  Written only in the
+     sequential merge; read concurrently by evaluators for the
+     start-of-round prune. *)
+  let incumbent_obj = Atomic.make infinity in
   (match options.initial_incumbent with
   | Some x0 when Problem.feasible p x0 ->
       incumbent := Some (Array.copy x0);
-      incumbent_obj := Problem.objective_value p x0 -. offset
+      Atomic.set incumbent_obj (Problem.objective_value p x0 -. offset)
   | _ -> ());
   let events = ref [] in
   let nodes = ref 0 in
-  let emit bound =
+  let global_bound = ref neg_infinity in
+  let emit () =
+    let inc = Atomic.get incumbent_obj in
     let e =
       {
         elapsed = elapsed ();
-        incumbent =
-          (if !incumbent_obj < infinity then Some (!incumbent_obj +. offset)
-           else None);
-        bound = bound +. offset;
+        incumbent = (if inc < infinity then Some (inc +. offset) else None);
+        bound = !global_bound +. offset;
         nodes = !nodes;
       }
     in
@@ -172,11 +237,10 @@ let solve ?(options = default_options) (p : Problem.t) =
     options.on_event e
   in
   let try_incumbent x obj =
-    if obj < !incumbent_obj -. 1e-9 then begin
+    if obj < Atomic.get incumbent_obj -. 1e-9 then begin
       if options.certify_incumbents then begin
-        (* Certify against the node's (tightened) bounds and the rows —
-           tightenings are subsets of the original box, so passing here
-           implies feasibility for the original problem too.  Only the
+        (* Bounds of the shared problem are never tightened, so the
+           certificate is directly against the original box.  Only the
            branched variables are certified integral (restricted mode
            leaves the per-block continuous part fractional by design). *)
         let cert = Analyze.certify ~int_vars ~obj:(obj +. offset) p x in
@@ -187,194 +251,273 @@ let solve ?(options = default_options) (p : Problem.t) =
                   (Analyze.certificate_summary cert)))
       end;
       incumbent := Some (Array.copy x);
-      incumbent_obj := obj;
+      Atomic.set incumbent_obj obj;
       Runtime.Trace.incr tr_incumbents;
       true
     end
     else false
   in
-  let gap_ok bound =
-    !incumbent_obj < infinity
-    && (!incumbent_obj -. bound) <= options.gap_tolerance *. (abs_float !incumbent_obj +. 1e-9)
+  let gap_ok () =
+    let inc = Atomic.get incumbent_obj in
+    inc < infinity
+    && inc -. !global_bound <= options.gap_tolerance *. (abs_float inc +. 1e-9)
   in
-  (* Root relaxation. *)
-  restore_bounds ();
-  let root = Backend.solve options.backend p in
+  let mk_result status cuts_uncertified cuts_added =
+    finish_stats ();
+    let best_x = !incumbent in
+    let inc = Atomic.get incumbent_obj in
+    {
+      status =
+        (match (status, best_x) with
+        | Infeasible, _ -> Infeasible
+        | s, Some _ -> s
+        | (Optimal | Feasible), None -> Infeasible
+        | Limit, None -> Limit
+        | Unbounded, None -> Unbounded);
+      x = best_x;
+      obj = inc +. offset;
+      bound = !global_bound +. offset;
+      nodes = !nodes;
+      cuts_added;
+      warm_resolves = merged.Simplex.warm_resolves;
+      cuts_uncertified;
+      events = !events;
+    }
+  in
+  (* --- Root relaxation + cover-cut loop (sequential) --- *)
+  let root = Simplex.session_solve sessions.(0) in
+  incr lp_solves;
   match root.Simplex.status with
   | Simplex.Infeasible ->
-      { status = Infeasible; x = None; obj = infinity; bound = infinity;
-        nodes = 0; events = [] }
+      global_bound := infinity;
+      Atomic.set incumbent_obj infinity;
+      incumbent := None;
+      mk_result Infeasible 0 0
   | Simplex.Unbounded ->
-      { status = Unbounded; x = None; obj = neg_infinity; bound = neg_infinity;
-        nodes = 0; events = [] }
+      global_bound := neg_infinity;
+      mk_result Unbounded 0 0
   | Simplex.Iter_limit | Simplex.Optimal ->
       (* An iteration-limited relaxation proves nothing: its objective is
-         the value of an arbitrary iterate (an upper bound at best, and
-         meaningless if phase 1 was cut short), so it must not seed the
-         proven bound. *)
-      let root_bound =
-        if root.Simplex.status = Simplex.Optimal then root.Simplex.obj
-        else neg_infinity
+         the value of an arbitrary iterate, so it must not seed the
+         proven bound — and its basis must not seed warm starts. *)
+      let root_solved = root.Simplex.status = Simplex.Optimal in
+      let root_bound = ref (if root_solved then root.Simplex.obj else neg_infinity) in
+      let root_x = ref root.Simplex.x in
+      let pool = if options.cuts && root_solved then Some (Cuts.detect p) else None in
+      let cuts_added = ref 0 in
+      (match pool with
+      | None -> ()
+      | Some pool ->
+          (* Separate, install, re-solve; the re-solved objective is a
+             valid MIP bound because cover cuts hold at every integer
+             point.  Stop when separation dries up or a re-solve fails
+             to prove optimality (keep the last proven bound then). *)
+          let continue_ = ref true in
+          let round = ref 0 in
+          while !continue_ && !round < 8 do
+            incr round;
+            match Cuts.separate pool !root_x with
+            | [] -> continue_ := false
+            | violated ->
+                List.iter
+                  (fun c ->
+                    Cuts.add_to_problem pool p c;
+                    incr cuts_added;
+                    Runtime.Trace.incr tr_cuts_added)
+                  violated;
+                let r = Simplex.session_solve sessions.(0) in
+                incr lp_solves;
+                if r.Simplex.status = Simplex.Optimal then begin
+                  root_bound := r.Simplex.obj;
+                  root_x := r.Simplex.x
+                end
+                else continue_ := false
+          done);
+      global_bound := !root_bound;
+      (* Root incumbents: integral decision variables, else rounding. *)
+      (match branch_var p options.search.Search.branching int_vars !root_x with
+      | None ->
+          if root_solved || Problem.feasible p !root_x then
+            ignore (try_incumbent !root_x (if root_solved then !root_bound
+                                           else Problem.objective_value p !root_x -. offset))
+      | Some _ ->
+          if not restricted then
+            match rounding_heuristic p int_vars !root_x with
+            | Some xr ->
+                ignore (try_incumbent xr (Problem.objective_value p xr -. offset))
+            | None -> ());
+      emit ();
+      let certify_cuts () =
+        match (pool, !incumbent) with
+        | Some pool, Some x ->
+            let bad = Cuts.certify pool x in
+            Runtime.Trace.add tr_cuts_uncertified bad;
+            bad
+        | _ -> 0
       in
-      let global_bound = ref root_bound in
-      (* Open nodes: a best-first heap, plus a dive stack used while no
-         incumbent exists yet (depth-first toward a first feasible
-         solution, without which best-first cannot prune anything). *)
-      let queue = ref Heap.empty in
-      let dive = ref [] in
-      let push_dive n = dive := n :: !dive in
-      let push_heap n = queue := Heap.insert n !queue in
-      let flush_dive () =
-        List.iter push_heap !dive;
-        dive := []
-      in
-      let pop_node () =
-        if !incumbent = None then
-          match !dive with
-          | n :: rest ->
-              dive := rest;
-              Some n
-          | [] -> (
-              match Heap.pop !queue with
-              | Some (n, rest) ->
-                  queue := rest;
-                  Some n
-              | None -> None)
-        else begin
-          flush_dive ();
-          match Heap.pop !queue with
-          | Some (n, rest) ->
-              queue := rest;
-              Some n
-          | None -> None
-        end
-      in
-      let no_open () = !dive = [] && Heap.is_empty !queue in
-      push_heap { node_bound = root_bound; fixings = []; depth = 0 };
-      let status = ref Feasible in
-      let finished = ref false in
-      while not !finished do
-        match pop_node () with
-        | None ->
-            (* proven: bound = incumbent (or infeasible) *)
-            global_bound := !incumbent_obj;
-            finished := true;
-            status := if !incumbent_obj < infinity then Optimal else Infeasible
-        | Some node ->
-            if node.node_bound >= !incumbent_obj -. 1e-9 then begin
-              (* pruned by bound; if the queue empties we are optimal *)
-              Runtime.Trace.incr tr_prunes;
-              if no_open () then begin
-                global_bound := !incumbent_obj;
-                status := Optimal;
-                finished := true
-              end
+      (match branch_var p options.search.Search.branching int_vars !root_x with
+      | None ->
+          (* Root already integral on the branched variables. *)
+          global_bound := Atomic.get incumbent_obj;
+          mk_result
+            (if Atomic.get incumbent_obj < infinity then Optimal else Infeasible)
+            (certify_cuts ()) !cuts_added
+      | Some v ->
+          (* --- Best-first node-pool search over Runtime.Search --- *)
+          let seq = ref 0 in
+          let next_seq () =
+            incr seq;
+            !seq
+          in
+          let eff_bounds fixings v =
+            let rec find = function
+              | (u, lb, ub) :: _ when u = v -> (lb, ub)
+              | _ :: rest -> find rest
+              | [] ->
+                  let vr = Problem.var p v in
+                  (vr.Problem.lb, vr.Problem.ub)
+            in
+            find fixings
+          in
+          (* Children of a node at branching variable [v]: the child
+             diving toward the rounded LP value is created first (smaller
+             seq), so on equal bounds the heap explores it first. *)
+          let children node v xv snap =
+            let lb, ub = eff_bounds node.fixings v in
+            let lo = floor xv in
+            let frac = xv -. lo in
+            let mk fixing =
+              {
+                nb = node.nb;
+                fixings = fixing :: node.fixings;
+                depth = node.depth + 1;
+                seq = next_seq ();
+                parent = snap;
+              }
+            in
+            let down () = mk (v, lb, min ub lo) in
+            let up () = mk (v, max lb (lo +. 1.0), ub) in
+            if frac >= 0.5 then
+              let u = up () in
+              let d = down () in
+              [ u; d ]
+            else
+              let d = down () in
+              let u = up () in
+              [ d; u ]
+          in
+          let root_snap =
+            if options.warm_start && root_solved then
+              Simplex.save_basis sessions.(0)
+            else None
+          in
+          let root_node =
+            { nb = !root_bound; fixings = []; depth = 0; seq = 0;
+              parent = root_snap }
+          in
+          let roots = children root_node v !root_x.(v) root_snap in
+          let stop_status = ref None in
+          (* [stop] is polled once per round; it also marks the round
+             boundary so the first merge of each round can advance the
+             proven bound (under best-first order the first pop of a
+             round is the open-pool minimum, and it is non-decreasing). *)
+          let round_fresh = ref true in
+          let stop () =
+            round_fresh := true;
+            if gap_ok () then begin
+              stop_status := Some Feasible;
+              true
             end
+            else if elapsed () > options.time_limit || !nodes >= options.node_limit
+            then begin
+              stop_status := Some Limit;
+              true
+            end
+            else false
+          in
+          let eval ~slot node =
+            if node.nb >= Atomic.get incumbent_obj -. 1e-9 then Pruned
             else begin
-              (* the dive stack may hold nodes whose parent bound is worse
-                 than the heap minimum; the proven bound is their min *)
-              global_bound :=
-                List.fold_left
-                  (fun acc n -> min acc n.node_bound)
-                  (min node.node_bound (Heap.min_bound !queue))
-                  !dive;
-              if gap_ok !global_bound then begin
-                status := Feasible;
-                finished := true
-              end
-              else if elapsed () > options.time_limit || !nodes >= options.node_limit
-              then begin
-                status := Limit;
-                finished := true
-              end
-              else begin
+              let sess = sessions.(slot) in
+              let bounds = List.rev node.fixings in
+              let r =
+                match (options.warm_start, node.parent) with
+                | true, Some snap -> Simplex.warm_solve ~bounds sess snap
+                | _ -> Simplex.session_solve ~bounds sess
+              in
+              let snap =
+                if options.warm_start && r.Simplex.status = Simplex.Optimal
+                then Simplex.save_basis sess
+                else None
+              in
+              Solved (r, snap)
+            end
+          in
+          let expand node out =
+            if !round_fresh then begin
+              (if options.search.Search.node_order = Search.Best_bound then
+                 global_bound := max !global_bound node.nb);
+              round_fresh := false
+            end;
+            match out with
+            | Pruned ->
+                Runtime.Trace.incr tr_prunes;
+                []
+            | Solved (r, snap) -> (
                 incr nodes;
+                incr lp_solves;
                 Runtime.Trace.incr tr_nodes;
-                apply_fixings node.fixings;
-                let r = Backend.solve options.backend p in
-                (match r.Simplex.status with
-                | Simplex.Infeasible -> ()
-                | Simplex.Unbounded ->
-                    (* cannot happen if root is bounded, but keep safe *)
-                    ()
-                | Simplex.Iter_limit | Simplex.Optimal -> (
-                    let lp_obj = r.Simplex.obj in
+                if !nodes mod 16 = 0 then emit ();
+                match r.Simplex.status with
+                | Simplex.Infeasible -> []
+                | Simplex.Unbounded -> []
+                | Simplex.Iter_limit | Simplex.Optimal ->
                     let solved = r.Simplex.status = Simplex.Optimal in
                     (* An Iter_limit iterate is not a certified optimum:
                        its objective is no lower bound (keep the parent's
-                       for pruning and for the children), and its point
-                       only becomes an incumbent after an explicit
-                       feasibility check. *)
-                    let node_lp_bound =
-                      if solved then lp_obj else node.node_bound
-                    in
-                    if node_lp_bound < !incumbent_obj -. 1e-9 then begin
-                      match branch_var int_vars r.Simplex.x with
+                       for the children), and its point only becomes an
+                       incumbent after an explicit feasibility check. *)
+                    let nb = if solved then r.Simplex.obj else node.nb in
+                    if nb >= Atomic.get incumbent_obj -. 1e-9 then begin
+                      Runtime.Trace.incr tr_prunes;
+                      []
+                    end
+                    else (
+                      match
+                        branch_var p options.search.Search.branching int_vars
+                          r.Simplex.x
+                      with
                       | None ->
-                          (* decision variables integral: the LP objective
-                             is achievable integrally (see decision_vars) *)
-                          if (solved || Problem.feasible p r.Simplex.x)
-                             && try_incumbent r.Simplex.x lp_obj
-                          then emit !global_bound
+                          if
+                            (solved || Problem.feasible p r.Simplex.x)
+                            && try_incumbent r.Simplex.x r.Simplex.obj
+                          then emit ();
+                          []
                       | Some v ->
-                          (* rounding heuristic for an early incumbent
-                             (skipped in restricted mode, where rounding
-                             the non-decision block would break rows) *)
                           (if not restricted then
                              match rounding_heuristic p int_vars r.Simplex.x with
                              | Some xr ->
-                                 let objr = Problem.objective_value p xr -. offset in
-                                 if try_incumbent xr objr then emit !global_bound
+                                 if
+                                   try_incumbent xr
+                                     (Problem.objective_value p xr -. offset)
+                                 then emit ()
                              | None -> ());
-                          let lo = floor r.Simplex.x.(v) in
-                          let frac = r.Simplex.x.(v) -. lo in
-                          let ob = orig_bounds.(v) in
-                          let down_node =
-                            { node_bound = node_lp_bound;
-                              fixings = (v, fst ob, min (snd ob) lo) :: node.fixings;
-                              depth = node.depth + 1 }
-                          in
-                          let up_node =
-                            { node_bound = node_lp_bound;
-                              fixings =
-                                (v, max (fst ob) (lo +. 1.0), snd ob)
-                                :: node.fixings;
-                              depth = node.depth + 1 }
-                          in
-                          (* dive toward the rounded LP value first *)
-                          if frac >= 0.5 then begin
-                            push_dive up_node;
-                            push_heap down_node
-                          end
-                          else begin
-                            push_dive down_node;
-                            push_heap up_node
-                          end
-                    end
-                    else Runtime.Trace.incr tr_prunes));
-                if !nodes mod 16 = 0 then emit !global_bound;
-                if no_open () then begin
-                  global_bound := !incumbent_obj;
-                  status := if !incumbent_obj < infinity then Optimal else Infeasible;
-                  finished := true
-                end
-              end
-            end
-      done;
-      restore_bounds ();
-      emit !global_bound;
-      let best_x = !incumbent in
-      {
-        status =
-          (match (!status, best_x) with
-          | Infeasible, _ -> Infeasible
-          | s, Some _ -> s
-          | (Optimal | Feasible), None -> Infeasible
-          | Limit, None -> Limit
-          | Unbounded, None -> Unbounded);
-        x = best_x;
-        obj = !incumbent_obj +. offset;
-        bound = !global_bound +. offset;
-        nodes = !nodes;
-        events = !events;
-      }
+                          children { node with nb } v r.Simplex.x.(v) snap))
+          in
+          let _search_stats =
+            Runtime.Search.run ~jobs ~batch
+              ~compare:(node_compare options.search.Search.node_order)
+              ~roots ~eval ~expand ~stop ()
+          in
+          let status =
+            match !stop_status with
+            | Some s -> s
+            | None ->
+                (* Pool exhausted: the incumbent is proven optimal (or
+                   the problem integer-infeasible). *)
+                global_bound := Atomic.get incumbent_obj;
+                if Atomic.get incumbent_obj < infinity then Optimal
+                else Infeasible
+          in
+          emit ();
+          mk_result status (certify_cuts ()) !cuts_added)

@@ -1,8 +1,19 @@
-(** Branch and bound over the simplex relaxation: best-first exploration
-    with an initial depth-first dive toward a first incumbent,
-    most-fractional branching, a rounding heuristic, and a continuous
-    (time, incumbent, bound) feedback stream — the facility CoPhy's
-    early-termination feature builds on. *)
+(** Branch and bound over the simplex relaxation, run as a warm-started,
+    cut-generating, parallel best-first node-pool search.
+
+    Nodes are bound tightenings passed to per-slot {!Simplex.session}s
+    as overrides — the input problem's variable bounds are never
+    mutated, so one immutable problem is shared by all worker domains.
+    (Root cover cuts, when enabled, {e are} installed as extra rows of
+    the input problem; they are valid for every integer-feasible point
+    and participate in {!Analyze.certify} like any other row.)  Node
+    re-solves restore the parent's basis snapshot and repair primal
+    feasibility with the dual simplex; cover cuts from the
+    storage-budget knapsack rows tighten the root.  The search runs in
+    deterministic bulk-synchronous rounds over {!Runtime.Search}: the
+    trajectory, incumbent, bound, and node counts are bit-identical at
+    every [jobs] value.  A continuous (time, incumbent, bound) feedback
+    stream supports CoPhy's early termination. *)
 
 type event = {
   elapsed : float;  (** seconds since solve start, on {!Runtime.Clock} *)
@@ -10,6 +21,29 @@ type event = {
   bound : float;  (** proven lower bound *)
   nodes : int;
 }
+
+(** Pluggable search strategy. *)
+module Search : sig
+  type node_order =
+    | Best_bound  (** lowest parent LP bound first (proves bounds fast;
+                      the proven bound advances every round) *)
+    | Depth_first  (** deepest, most recent first (finds incumbents
+                       fast; the proven bound stays at the root's until
+                       the pool empties) *)
+
+  type branching =
+    | Most_fractional  (** max distance to the nearest integer *)
+    | Cost_weighted  (** fractionality scaled by [1 + |objective coeff|] *)
+
+  type t = {
+    node_order : node_order;
+    branching : branching;
+    batch : int;  (** nodes popped per bulk-synchronous round *)
+  }
+
+  val default : t
+  (** Best-bound order, most-fractional branching, batch 8. *)
+end
 
 type options = {
   gap_tolerance : float;  (** stop when (inc - bound)/|inc| <= this *)
@@ -23,15 +57,25 @@ type options = {
           incumbent once they are integral.  Sound when fixing them makes
           the remaining LP have an integral optimum of equal objective —
           the structure of the CoPhy and ILP BIPs. *)
-  backend : Backend.t;  (** LP backend for root and node relaxations *)
+  backend : Backend.t;
+      (** Stats sink: session kernel counters are merged into
+          [backend.stats] after the solve.  Node LPs always run the
+          sparse session kernel (presolve would break basis identity
+          across nodes), so the backend's kind/presolve switches do not
+          affect the tree. *)
   certify_incumbents : bool;
       (** Debug mode: run {!Analyze.certify} on every candidate incumbent
           (rows, bounds, integrality of the branched variables, objective
           recomputation) before accepting it.
           @raise Analyze.Certification_failed on a bad incumbent. *)
+  jobs : int;  (** concurrent node evaluations per round *)
+  cuts : bool;  (** separate lifted cover cuts at the root *)
+  warm_start : bool;  (** dual-simplex re-solves from parent bases *)
+  search : Search.t;
 }
 
 val default_options : options
+(** jobs 1, cuts and warm starts on, {!Search.default} strategy. *)
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Limit
 
@@ -41,6 +85,11 @@ type result = {
   obj : float;  (** objective of [x], including the problem offset *)
   bound : float;  (** proven lower bound, including the offset *)
   nodes : int;
+  cuts_added : int;  (** cover cuts installed at the root *)
+  warm_resolves : int;  (** node LPs re-solved from a parent basis *)
+  cuts_uncertified : int;
+      (** added cuts violated by the final incumbent — always 0 unless a
+          separation bug produced an invalid cut *)
   events : event list;  (** reverse chronological when [log_events] *)
 }
 

@@ -35,9 +35,16 @@ type kernel_stats = {
   mutable iterations : int;  (** pricing-loop iterations across both phases *)
   mutable etas_pushed : int;  (** product-form eta vectors appended *)
   mutable max_eta_len : int;  (** peak eta-file length between rebuilds *)
+  mutable dual_iterations : int;  (** dual-simplex pricing iterations *)
+  mutable warm_resolves : int;  (** basis restores that skipped phase 1 *)
 }
 
 val create_stats : unit -> kernel_stats
+
+(** Accumulate [s] into [into] (sums; [max_eta_len] takes the max).  Used
+    by the parallel search driver to merge per-worker kernel stats
+    deterministically. *)
+val add_stats : into:kernel_stats -> kernel_stats -> unit
 
 (** Solve the LP relaxation (integrality marks are ignored).
     [max_iters = 0] picks a default proportional to the problem size.
@@ -48,3 +55,47 @@ val create_stats : unit -> kernel_stats
     / [simplex.etas_pushed] / [simplex.solves] when tracing is on. *)
 val solve :
   ?max_iters:int -> ?basis:basis_kind -> ?stats:kernel_stats -> Problem.t -> result
+
+(** Basis snapshots: the basis assignment, every nonbasic's rest bound,
+    and a frozen, structurally shared reference to the LU + eta factors
+    that were valid for that basis.  Saving is a few array copies;
+    restoring installs the shared factors with a private solve scratch,
+    so snapshots may be restored concurrently on different domains. *)
+module Basis : sig
+  type t
+end
+
+(** A warm-capable solver handle bound to one problem (sparse kernel).
+    Sessions never mutate the problem: node-specific variable bounds are
+    passed as [(var, lb, ub)] overrides, which is what lets a parallel
+    search share one immutable {!Problem.t} across workers. *)
+type session
+
+val new_session : ?stats:kernel_stats -> Problem.t -> session
+
+(** Cold two-phase primal solve under the problem's bounds plus
+    [bounds] overrides.  Leaves the optimal basis available to
+    {!save_basis}. *)
+val session_solve :
+  ?max_iters:int -> ?bounds:(int * float * float) list -> session -> result
+
+(** Snapshot the basis left by the session's last solve ([None] if the
+    session has not solved yet). *)
+val save_basis : session -> Basis.t option
+
+(** Dual-simplex re-solve from a parent basis after bound changes: the
+    parent's basis stays dual feasible, so the dual simplex only has to
+    repair primal feasibility — typically a handful of pivots instead of
+    a full two-phase solve.  Falls back to a cold {!session_solve} (same
+    bound overrides) whenever the snapshot cannot be trusted: missing or
+    shape-stale frozen factors, numerical trouble, an iteration-limited
+    dual run, or a dual-simplex infeasibility verdict (always re-proved
+    cold before a search may prune on it).  Ticks [kernel_stats.
+    warm_resolves] / [dual_iterations] and the [simplex.warm_resolves] /
+    [simplex.dual_iterations] trace counters. *)
+val warm_solve :
+  ?max_iters:int ->
+  ?bounds:(int * float * float) list ->
+  session ->
+  Basis.t ->
+  result

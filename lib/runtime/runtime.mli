@@ -235,3 +235,36 @@ module Batch : sig
   (** Run all pending thunks (one pool fan-out) and clear the queue;
       [[]] when nothing is pending. *)
 end
+
+(** Deterministic bulk-synchronous best-first search driver — the
+    parallel node-pool engine behind {!Lp}'s branch and bound.
+
+    Rounds pop up to [batch] best nodes (under [compare]) from one
+    global priority queue, evaluate them concurrently on the domain pool
+    with a stable node-to-slot assignment (node [i] of a round always
+    runs in slot [i], so callers can pin per-slot scratch such as warm
+    simplex sessions), and merge sequentially in pop order via [expand].
+    Batch size, pop order, slot assignment and merge order are all
+    independent of [jobs], so the search trajectory — node counts
+    included — is bit-identical at every job count.  [eval] runs
+    concurrently and must not write shared state; [expand] runs
+    sequentially and is where incumbents move.  [stop] is polled between
+    rounds. *)
+module Search : sig
+  type stats = {
+    mutable rounds : int;
+    mutable expanded : int;  (** nodes evaluated and merged *)
+    mutable peak_open : int;  (** high-water mark of the open queue *)
+  }
+
+  val run :
+    ?jobs:int ->
+    ?batch:int ->
+    compare:('n -> 'n -> int) ->
+    roots:'n list ->
+    eval:(slot:int -> 'n -> 'r) ->
+    expand:('n -> 'r -> 'n list) ->
+    stop:(unit -> bool) ->
+    unit ->
+    stats
+end

@@ -295,6 +295,149 @@ let prop_bb_matches_brute_force =
       | Some _ -> abs_float (r.Lp.Branch_bound.obj -. expected) < 1e-5
       | None -> expected = infinity)
 
+(* --- MIP engine invariants: cuts / warm starts / parallel driver --- *)
+
+(* Knapsack-shaped BIPs (Le rows with positive coefficients and a rhs
+   between 30% and 80% of the row total) exercise the cover-cut
+   separator and leave room for fractional roots, so nodes actually
+   branch and warm-resolve. *)
+let random_knapsack_bip_gen =
+  QCheck.Gen.(int_range 0 1_000_000 >|= fun seed -> seed)
+
+let build_random_knapsack_bip seed =
+  let rng = Random.State.make [| seed; 3001 |] in
+  let n = 4 + Random.State.int rng 10 in
+  let m = 2 + Random.State.int rng 6 in
+  let p = Lp.Problem.create () in
+  let vars =
+    Array.init n (fun _ ->
+        Lp.Problem.add_var ~kind:Lp.Problem.Binary
+          ~obj:(Random.State.float rng 20.0 -. 10.0)
+          p)
+  in
+  for _ = 1 to m do
+    let coeffs =
+      Array.to_list vars
+      |> List.filter_map (fun v ->
+             if Random.State.float rng 1.0 < 0.7 then
+               Some (v, Random.State.float rng 5.0 +. 0.1)
+             else None)
+    in
+    if List.length coeffs >= 2 then begin
+      let tot = List.fold_left (fun a (_, c) -> a +. c) 0.0 coeffs in
+      ignore
+        (Lp.Problem.add_row p coeffs Lp.Problem.Le
+           (tot *. (0.3 +. Random.State.float rng 0.5)))
+    end
+  done;
+  p
+
+(* The engine's three determinism/equivalence invariants on one random
+   instance: (1) the parallel driver is deterministic — jobs 4 matches
+   jobs 1 on the certified objective AND the node count; (2) cuts
+   on/off agree on the certified objective (cuts only tighten bounds);
+   (3) warm starts on/off agree (a warm resolve is a solve of the same
+   LP); plus every added cut is satisfied by the final incumbent. *)
+let prop_bb_cuts_warm_jobs_agree =
+  QCheck.Test.make
+    ~name:"cuts on/off and jobs 1/4 preserve the certified objective"
+    ~count:60
+    (QCheck.make random_knapsack_bip_gen)
+    (fun seed ->
+      let p = build_random_knapsack_bip seed in
+      let solve ~cuts ~warm ~jobs =
+        let options =
+          {
+            Lp.Branch_bound.default_options with
+            Lp.Branch_bound.gap_tolerance = 1e-9;
+            certify_incumbents = true;
+            cuts;
+            warm_start = warm;
+            jobs;
+          }
+        in
+        Lp.Branch_bound.solve ~options p
+      in
+      let a = solve ~cuts:true ~warm:true ~jobs:1 in
+      let b = solve ~cuts:true ~warm:true ~jobs:4 in
+      let c = solve ~cuts:false ~warm:true ~jobs:1 in
+      let d = solve ~cuts:false ~warm:false ~jobs:1 in
+      let near (r1 : Lp.Branch_bound.result) (r2 : Lp.Branch_bound.result) =
+        r1.Lp.Branch_bound.status = r2.Lp.Branch_bound.status
+        && (r1.Lp.Branch_bound.status <> Lp.Branch_bound.Optimal
+           || abs_float (r1.Lp.Branch_bound.obj -. r2.Lp.Branch_bound.obj)
+              <= 1e-6 *. (1.0 +. abs_float r2.Lp.Branch_bound.obj))
+      in
+      a.Lp.Branch_bound.cuts_uncertified = 0
+      && a.Lp.Branch_bound.obj = b.Lp.Branch_bound.obj
+      && a.Lp.Branch_bound.status = b.Lp.Branch_bound.status
+      && a.Lp.Branch_bound.nodes = b.Lp.Branch_bound.nodes
+      && near a c && near c d)
+
+(* Dual-simplex warm-resolve regression: perturb the bounds of a solved
+   LP and check the warm resolve from the saved parent basis lands on
+   the cold primal optimum (or agrees on in/feasibility).  This is the
+   node-evaluation contract of the best-first search. *)
+let test_dual_warm_matches_cold () =
+  let rng = Random.State.make [| 42 |] in
+  let warm_used = ref 0 and dual_iters = ref 0 in
+  for _ = 1 to 60 do
+    let n = 3 + Random.State.int rng 10 in
+    let m = 2 + Random.State.int rng 8 in
+    let p = Lp.Problem.create () in
+    let vars =
+      Array.init n (fun _ ->
+          Lp.Problem.add_var ~lb:0.0
+            ~ub:(1.0 +. Random.State.float rng 9.0)
+            ~obj:(Random.State.float rng 20.0 -. 10.0)
+            p)
+    in
+    for _ = 1 to m do
+      let coeffs =
+        Array.to_list vars
+        |> List.filter_map (fun v ->
+               if Random.State.float rng 1.0 < 0.6 then
+                 Some (v, Random.State.float rng 4.0 +. 0.2)
+               else None)
+      in
+      if coeffs <> [] then
+        ignore
+          (Lp.Problem.add_row p coeffs Lp.Problem.Le
+             (Random.State.float rng 20.0 +. 1.0))
+    done;
+    let stats = Lp.Simplex.create_stats () in
+    let sess = Lp.Simplex.new_session ~stats p in
+    let r0 = Lp.Simplex.session_solve sess in
+    if r0.Lp.Simplex.status = Lp.Simplex.Optimal then
+      match Lp.Simplex.save_basis sess with
+      | None -> Alcotest.fail "optimal solve must yield a basis"
+      | Some snap ->
+          for _ = 1 to 5 do
+            let bounds =
+              Array.to_list vars
+              |> List.filter_map (fun v ->
+                     if Random.State.float rng 1.0 < 0.3 then
+                       let vr = Lp.Problem.var p v in
+                       if Random.State.bool rng then Some (v, 0.0, 0.0)
+                       else Some (v, vr.Lp.Problem.lb, vr.Lp.Problem.ub /. 2.0)
+                     else None)
+            in
+            let rw = Lp.Simplex.warm_solve ~bounds sess snap in
+            let rc = Lp.Simplex.session_solve ~bounds sess in
+            (match (rw.Lp.Simplex.status, rc.Lp.Simplex.status) with
+            | Lp.Simplex.Optimal, Lp.Simplex.Optimal ->
+                check_float ~eps:1e-6 "warm objective = cold objective"
+                  rc.Lp.Simplex.obj rw.Lp.Simplex.obj
+            | a, b ->
+                Alcotest.(check bool)
+                  "warm status = cold status" true (a = b));
+            warm_used := !warm_used + stats.Lp.Simplex.warm_resolves;
+            dual_iters := !dual_iters + stats.Lp.Simplex.dual_iterations
+          done
+  done;
+  Alcotest.(check bool) "warm resolves happened" true (!warm_used > 0);
+  Alcotest.(check bool) "dual iterations happened" true (!dual_iters > 0)
+
 (* --- LP file format --- *)
 
 let test_lp_format_roundtrip () =
@@ -1095,7 +1238,10 @@ let () =
           Alcotest.test_case "warm start" `Quick test_bb_warm_start;
           Alcotest.test_case "gap termination" `Quick test_bb_gap_termination;
           Alcotest.test_case "decision vars" `Quick test_bb_decision_vars;
+          Alcotest.test_case "dual warm resolve = cold primal" `Quick
+            test_dual_warm_matches_cold;
           QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_bb_cuts_warm_jobs_agree;
         ] );
       ( "analyze",
         [
