@@ -144,7 +144,9 @@ let[@lint.allow global_state] shutdown_registered = ref false
 let max_workers = 126
 
 let[@dsa.allow
-     mutates_global "pool teardown; every write is behind pool_lock"]
+     mutates_global
+       "pool teardown; every write is behind pool_lock, and cophy-race \
+        confirms shutdown is never reachable from a spawned closure"]
   shutdown () =
   Mutex.lock pool_lock;
   List.iter
@@ -162,7 +164,9 @@ let[@dsa.allow
 (* Grow the pool to [n] workers.  Must be called with [pool_lock] held. *)
 let[@dsa.allow
      mutates_global
-       "pool growth; caller holds pool_lock (documented precondition)"]
+       "pool growth; caller holds pool_lock (documented precondition), \
+        and the pool lists are written only on the coordinating domain \
+        — cophy-race audits the spawned side (worker_loop) separately"]
   [@dsa.allow io "one-shot at_exit hook so the pool joins cleanly"]
   ensure_workers n =
   let n = min n max_workers in
@@ -231,7 +235,12 @@ let parallel_map ?jobs f arr =
        let remaining = ref (List.length enlisted) in
        let latch_lock = Mutex.create () in
        let latch_cond = Condition.create () in
-       let helper_job () =
+       let[@race.allow
+            remaining
+              "one completion latch per parallel section, shared by \
+               design: every decrement and read happens under \
+               latch_lock, and the waking broadcast is issued under the \
+               same lock"] helper_job () =
          body ();
          Mutex.lock latch_lock;
          decr remaining;
@@ -434,11 +443,14 @@ module Trace = struct
   let[@dsa.allow
        mutates_global
          "per-domain span ring: slot [dom] is written only by domain \
-          [dom]; exporters read after the parallel-section latch"]
+          [dom] (cophy-race classifies the rings.(dom) write as \
+          slot-disjoint, the index being Domain.self-derived); \
+          exporters read after the parallel-section latch"]
     [@dsa.allow
       nondet
-        "Domain.self only routes the span to the recorder's own ring; \
-         results never depend on which domain recorded"]
+        "Domain.self only routes the span to the recorder's own \
+         slot-disjoint ring; results never depend on which domain \
+         recorded"]
     record_span name t0 t1 =
     let dom = (Domain.self () :> int) in
     if dom < 0 || dom >= max_domains then

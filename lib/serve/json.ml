@@ -33,7 +33,7 @@ let buf_escape b s =
 let buf_num b f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.0f" f)
-  else if Float.is_nan f || (Float.abs f = infinity) then
+  else if not (Float.is_finite f) then
     (* JSON has no non-finite numbers; null is the conventional spelling *)
     Buffer.add_string b "null"
   else Buffer.add_string b (Printf.sprintf "%.12g" f)
@@ -130,8 +130,9 @@ let parse_string st =
               error st "truncated \\u escape";
             let hex = String.sub st.s st.pos 4 in
             let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> error st "bad \\u escape"
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> code
+              | None -> error st "bad \\u escape"
             in
             st.pos <- st.pos + 4;
             (* UTF-8 encode the code point (BMP only) *)

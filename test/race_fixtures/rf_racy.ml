@@ -1,0 +1,36 @@
+(* Deliberately racy parallel closures.  test_race.ml asserts the exact
+   diagnostics: two kinds of unjustified shared-mutable write, plus a
+   justification that names the wrong location and so suppresses
+   nothing. *)
+
+let hits = ref 0
+
+(* A module-level ref mutated from inside a spawned closure: every task
+   contends on the one cell.  [shared_mutable], module-level target. *)
+let count_parallel arr =
+  let _ = Runtime.parallel_map (fun x -> incr hits; x) arr in
+  !hits
+
+(* A ref bound in the frame that *contains* the seam, captured by the
+   spawned closure: one binding frame, many concurrent tasks.
+   [shared_mutable], captured target. *)
+let sum_parallel arr =
+  let sum = ref 0 in
+  let _ =
+    Runtime.parallel_map
+      (fun x ->
+        sum := !sum + x;
+        x)
+      arr
+  in
+  !sum
+
+(* The justification names a location nothing writes, so the [incr hits]
+   race is still reported AND the stale safety argument itself trips
+   [unused_allow]. *)
+let[@race.allow wrong_target "misdirected justification"] bump_parallel arr =
+  Runtime.parallel_map
+    (fun x ->
+      incr hits;
+      x + 1)
+    arr

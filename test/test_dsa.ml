@@ -16,10 +16,8 @@ let fixture_files () =
 
 let analyze_fixtures () = Dsa_core.analyze (fixture_files ())
 
-let rules vs = List.map (fun v -> Dsa_core.rule_name v.Dsa_core.v_rule) vs
-
-let with_rule name vs =
-  List.filter (fun v -> Dsa_core.rule_name v.Dsa_core.v_rule = name) vs
+let rules vs = List.map (fun v -> v.Dsa_core.rule) vs
+let with_rule name vs = List.filter (fun v -> v.Dsa_core.rule = name) vs
 
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
@@ -27,7 +25,7 @@ let contains hay needle =
   go 0
 
 let mentions needle v =
-  contains (v.Dsa_core.v_where ^ " " ^ v.Dsa_core.v_message) needle
+  contains (v.Dsa_core.where ^ " " ^ v.Dsa_core.message) needle
 
 let node t name =
   match Hashtbl.find_opt t.Dsa_core.nodes name with
@@ -45,7 +43,7 @@ let test_domain_safety_unsafe () =
   Alcotest.(check int) "three effect findings" 3 (List.length ds);
   List.iter
     (fun v -> Alcotest.(check bool) "located in df_unsafe.ml" true
-        (contains v.Dsa_core.v_where "df_unsafe.ml"))
+        (contains v.Dsa_core.where "df_unsafe.ml"))
     ds;
   let has effect what =
     List.exists (fun v -> mentions effect v && mentions what v) ds

@@ -1,0 +1,49 @@
+(* Shared parsing for the justification attributes of the typed-tree
+   analyzers: [@dsa.allow <kind> "<why>"] and [@race.allow <target>
+   "<why>"] have the same payload shape — one lowercase identifier plus
+   a mandatory justification string.  An unexplained suppression is a
+   malformed attribute, reported by every analyzer under its [bad_attr]
+   rule rather than silently honored. *)
+
+type parsed = {
+  allows : (string * string) list;  (* (ident, justification) *)
+  malformed : string list;  (* descriptions of bad payloads *)
+}
+
+(* Parse every [@name ...] attribute in [attrs].  [valid] vets the
+   identifier (e.g. effect names for dsa, any target for race); an
+   invalid identifier is malformed, as is a missing justification. *)
+let parse ~name ~valid (attrs : Parsetree.attributes) =
+  let allows = ref [] and malformed = ref [] in
+  List.iter
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = name then
+        let bad why =
+          malformed :=
+            Printf.sprintf
+              "malformed [@%s] payload (%s); expected [@%s <ident> \
+               \"justification\"]"
+              name why name
+            :: !malformed
+        in
+        match a.attr_payload with
+        | Parsetree.PStr [ { pstr_desc = Parsetree.Pstr_eval (e, _); _ } ] -> (
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply
+                ( { pexp_desc = Parsetree.Pexp_ident { txt = Lident id; _ }; _ },
+                  [ ( _,
+                      {
+                        pexp_desc =
+                          Parsetree.Pexp_constant
+                            (Parsetree.Pconst_string (why, _, _));
+                        _;
+                      } ) ] ) ->
+                if valid id then allows := (id, why) :: !allows
+                else bad (Printf.sprintf "unknown identifier %S" id)
+            | Parsetree.Pexp_ident { txt = Lident id; _ } ->
+                if valid id then bad "missing justification string"
+                else bad (Printf.sprintf "unknown identifier %S" id)
+            | _ -> bad "unrecognized payload shape")
+        | _ -> bad "empty payload")
+    attrs;
+  { allows = List.rev !allows; malformed = List.rev !malformed }

@@ -1,0 +1,14 @@
+(* Loading .cmt / .cmti artifacts for the typed-tree analyzers. *)
+
+type contents =
+  | Impl of string * Typedtree.structure  (* display prefix, typed tree *)
+  | Intf of string * Typedtree.signature
+  | Other
+
+let load path =
+  let info = Cmt_format.read_cmt path in
+  let prefix = Ak_names.display_of_unit info.Cmt_format.cmt_modname in
+  match info.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str -> Impl (prefix, str)
+  | Cmt_format.Interface sg -> Intf (prefix, sg)
+  | _ -> Other

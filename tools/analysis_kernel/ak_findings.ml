@@ -1,0 +1,109 @@
+(* The machine-readable finding representation shared by cophy-lint,
+   cophy-dsa and cophy-race, and its SARIF-ish JSON serialization.
+
+   Every analyzer reduces its diagnostics to this flat record: a rule
+   id, a "file:line[:col]" location, a human message, and (for the
+   interprocedural analyzers) the call path from the spawn site or
+   entry point to the flagged program point.  [sarif_log] renders a
+   list of findings as a single-run SARIF 2.1.0-shaped log; the
+   [sarif_merge] executable in this directory splices several such
+   logs into one multi-run report, which CI uploads as an artifact. *)
+
+type finding = {
+  rule : string;  (* rule id, e.g. "domain_safety", "shared_mutable" *)
+  where : string;  (* "file:line[:col]", or a bare label *)
+  message : string;
+  path : string list;  (* spawn-site -> ... -> write chain; may be [] *)
+}
+
+let make ?(path = []) rule where message = { rule; where; message; path }
+
+let pp oc f = Printf.fprintf oc "%s: [%s] %s\n" f.where f.rule f.message
+
+(* "file.ml:12:3" -> ("file.ml", Some 12, Some 3); bare labels parse as
+   (label, None, None).  Windows-style drive letters never appear in
+   dune locations, so splitting on ':' is safe. *)
+let split_where where =
+  match String.split_on_char ':' where with
+  | [ file; line ] -> (file, int_of_string_opt line, None)
+  | [ file; line; col ] -> (file, int_of_string_opt line, int_of_string_opt col)
+  | _ -> (where, None, None)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let result_json f =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"ruleId":"%s","level":"error","message":{"text":"%s"}|}
+       (json_escape f.rule) (json_escape f.message));
+  let file, line, col = split_where f.where in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|,"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d%s}}}]|}
+       (json_escape file)
+       (match line with Some l -> l | None -> 1)
+       (match col with
+       | Some c -> Printf.sprintf {|,"startColumn":%d|} (c + 1)
+       | None -> ""));
+  if f.path <> [] then begin
+    Buffer.add_string b {|,"properties":{"path":[|};
+    List.iteri
+      (fun i step ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf {|"%s"|} (json_escape step)))
+      f.path;
+    Buffer.add_string b "]}"
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* One SARIF run for [tool]: rule metadata is the set of rule ids the
+   tool can emit (pass the full catalog so a clean run still documents
+   its rules) unioned with whatever appears in the findings. *)
+let sarif_run ~tool ?(rules = []) findings =
+  let rule_ids =
+    List.sort_uniq compare (rules @ List.map (fun f -> f.rule) findings)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"tool":{"driver":{"name":"%s","rules":[|}
+       (json_escape tool));
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf {|{"id":"%s"}|} (json_escape id)))
+    rule_ids;
+  Buffer.add_string b {|]}},"results":[|};
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (result_json f))
+    findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let sarif_log ~tool ?rules findings =
+  Printf.sprintf {|{"version":"2.1.0","runs":[%s]}|}
+    (sarif_run ~tool ?rules findings)
+
+let write_sarif path ~tool ?rules findings =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (sarif_log ~tool ?rules findings);
+      output_char oc '\n')

@@ -1,0 +1,76 @@
+(* Generic call-graph machinery for the interprocedural analyzers:
+   worklist fixpoints over string-named nodes and BFS reachability with
+   discovery paths (so diagnostics can name the chain from a root to
+   the flagged node).  Successor order is caller-controlled; pass
+   sorted roots/successors for deterministic parent chains. *)
+
+module SSet = Ak_names.SSet
+module SMap = Ak_names.SMap
+
+(* Run [step ~mark] until a whole pass completes without [mark] being
+   called.  The effect/exception propagation loops of cophy-dsa and the
+   taint loop of cophy-race are both instances. *)
+let fixpoint step =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    step ~mark:(fun () -> changed := true)
+  done
+
+(* Set of nodes reachable from [roots] over [succs] edges. *)
+let reach ~roots ~succs =
+  let visited = ref roots in
+  let queue = Queue.create () in
+  SSet.iter (fun r -> Queue.add r queue) roots;
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    List.iter
+      (fun s ->
+        if not (SSet.mem s !visited) then begin
+          visited := SSet.add s !visited;
+          Queue.add s queue
+        end)
+      (succs name)
+  done;
+  !visited
+
+type paths = { visited : SSet.t; parent : string SMap.t }
+
+(* BFS keeping the discovery parent of every visited node.  Roots are
+   taken in list order, successors in [succs] order, so with sorted
+   inputs the parent map — and with it every diagnostic chain — is
+   deterministic. *)
+let reach_paths ~roots ~succs =
+  let visited = ref SSet.empty in
+  let parent = ref SMap.empty in
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      if not (SSet.mem r !visited) then begin
+        visited := SSet.add r !visited;
+        Queue.add r queue
+      end)
+    roots;
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    List.iter
+      (fun s ->
+        if not (SSet.mem s !visited) then begin
+          visited := SSet.add s !visited;
+          parent := SMap.add s name !parent;
+          Queue.add s queue
+        end)
+      (succs name)
+  done;
+  { visited = !visited; parent = !parent }
+
+(* Root-to-node discovery chain, inclusive: ["root"; ...; "name"]. *)
+let chain p name =
+  let rec go name acc =
+    match SMap.find_opt name p.parent with
+    | Some up -> go up (up :: acc)
+    | None -> acc
+  in
+  go name [ name ]
+
+let chain_string p name = String.concat " -> " (chain p name)

@@ -1,0 +1,52 @@
+(* Name normalization shared by every analyzer in tools/ (cophy-lint,
+   cophy-dsa, cophy-race).
+
+   "Lp__Simplex" (the mangled unit name of module Simplex in wrapped
+   library lp) and "Lp.Simplex" (the alias path other libraries use)
+   must denote the same node everywhere: rewrite "__" to ".", and strip
+   the "Stdlib." prefix so "Stdlib.List.hd" and "List.hd" coincide. *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+(* split on literal "__" *)
+let split_mangled s =
+  let out = ref [] and buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    if !i + 1 < len && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  out := Buffer.contents buf :: !out;
+  List.rev !out
+
+let normalize name =
+  let name = String.concat "." (split_mangled name) in
+  if String.length name > 7 && String.sub name 0 7 = "Stdlib." then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+(* Display name of a compilation unit: "Lp__Simplex" -> "Lp.Simplex". *)
+let display_of_unit modname = String.concat "." (split_mangled modname)
+
+let has_suffix ~suffix name =
+  let l = String.length name and sl = String.length suffix in
+  l >= sl && String.sub name (l - sl) sl = suffix
+
+let has_prefix ~prefix name =
+  let l = String.length name and pl = String.length prefix in
+  l >= pl && String.sub name 0 pl = prefix
+
+(* Last dot-separated component: "Runtime.Trace.rings" -> "rings". *)
+let last_component name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name

@@ -1,0 +1,89 @@
+(* Merge single-run SARIF logs (as emitted by Ak_findings.sarif_log via
+   the --json flag of cophy-lint / cophy-dsa / cophy-race) into one
+   multi-run report:
+
+     sarif_merge OUT IN1 [IN2 ...]
+
+   Each input is a JSON object with a "runs" array; the output is a
+   SARIF log whose runs array is the concatenation, in argument order.
+   The extraction is a real bracket scanner (string- and escape-aware),
+   not a regex, so any well-formed SARIF log merges — but no JSON
+   library is needed. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Contents of the top-level "runs" array (without its brackets). *)
+let runs_of content =
+  let n = String.length content in
+  let needle = {|"runs"|} in
+  let rec find_key i =
+    if i + String.length needle > n then None
+    else if String.sub content i (String.length needle) = needle then Some i
+    else find_key (i + 1)
+  in
+  match find_key 0 with
+  | None -> None
+  | Some k ->
+      (* skip to the '[' after the colon *)
+      let rec skip i =
+        if i >= n then None
+        else
+          match content.[i] with
+          | '[' -> Some i
+          | ' ' | '\t' | '\n' | '\r' | ':' -> skip (i + 1)
+          | _ -> None
+      in
+      (match skip (k + String.length needle) with
+      | None -> None
+      | Some open_ ->
+          (* balanced scan to the matching ']' *)
+          let depth = ref 0 and i = ref open_ and close_ = ref (-1) in
+          let in_str = ref false and escaped = ref false in
+          while !close_ < 0 && !i < n do
+            let c = content.[!i] in
+            if !in_str then begin
+              if !escaped then escaped := false
+              else if c = '\\' then escaped := true
+              else if c = '"' then in_str := false
+            end
+            else begin
+              match c with
+              | '"' -> in_str := true
+              | '[' | '{' -> incr depth
+              | ']' | '}' ->
+                  decr depth;
+                  if !depth = 0 then close_ := !i
+              | _ -> ()
+            end;
+            incr i
+          done;
+          if !close_ < 0 then None
+          else Some (String.sub content (open_ + 1) (!close_ - open_ - 1)))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: out :: (_ :: _ as inputs) ->
+      let runs =
+        List.filter_map
+          (fun path ->
+            match runs_of (read_file path) with
+            | Some "" -> None
+            | Some runs -> Some runs
+            | None ->
+                Printf.eprintf "sarif_merge: %s: no \"runs\" array\n" path;
+                exit 2)
+          inputs
+      in
+      let oc = open_out_bin out in
+      output_string oc
+        (Printf.sprintf {|{"version":"2.1.0","runs":[%s]}|}
+           (String.concat "," runs));
+      output_char oc '\n';
+      close_out oc
+  | _ ->
+      prerr_endline "usage: sarif_merge OUT IN1 [IN2 ...]";
+      exit 2

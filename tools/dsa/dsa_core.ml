@@ -18,11 +18,17 @@
                           (tools/dsa/signatures.expected); effect
                           changes are reviewed like test output and
                           accepted with [dune build @dsa-promote].
+     4. stale_allowlist   every exceptions.toml entry still names a live
+                          public function; `dune build @dsa-prune` drops
+                          the stale ones so the allowlists can't rot.
 
    Pipeline: load every .cmt (implementations) and .cmti (interfaces),
    walk the typed trees collecting per-function *direct* effects and
    call atoms, then run a fixpoint that propagates effects over the
-   cross-module call graph.
+   cross-module call graph.  Name normalization, resolution contexts,
+   the justification-attribute grammar, the graph fixpoint/reachability
+   machinery and the findings representation live in
+   tools/analysis_kernel, shared with cophy-race (tools/race).
 
    Call-graph construction.  A node is a module-level value binding
    (including bindings in nested structures: [Runtime.Fx.approx]).  An
@@ -47,8 +53,8 @@
    variable (then it is transparent); [raise] of an arbitrary expression
    infers the unknown exception ["*"]. *)
 
-module SSet = Set.Make (String)
-module SMap = Map.Make (String)
+module SSet = Ak_names.SSet
+module SMap = Ak_names.SMap
 
 (* ------------------------------------------------------------------ *)
 (* Effects and rules                                                   *)
@@ -67,18 +73,35 @@ let effect_of_string = function
   | "nondet" -> Some Nondet
   | _ -> None
 
-type rule = Domain_safety | Exception_escape | Signature_drift | Bad_attr
+type rule =
+  | Domain_safety
+  | Exception_escape
+  | Signature_drift
+  | Stale_allowlist
+  | Bad_attr
 
 let rule_name = function
   | Domain_safety -> "domain_safety"
   | Exception_escape -> "exception_escape"
   | Signature_drift -> "signature_drift"
+  | Stale_allowlist -> "stale_allowlist"
   | Bad_attr -> "bad_attr"
 
-type violation = { v_rule : rule; v_where : string; v_message : string }
+let all_rule_names =
+  List.map rule_name
+    [ Domain_safety; Exception_escape; Signature_drift; Stale_allowlist;
+      Bad_attr ]
 
-let pp_violation oc v =
-  Printf.fprintf oc "%s: [%s] %s\n" v.v_where (rule_name v.v_rule) v.v_message
+(* Violations are the kernel's machine-readable findings; the [--json]
+   driver flag serializes them as a SARIF run. *)
+type violation = Ak_findings.finding = {
+  rule : string;
+  where : string;
+  message : string;
+  path : string list;
+}
+
+let pp_violation = Ak_findings.pp
 
 (* ------------------------------------------------------------------ *)
 (* Analysis state                                                      *)
@@ -116,11 +139,11 @@ type t = {
 let create () =
   { nodes = Hashtbl.create 512; exported = SSet.empty; violations = [] }
 
-let report t rule where fmt =
+let report ?path t rule where fmt =
   Printf.ksprintf
     (fun msg ->
-      t.violations <- { v_rule = rule; v_where = where; v_message = msg }
-        :: t.violations)
+      t.violations <-
+        Ak_findings.make ?path (rule_name rule) where msg :: t.violations)
     fmt
 
 let node t name loc =
@@ -144,42 +167,11 @@ let node t name loc =
       n
 
 (* ------------------------------------------------------------------ *)
-(* Name normalization                                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* "Lp__Simplex" (the mangled unit name of module Simplex in wrapped
-   library lp) and "Lp.Simplex" (the alias path other libraries use)
-   must denote the same node: rewrite "__" to ".". *)
-let split_mangled s =
-  (* split on literal "__" *)
-  let out = ref [] and buf = Buffer.create (String.length s) in
-  let i = ref 0 in
-  let len = String.length s in
-  while !i < len do
-    if !i + 1 < len && s.[!i] = '_' && s.[!i + 1] = '_' then begin
-      out := Buffer.contents buf :: !out;
-      Buffer.clear buf;
-      i := !i + 2
-    end
-    else begin
-      Buffer.add_char buf s.[!i];
-      incr i
-    end
-  done;
-  out := Buffer.contents buf :: !out;
-  List.rev !out
-
-let normalize name =
-  let name = String.concat "." (split_mangled name) in
-  if String.length name > 7 && String.sub name 0 7 = "Stdlib." then
-    String.sub name 7 (String.length name - 7)
-  else name
-
-(* ------------------------------------------------------------------ *)
 (* Builtin effect / exception tables                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Names are matched after [normalize] (so without a "Stdlib." prefix). *)
+(* Names are matched after [Ak_names.normalize] (so without a "Stdlib."
+   prefix). *)
 
 let io_exact =
   SSet.of_list
@@ -220,16 +212,15 @@ let nondet_exact =
    caller-threaded seeded state is deterministic and sanctioned. *)
 let is_nondet name =
   SSet.mem name nondet_exact
-  || String.length name > 7
-     && String.sub name 0 7 = "Random."
-     && not (String.length name > 13 && String.sub name 0 13 = "Random.State.")
+  || (Ak_names.has_prefix ~prefix:"Random." name
+     && not (Ak_names.has_prefix ~prefix:"Random.State." name))
 
 let is_io name =
   SSet.mem name io_exact
   || List.exists
        (fun p ->
          String.length name > String.length p
-         && String.sub name 0 (String.length p) = p
+         && Ak_names.has_prefix ~prefix:p name
          && not (SSet.mem name nondet_exact))
        io_prefixes
 
@@ -289,10 +280,8 @@ let spawn_points = SSet.of_list [ "Runtime.parallel_map"; "Domain.spawn" ]
 
 let is_spawn_point name =
   SSet.mem name spawn_points
-  ||
-  (* intra-library reference to the runtime's own entry point *)
-  let l = String.length name in
-  l >= 13 && String.sub name (l - 13) 13 = ".parallel_map"
+  || (* intra-library reference to the runtime's own entry point *)
+  Ak_names.has_suffix ~suffix:".parallel_map" name
 
 (* ------------------------------------------------------------------ *)
 (* Typedtree helpers                                                   *)
@@ -300,95 +289,31 @@ let is_spawn_point name =
 
 open Typedtree
 
-let loc_string (loc : Location.t) =
-  Printf.sprintf "%s:%d" loc.Location.loc_start.Lexing.pos_fname
-    loc.Location.loc_start.Lexing.pos_lnum
-
-let rec is_arrow (ty : Types.type_expr) =
-  match Types.get_desc ty with
-  | Types.Tarrow _ -> true
-  | Types.Tpoly (ty', _) -> is_arrow ty'
-  | _ -> false
+let loc_string = Ak_resolve.loc_string
+let is_arrow = Ak_resolve.is_arrow
 
 (* [@dsa.allow <effect> "<justification>"] payloads.  The justification
    string is mandatory: an unexplained suppression is a bad_attr. *)
 let parse_allow t (attrs : Parsetree.attributes) ~where =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if a.attr_name.txt <> "dsa.allow" then []
-      else
-        let bad why =
-          report t Bad_attr where
-            "malformed [@dsa.allow] payload (%s); expected [@dsa.allow \
-             <mutates_global|io|nondet> \"justification\"]"
-            why;
-          []
-        in
-        match a.attr_payload with
-        | Parsetree.PStr
-            [ { pstr_desc = Parsetree.Pstr_eval (e, _); _ } ] -> (
-            match e.Parsetree.pexp_desc with
-            | Parsetree.Pexp_apply
-                ( { pexp_desc = Parsetree.Pexp_ident { txt = Lident eff; _ }; _ },
-                  [ ( _,
-                      {
-                        pexp_desc =
-                          Parsetree.Pexp_constant
-                            (Parsetree.Pconst_string (why, _, _));
-                        _;
-                      } ) ] ) -> (
-                match effect_of_string eff with
-                | Some k -> [ (k, why) ]
-                | None -> bad (Printf.sprintf "unknown effect %S" eff))
-            | Parsetree.Pexp_ident { txt = Lident eff; _ } -> (
-                match effect_of_string eff with
-                | Some _ -> bad "missing justification string"
-                | None -> bad (Printf.sprintf "unknown effect %S" eff))
-            | _ -> bad "unrecognized payload shape")
-        | _ -> bad "empty payload")
-    attrs
+  let parsed =
+    Ak_attr.parse ~name:"dsa.allow"
+      ~valid:(fun id -> effect_of_string id <> None)
+      attrs
+  in
+  List.iter (fun msg -> report t Bad_attr where "%s" msg) parsed.Ak_attr.malformed;
+  List.filter_map
+    (fun (id, why) ->
+      Option.map (fun k -> (k, why)) (effect_of_string id))
+    parsed.Ak_attr.allows
 
 (* ------------------------------------------------------------------ *)
 (* Per-compilation-unit collection                                     *)
 (* ------------------------------------------------------------------ *)
 
-type unit_ctx = {
-  an : t;
-  (* Ident.unique_name -> node name, for module-level values of this unit *)
-  values : (string, string) Hashtbl.t;
-  (* Ident.unique_name -> full module prefix, for local module aliases *)
-  modules : (string, string) Hashtbl.t;
-  mutable unit_prefix : string;  (* display name of the current module *)
-}
+type unit_ctx = { an : t; rctx : Ak_resolve.ctx }
 
-let rec module_prefix ctx (p : Path.t) =
-  match p with
-  | Path.Pident id -> (
-      match Hashtbl.find_opt ctx.modules (Ident.unique_name id) with
-      | Some pfx -> pfx
-      | None -> normalize (Ident.name id))
-  | Path.Pdot (p', s) -> module_prefix ctx p' ^ "." ^ s
-  | _ -> normalize (Path.name p)
-
-(* Resolve a value path to a canonical global name, or None when the
-   identifier is local (function parameter, let-bound variable). *)
-let resolve_value ctx (p : Path.t) =
-  match p with
-  | Path.Pident id ->
-      if Ident.is_predef id then Some (Ident.name id)
-      else Hashtbl.find_opt ctx.values (Ident.unique_name id)
-  | Path.Pdot (p', s) -> Some (normalize (module_prefix ctx p' ^ "." ^ s))
-  | _ -> Some (normalize (Path.name p))
-
-(* Exception-constructor path -> canonical name.  Local declarations
-   (Pident) are qualified with the enclosing module so "Singular" raised
-   inside Lp__Lu and "Lp.Lu.Singular" raised elsewhere coincide. *)
-let resolve_exn ctx (p : Path.t) =
-  match p with
-  | Path.Pident id ->
-      if Ident.is_predef id then Ident.name id
-      else normalize (ctx.unit_prefix ^ "." ^ Ident.name id)
-  | _ -> normalize (Path.name p)
+let resolve_value ctx p = Ak_resolve.resolve_value ctx.rctx p
+let resolve_exn ctx p = Ak_resolve.resolve_exn ctx.rctx p
 
 (* Pre-scan of try/match handler cases: which constructors are caught,
    is there a catch-all, and does any catch-all body re-raise the caught
@@ -649,7 +574,8 @@ let rec collect_body ctx ~(nd : node) ~allows expr0 =
                   nd.n_name ^ "." ^ Ident.unique_name id
                 else base
               in
-              Hashtbl.replace ctx.values (Ident.unique_name id) cname;
+              Hashtbl.replace ctx.rctx.Ak_resolve.values
+                (Ident.unique_name id) cname;
               let sub = node an cname (loc_string vb.vb_loc) in
               sub.n_function <- true;
               sub.n_allows <-
@@ -758,38 +684,12 @@ and collect_into ctx root (arg : expression) =
 (* Structure walk: define nodes for module-level bindings              *)
 (* ------------------------------------------------------------------ *)
 
-let rec pattern_idents (p : pattern) =
-  match p.pat_desc with
-  | Tpat_var (id, name) -> [ (id, name.Location.txt) ]
-  | Tpat_alias (p', id, name) -> (id, name.Location.txt) :: pattern_idents p'
-  | Tpat_tuple ps -> List.concat_map pattern_idents ps
-  | Tpat_record (fields, _) ->
-      List.concat_map (fun (_, _, p') -> pattern_idents p') fields
-  | Tpat_construct (_, _, ps, _) -> List.concat_map pattern_idents ps
-  | Tpat_array ps -> List.concat_map pattern_idents ps
-  | Tpat_or (a, _, _) -> pattern_idents a
-  | _ -> []
+let pattern_idents = Ak_resolve.pattern_idents
 
 let rec walk_structure ctx prefix (str : structure) =
-  (* pass 1: register every module-level value and submodule name so
-     forward references (let rec across items, submodule mentions)
-     resolve *)
-  List.iter
-    (fun (item : structure_item) ->
-      match item.str_desc with
-      | Tstr_value (_, vbs) ->
-          List.iter
-            (fun (vb : value_binding) ->
-              List.iter
-                (fun (id, name) ->
-                  Hashtbl.replace ctx.values (Ident.unique_name id)
-                    (prefix ^ "." ^ name))
-                (pattern_idents vb.vb_pat))
-            vbs
-      | Tstr_module mb -> register_module ctx prefix mb
-      | Tstr_recmodule mbs -> List.iter (register_module ctx prefix) mbs
-      | _ -> ())
-    str.str_items;
+  (* pass 1 (kernel): register every module-level value and submodule
+     name so forward references resolve *)
+  Ak_resolve.register_items ctx.rctx prefix str;
   (* pass 2: analyze bodies *)
   List.iter
     (fun (item : structure_item) ->
@@ -845,29 +745,10 @@ let rec walk_structure ctx prefix (str : structure) =
       | _ -> ())
     str.str_items
 
-and register_module ctx prefix (mb : module_binding) =
-  match (mb.mb_id, mb.mb_name.Location.txt) with
-  | Some id, Some name ->
-      let full = prefix ^ "." ^ name in
-      let target =
-        match mb.mb_expr.mod_desc with
-        | Tmod_ident (p, _) -> module_prefix ctx p
-        | Tmod_constraint ({ mod_desc = Tmod_ident (p, _); _ }, _, _, _) ->
-            module_prefix ctx p
-        | _ -> full
-      in
-      Hashtbl.replace ctx.modules (Ident.unique_name id) target
-  | _ -> ()
-
 and walk_module ctx prefix (mb : module_binding) =
   match mb.mb_name.Location.txt with
   | Some name -> (
-      let rec strip (me : module_expr) =
-        match me.mod_desc with
-        | Tmod_constraint (me', _, _, _) -> strip me'
-        | _ -> me
-      in
-      match (strip mb.mb_expr).mod_desc with
+      match (Ak_resolve.strip_module_constraints mb.mb_expr).mod_desc with
       | Tmod_structure str -> walk_structure ctx (prefix ^ "." ^ name) str
       | _ -> ())
   | None -> ()
@@ -895,20 +776,13 @@ let rec walk_signature t prefix (sg : signature) =
 (* Loading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let display_of_unit modname = String.concat "." (split_mangled modname)
-
 let load_file t path =
-  let info = Cmt_format.read_cmt path in
-  let prefix = display_of_unit info.Cmt_format.cmt_modname in
-  match info.Cmt_format.cmt_annots with
-  | Cmt_format.Implementation str ->
-      let ctx =
-        { an = t; values = Hashtbl.create 64; modules = Hashtbl.create 16;
-          unit_prefix = prefix }
-      in
+  match Ak_cmt.load path with
+  | Ak_cmt.Impl (prefix, str) ->
+      let ctx = { an = t; rctx = Ak_resolve.create ~unit_prefix:prefix } in
       walk_structure ctx prefix str
-  | Cmt_format.Interface sg -> walk_signature t prefix sg
-  | _ -> ()
+  | Ak_cmt.Intf (prefix, sg) -> walk_signature t prefix sg
+  | Ak_cmt.Other -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint                                                            *)
@@ -938,116 +812,66 @@ let solve t =
   (* iterate: effects propagate unmasked, raises through handler masks;
      a node's own [@dsa.allow] clears the allowed effect at that node
      (the justification stops propagation at its source). *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Hashtbl.iter
-      (fun _ nd ->
-        List.iter
-          (function
-            | Call (callee, masks) -> (
-                match Hashtbl.find_opt t.nodes callee with
-                | None -> ()
-                | Some c ->
-                    List.iter
-                      (fun (k, origin) ->
-                        if
-                          (not (List.mem_assoc k nd.n_allows))
-                          && not (List.exists (fun (k', _) -> k' = k) nd.n_effects)
-                        then begin
-                          nd.n_effects <- (k, origin) :: nd.n_effects;
-                          changed := true
-                        end)
-                      c.n_effects;
-                    let masked = apply_masks c.n_raises masks in
-                    if not (SSet.subset masked nd.n_raises) then begin
-                      nd.n_raises <- SSet.union nd.n_raises masked;
-                      changed := true
-                    end)
-            | Raise _ -> ())
-          nd.n_atoms)
-      t.nodes
-  done
+  Ak_graph.fixpoint (fun ~mark ->
+      Hashtbl.iter
+        (fun _ nd ->
+          List.iter
+            (function
+              | Call (callee, masks) -> (
+                  match Hashtbl.find_opt t.nodes callee with
+                  | None -> ()
+                  | Some c ->
+                      List.iter
+                        (fun (k, origin) ->
+                          if
+                            (not (List.mem_assoc k nd.n_allows))
+                            && not
+                                 (List.exists (fun (k', _) -> k' = k)
+                                    nd.n_effects)
+                          then begin
+                            nd.n_effects <- (k, origin) :: nd.n_effects;
+                            mark ()
+                          end)
+                        c.n_effects;
+                      let masked = apply_masks c.n_raises masks in
+                      if not (SSet.subset masked nd.n_raises) then begin
+                        nd.n_raises <- SSet.union nd.n_raises masked;
+                        mark ()
+                      end)
+              | Raise _ -> ())
+            nd.n_atoms)
+        t.nodes)
 
 (* ------------------------------------------------------------------ *)
 (* Check 1: domain safety                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Call-edge successors of a node, restricted to known nodes. *)
+let succs t name =
+  match Hashtbl.find_opt t.nodes name with
+  | None -> []
+  | Some nd ->
+      List.filter_map
+        (function
+          | Call (callee, _) when Hashtbl.mem t.nodes callee -> Some callee
+          | _ -> None)
+        nd.n_atoms
+
+let spawn_roots t =
+  Hashtbl.fold (fun _ nd acc -> if nd.n_spawn_root then nd.n_name :: acc else acc)
+    t.nodes []
+  |> List.sort compare
+
 (* Everything reachable over call edges from the spawn roots — the
    closure set whose effects the domain-safety check audits.  Exposed
    for [dsa_main --debug] and the test suite. *)
 let spawn_reachable t =
-  let visited = ref SSet.empty in
-  let queue = Queue.create () in
-  Hashtbl.iter
-    (fun _ nd ->
-      if nd.n_spawn_root then begin
-        visited := SSet.add nd.n_name !visited;
-        Queue.add nd.n_name queue
-      end)
-    t.nodes;
-  while not (Queue.is_empty queue) do
-    let name = Queue.pop queue in
-    match Hashtbl.find_opt t.nodes name with
-    | None -> ()
-    | Some nd ->
-        List.iter
-          (function
-            | Call (callee, _) ->
-                if Hashtbl.mem t.nodes callee
-                   && not (SSet.mem callee !visited)
-                then begin
-                  visited := SSet.add callee !visited;
-                  Queue.add callee queue
-                end
-            | Raise _ -> ())
-          nd.n_atoms
-  done;
-  !visited
+  Ak_graph.reach ~roots:(SSet.of_list (spawn_roots t)) ~succs:(succs t)
 
 let check_domain_safety t =
   (* BFS from spawn roots over call edges, keeping the discovery path so
      violations name the chain from the spawn site. *)
-  let parent : string SMap.t ref = ref SMap.empty in
-  let visited = ref SSet.empty in
-  let queue = Queue.create () in
-  let roots =
-    Hashtbl.fold (fun _ nd acc -> if nd.n_spawn_root then nd :: acc else acc)
-      t.nodes []
-    |> List.sort (fun a b -> compare a.n_name b.n_name)
-  in
-  List.iter
-    (fun nd ->
-      visited := SSet.add nd.n_name !visited;
-      Queue.add nd.n_name queue)
-    roots;
-  while not (Queue.is_empty queue) do
-    let name = Queue.pop queue in
-    match Hashtbl.find_opt t.nodes name with
-    | None -> ()
-    | Some nd ->
-        List.iter
-          (function
-            | Call (callee, _) ->
-                if
-                  Hashtbl.mem t.nodes callee
-                  && not (SSet.mem callee !visited)
-                then begin
-                  visited := SSet.add callee !visited;
-                  parent := SMap.add callee name !parent;
-                  Queue.add callee queue
-                end
-            | Raise _ -> ())
-          nd.n_atoms
-  done;
-  let chain name =
-    let rec go name acc =
-      match SMap.find_opt name !parent with
-      | Some p -> go p (p :: acc)
-      | None -> acc
-    in
-    String.concat " -> " (go name [ name ])
-  in
+  let paths = Ak_graph.reach_paths ~roots:(spawn_roots t) ~succs:(succs t) in
   let flagged = ref [] in
   SSet.iter
     (fun name ->
@@ -1057,14 +881,17 @@ let check_domain_safety t =
           List.iter
             (fun (k, loc, what) -> flagged := (nd, k, loc, what) :: !flagged)
             nd.n_direct)
-    !visited;
+    paths.Ak_graph.visited;
   List.iter
     (fun (nd, k, loc, what) ->
       report t Domain_safety loc
+        ~path:(Ak_graph.chain paths nd.n_name)
         "%s effect (%s) in %s, reachable from a parallel_map/Domain.spawn \
          closure via %s; make it effect-free or justify with [@dsa.allow %s \
          \"...\"]"
-        (effect_name k) what nd.n_name (chain nd.n_name) (effect_name k))
+        (effect_name k) what nd.n_name
+        (Ak_graph.chain_string paths nd.n_name)
+        (effect_name k))
     (List.sort compare !flagged)
 
 (* ------------------------------------------------------------------ *)
@@ -1080,73 +907,84 @@ let check_domain_safety t =
    Table headers (quoted or bare) set the module prefix; each key line
    declares the @raises allowlist of one exported function.  "*" allows
    any exception (use sparingly). *)
+
+let strip_ws s =
+  let n = String.length s in
+  let b = ref 0 and e = ref n in
+  while !b < n && (s.[!b] = ' ' || s.[!b] = '\t') do incr b done;
+  while !e > !b && (s.[!e - 1] = ' ' || s.[!e - 1] = '\t' || s.[!e - 1] = '\r')
+  do decr e done;
+  String.sub s !b (!e - !b)
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
+  else s
+
+let strip_comment line =
+  (* a # outside double quotes starts a comment *)
+  let buf = Buffer.create (String.length line) in
+  let in_str = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_str := not !in_str
+         else if c = '#' && not !in_str then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+(* Structure of one toml line, shared by the parser and the pruner. *)
+type toml_line =
+  | Blank
+  | Header of string  (* table prefix *)
+  | Entry of string * string list  (* key, exceptions *)
+
+let classify_toml_line ~lineno line =
+  let stripped = strip_ws (strip_comment line) in
+  if stripped = "" then Blank
+  else if stripped.[0] = '[' then begin
+    let n = String.length stripped in
+    if n < 2 || stripped.[n - 1] <> ']' then
+      failwith
+        (Printf.sprintf "exceptions.toml:%d: malformed table header" lineno);
+    Header (unquote (strip_ws (String.sub stripped 1 (n - 2))))
+  end
+  else
+    match String.index_opt stripped '=' with
+    | None ->
+        failwith
+          (Printf.sprintf "exceptions.toml:%d: expected key = [..]" lineno)
+    | Some eq ->
+        let key = unquote (strip_ws (String.sub stripped 0 eq)) in
+        let value =
+          strip_ws (String.sub stripped (eq + 1) (String.length stripped - eq - 1))
+        in
+        let n = String.length value in
+        if n < 2 || value.[0] <> '[' || value.[n - 1] <> ']' then
+          failwith
+            (Printf.sprintf "exceptions.toml:%d: value must be [\"Exn\", ...]"
+               lineno);
+        let inner = String.sub value 1 (n - 2) in
+        let exns =
+          String.split_on_char ',' inner
+          |> List.map (fun s -> unquote (strip_ws s))
+          |> List.filter (fun s -> s <> "")
+        in
+        Entry (key, exns)
+
 let parse_exceptions_toml content =
   let table = Hashtbl.create 64 in
   let prefix = ref "" in
-  let strip s =
-    let n = String.length s in
-    let b = ref 0 and e = ref n in
-    while !b < n && (s.[!b] = ' ' || s.[!b] = '\t') do incr b done;
-    while !e > !b && (s.[!e - 1] = ' ' || s.[!e - 1] = '\t' || s.[!e - 1] = '\r')
-    do decr e done;
-    String.sub s !b (!e - !b)
-  in
-  let unquote s =
-    let n = String.length s in
-    if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
-    else s
-  in
-  let strip_comment line =
-    (* a # outside double quotes starts a comment *)
-    let buf = Buffer.create (String.length line) in
-    let in_str = ref false in
-    (try
-       String.iter
-         (fun c ->
-           if c = '"' then in_str := not !in_str
-           else if c = '#' && not !in_str then raise Exit;
-           Buffer.add_char buf c)
-         line
-     with Exit -> ());
-    Buffer.contents buf
-  in
   String.split_on_char '\n' content
   |> List.iteri (fun lineno line ->
-         let line = strip (strip_comment line) in
-         if line = "" then ()
-         else if line.[0] = '[' then begin
-           let n = String.length line in
-           if n < 2 || line.[n - 1] <> ']' then
-             failwith
-               (Printf.sprintf "exceptions.toml:%d: malformed table header"
-                  (lineno + 1));
-           prefix := unquote (strip (String.sub line 1 (n - 2)))
-         end
-         else
-           match String.index_opt line '=' with
-           | None ->
-               failwith
-                 (Printf.sprintf "exceptions.toml:%d: expected key = [..]"
-                    (lineno + 1))
-           | Some eq ->
-               let key = unquote (strip (String.sub line 0 eq)) in
-               let value =
-                 strip (String.sub line (eq + 1) (String.length line - eq - 1))
-               in
-               let n = String.length value in
-               if n < 2 || value.[0] <> '[' || value.[n - 1] <> ']' then
-                 failwith
-                   (Printf.sprintf
-                      "exceptions.toml:%d: value must be [\"Exn\", ...]"
-                      (lineno + 1));
-               let inner = String.sub value 1 (n - 2) in
-               let exns =
-                 String.split_on_char ',' inner
-                 |> List.map (fun s -> unquote (strip s))
-                 |> List.filter (fun s -> s <> "")
-               in
-               let full = if !prefix = "" then key else !prefix ^ "." ^ key in
-               Hashtbl.replace table full (SSet.of_list exns));
+         match classify_toml_line ~lineno:(lineno + 1) line with
+         | Blank -> ()
+         | Header p -> prefix := p
+         | Entry (key, exns) ->
+             let full = if !prefix = "" then key else !prefix ^ "." ^ key in
+             Hashtbl.replace table full (SSet.of_list exns));
   table
 
 let check_exception_escape t allowlist =
@@ -1174,6 +1012,69 @@ let check_exception_escape t allowlist =
                 (if SSet.is_empty allowed then " (no entry declared)" else ""))
           nd.n_raises)
     entries
+
+(* ------------------------------------------------------------------ *)
+(* Check 4: allowlist staleness                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An exceptions.toml entry is stale when it no longer names a live
+   public (.mli-exported) function: the covered function was renamed,
+   moved, or deleted.  Stale entries are dead weight that misleads a
+   reviewer into believing an escape path still exists, so — like a
+   promoted-but-drifted signature snapshot — they fail the build.
+   `dune build @dsa-prune` rewrites the file without them. *)
+let stale_allowlist_keys t allowlist =
+  Hashtbl.fold (fun key _ acc -> key :: acc) allowlist []
+  |> List.filter (fun key -> not (SSet.mem key t.exported))
+  |> List.sort compare
+
+let check_allowlist_staleness t allowlist =
+  List.iter
+    (fun key ->
+      report t Stale_allowlist "exceptions.toml"
+        "allowlist entry %s names no live public function; drop it (or run \
+         `dune build @dsa-prune` to prune every stale entry)"
+        key)
+    (stale_allowlist_keys t allowlist)
+
+(* The pruned exceptions.toml payload: the committed file minus entries
+   for dead functions (tables whose entries all die lose their header
+   too).  Comments and blank lines survive; the rewrite is line-based so
+   a hand-formatted file stays recognizable. *)
+let prune_exceptions_toml t content =
+  let out = Buffer.create (String.length content) in
+  let prefix = ref "" in
+  (* lines held back since the last table header (header itself,
+     comments, blanks), in reverse; flushed on the first live entry so a
+     table whose keys are all stale vanishes wholesale — comments and
+     trailing blank line included *)
+  let pending : string list option ref = ref None in
+  let emit line = Buffer.add_string out (line ^ "\n") in
+  String.split_on_char '\n' content
+  |> List.iteri (fun lineno line ->
+         match classify_toml_line ~lineno:(lineno + 1) line with
+         | Blank -> (
+             match !pending with
+             | None -> emit line
+             | Some ls -> pending := Some (line :: ls))
+         | Header p ->
+             prefix := p;
+             pending := Some [ line ]
+         | Entry (key, _) ->
+             let full = if !prefix = "" then key else !prefix ^ "." ^ key in
+             if SSet.mem full t.exported then begin
+               (match !pending with
+               | Some ls ->
+                   List.iter emit (List.rev ls);
+                   pending := None
+               | None -> ());
+               emit line
+             end);
+  (* normalize: the committed file ends with exactly one newline *)
+  let s = Buffer.contents out in
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = '\n' do decr n done;
+  String.sub s 0 !n ^ "\n"
 
 (* ------------------------------------------------------------------ *)
 (* Check 3: signature drift                                            *)
@@ -1250,7 +1151,10 @@ let analyze files =
 let run_checks ?exceptions_toml ?signatures_expected t =
   check_domain_safety t;
   (match exceptions_toml with
-  | Some content -> check_exception_escape t (parse_exceptions_toml content)
+  | Some content ->
+      let allowlist = parse_exceptions_toml content in
+      check_exception_escape t allowlist;
+      check_allowlist_staleness t allowlist
   | None -> ());
   (match signatures_expected with
   | Some expected -> check_signature_drift t ~expected

@@ -1,19 +1,26 @@
 (* cophy-dsa driver.
 
      dsa_main [--exceptions FILE] [--signatures-expected FILE]
-              [--emit-signatures] CMT_OR_CMTI_FILES...
+              [--emit-signatures] [--emit-pruned-exceptions]
+              [--json FILE] CMT_OR_CMTI_FILES...
 
    - default mode runs the whole-program checks (domain_safety over
      parallel_map / Domain.spawn closures, exception_escape against the
-     @raises allowlist, signature_drift against the committed snapshot)
-     and exits 1 when any violation remains;
+     @raises allowlist, allowlist staleness, signature_drift against the
+     committed snapshot) and exits 1 when any violation remains;
+   - [--json FILE] additionally writes the findings as a single-run
+     SARIF log (merged across analyzers by sarif_merge, uploaded by CI);
    - [--emit-signatures] prints the inferred public effect signatures to
-     stdout (the payload of tools/dsa/signatures.expected) and exits 0.
+     stdout (the payload of tools/dsa/signatures.expected) and exits 0;
+   - [--emit-pruned-exceptions] prints the --exceptions file minus the
+     entries that no longer name a live public function (the payload of
+     `dune build @dsa-prune`) and exits 0.
 
    Run through dune:
 
      dune build @dsa           # analyze every module in lib/
      dune build @dsa-promote   # accept signature drift into the snapshot
+     dune build @dsa-prune     # drop stale exceptions.toml entries
 
    See dsa_core.ml for the analysis and DESIGN.md §10 for the model. *)
 
@@ -27,6 +34,8 @@ let () =
   let exceptions = ref None in
   let signatures_expected = ref None in
   let emit = ref false in
+  let emit_pruned = ref false in
+  let json = ref None in
   let debug = ref false in
   let files = ref [] in
   let rec parse = function
@@ -37,13 +46,19 @@ let () =
     | "--signatures-expected" :: f :: tl ->
         signatures_expected := Some f;
         parse tl
+    | "--json" :: f :: tl ->
+        json := Some f;
+        parse tl
     | "--emit-signatures" :: tl ->
         emit := true;
+        parse tl
+    | "--emit-pruned-exceptions" :: tl ->
+        emit_pruned := true;
         parse tl
     | "--debug" :: tl ->
         debug := true;
         parse tl
-    | ("--exceptions" | "--signatures-expected") :: [] ->
+    | ("--exceptions" | "--signatures-expected" | "--json") :: [] ->
         prerr_endline "dsa: option expects a file argument";
         exit 2
     | f :: tl ->
@@ -55,7 +70,8 @@ let () =
   if files = [] then begin
     prerr_endline
       "usage: dsa_main [--exceptions FILE] [--signatures-expected FILE] \
-       [--emit-signatures] FILES.cmt[i]...";
+       [--emit-signatures] [--emit-pruned-exceptions] [--json FILE] \
+       FILES.cmt[i]...";
     exit 2
   end;
   let t =
@@ -96,6 +112,17 @@ let () =
        @dsa-promote`.\n";
     List.iter print_endline (Dsa_core.signatures t)
   end
+  else if !emit_pruned then begin
+    match !exceptions with
+    | None ->
+        prerr_endline "dsa: --emit-pruned-exceptions requires --exceptions";
+        exit 2
+    | Some f -> (
+        try print_string (Dsa_core.prune_exceptions_toml t (read_file f))
+        with Failure msg ->
+          prerr_endline ("dsa: " ^ msg);
+          exit 2)
+  end
   else begin
     let exceptions_toml = Option.map read_file !exceptions in
     let signatures_expected =
@@ -109,6 +136,11 @@ let () =
         prerr_endline ("dsa: " ^ msg);
         exit 2
     in
+    Option.iter
+      (fun path ->
+        Ak_findings.write_sarif path ~tool:"cophy-dsa"
+          ~rules:Dsa_core.all_rule_names viols)
+      !json;
     List.iter (Dsa_core.pp_violation stderr) viols;
     if viols <> [] then begin
       Printf.eprintf "dsa: %d violation(s)\n" (List.length viols);

@@ -1,39 +1,66 @@
-(* Promotion helper for `dune build @dsa-promote`: copy the freshly
-   generated signatures snapshot over the committed
-   tools/dsa/signatures.expected in the *source* tree.
+(* Promotion helper for `dune build @dsa-promote` / `@dsa-prune` /
+   `@race-promote`: copy freshly generated snapshot files over their
+   committed counterparts in the *source* tree.
 
-   Dune actions run inside _build/<context>/tools/dsa, so the source
-   file lives at <workspace>/tools/dsa/signatures.expected where
-   <workspace> is the prefix of the cwd up to "_build".  (The canonical
-   dune-native alternative — `dune build @dsa` followed by
-   `dune promote` — also works; this alias exists so signature
-   acceptance is one command, mirroring @lint/@dsa.) *)
+     dsa_promote [--prune] SRC DEST_RELATIVE_TO_ROOT [SRC DEST ...]
+
+   Dune actions run inside _build/<context>/tools/<tool>, so the source
+   file lives at <workspace>/<dest> where <workspace> is the prefix of
+   the cwd up to "_build".  (The canonical dune-native alternative —
+   `dune build @dsa` followed by `dune promote` — also works; these
+   aliases exist so acceptance is one command, mirroring @lint/@dsa.)
+
+   [--prune] only changes the report label: the pruned payloads are
+   computed upstream (dsa_main --emit-pruned-exceptions), this helper
+   just lands them in the source tree. *)
 
 let () =
-  match Sys.argv with
-  | [| _; src; rel_dest |] ->
-      let cwd = Sys.getcwd () in
-      let marker = Filename.dir_sep ^ "_build" ^ Filename.dir_sep in
-      let root =
-        (* longest prefix of cwd before the _build segment *)
-        let rec find i =
-          if i < 0 then None
-          else if
-            i + String.length marker <= String.length cwd
-            && String.sub cwd i (String.length marker) = marker
-          then Some (String.sub cwd 0 i)
-          else find (i - 1)
-        in
-        find (String.length cwd - 1)
-      in
-      let dest =
-        match root with
-        | Some r -> Filename.concat r rel_dest
-        | None ->
-            Printf.eprintf
-              "dsa-promote: cannot locate workspace root from %s\n" cwd;
-            exit 2
-      in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let prune, args =
+    match args with
+    | "--prune" :: tl -> (true, tl)
+    | _ -> (false, args)
+  in
+  let rec pairs = function
+    | [] -> []
+    | src :: dest :: tl -> (src, dest) :: pairs tl
+    | [ _ ] ->
+        prerr_endline
+          "usage: dsa_promote [--prune] SRC DEST_RELATIVE_TO_ROOT [SRC DEST \
+           ...]";
+        exit 2
+  in
+  let jobs = pairs args in
+  if jobs = [] then begin
+    prerr_endline
+      "usage: dsa_promote [--prune] SRC DEST_RELATIVE_TO_ROOT [SRC DEST ...]";
+    exit 2
+  end;
+  let cwd = Sys.getcwd () in
+  let marker = Filename.dir_sep ^ "_build" ^ Filename.dir_sep in
+  let root =
+    (* longest prefix of cwd before the _build segment *)
+    let rec find i =
+      if i < 0 then None
+      else if
+        i + String.length marker <= String.length cwd
+        && String.sub cwd i (String.length marker) = marker
+      then Some (String.sub cwd 0 i)
+      else find (i - 1)
+    in
+    find (String.length cwd - 1)
+  in
+  let root =
+    match root with
+    | Some r -> r
+    | None ->
+        Printf.eprintf "dsa-promote: cannot locate workspace root from %s\n"
+          cwd;
+        exit 2
+  in
+  List.iter
+    (fun (src, rel_dest) ->
+      let dest = Filename.concat root rel_dest in
       let content =
         let ic = open_in_bin src in
         Fun.protect
@@ -43,7 +70,7 @@ let () =
       let oc = open_out_bin dest in
       output_string oc content;
       close_out oc;
-      Printf.printf "dsa-promote: wrote %s\n" dest
-  | _ ->
-      prerr_endline "usage: dsa_promote GENERATED DEST_RELATIVE_TO_ROOT";
-      exit 2
+      Printf.printf "dsa-promote: %s %s\n"
+        (if prune then "pruned" else "wrote")
+        dest)
+    jobs

@@ -1,26 +1,54 @@
 (* cophy-lint driver: lint every .ml file given on the command line and
    exit nonzero when any unsuppressed violation remains.
 
+     lint_main [--json FILE] FILE.ml ...
      dune build @lint        # runs this over every module in lib/
 
    Two passes: first parse every file and fold its type declarations
    into a shared float-type environment (so [type span = float] in one
    module classifies [x.elapsed = y.elapsed] comparisons in another),
-   then lint each parsed tree against that environment.  See
+   then lint each parsed tree against that environment.  [--json FILE]
+   additionally writes the violations as a single-run SARIF log (via
+   the shared analysis kernel) for the merged CI artifact.  See
    lint_core.ml for the rule catalog and DESIGN.md §9 for the
    [@lint.allow] escape-hatch policy. *)
 
+let finding_of_violation v =
+  Ak_findings.make
+    (Lint_core.rule_name v.Lint_core.v_rule)
+    (Printf.sprintf "%s:%d:%d" v.Lint_core.v_file v.Lint_core.v_line
+       v.Lint_core.v_col)
+    v.Lint_core.v_message
+
+let sarif_rule_catalog =
+  List.map Lint_core.rule_name Lint_core.all_rules @ [ "bad_attr" ]
+
 let () =
-  let files =
-    match Array.to_list Sys.argv with
-    | _ :: files -> files
-    | [] -> []
+  let json = ref None in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: f :: tl ->
+        json := Some f;
+        parse_args tl
+    | [ "--json" ] ->
+        prerr_endline "lint: --json expects a file argument";
+        exit 2
+    | f :: tl ->
+        files := f :: !files;
+        parse_args tl
   in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
   if files = [] then begin
-    prerr_endline "usage: lint_main FILE.ml ...";
+    prerr_endline "usage: lint_main [--json FILE] FILE.ml ...";
     exit 2
   end;
-  let total = ref 0 in
+  let findings = ref [] in
+  let record f =
+    findings := f :: !findings;
+    Ak_findings.pp stderr f
+  in
   (* pass 1: parse + collect type declarations *)
   let parsed =
     List.filter_map
@@ -28,13 +56,12 @@ let () =
         match Lint_core.parse_file file with
         | str -> Some (file, str)
         | exception Syntaxerr.Error _ ->
-            incr total;
-            Printf.eprintf "%s: [parse] syntax error (lint could not parse)\n"
-              file;
+            record
+              (Ak_findings.make "parse" file
+                 "syntax error (lint could not parse)");
             None
         | exception Sys_error msg ->
-            incr total;
-            Printf.eprintf "%s: [io] %s\n" file msg;
+            record (Ak_findings.make "io" file msg);
             None)
       files
   in
@@ -50,14 +77,18 @@ let () =
   List.iter
     (fun (file, str) ->
       List.iter
-        (fun v ->
-          incr total;
-          Lint_core.pp_violation stderr v)
+        (fun v -> record (finding_of_violation v))
         (Lint_core.lint_structure ~tyenv ~file str))
     parsed;
-  if !total > 0 then begin
-    Printf.eprintf "lint: %d violation(s) in %d file(s) scanned\n" !total
-      (List.length files);
+  let findings = List.rev !findings in
+  Option.iter
+    (fun path ->
+      Ak_findings.write_sarif path ~tool:"cophy-lint" ~rules:sarif_rule_catalog
+        findings)
+    !json;
+  if findings <> [] then begin
+    Printf.eprintf "lint: %d violation(s) in %d file(s) scanned\n"
+      (List.length findings) (List.length files);
     exit 1
   end
   else Printf.printf "lint: OK (%d files)\n" (List.length files)
