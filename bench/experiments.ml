@@ -20,7 +20,12 @@ type scenario = {
   n : int;
 }
 
-let schema_cache : (float, Catalog.Schema.t) Hashtbl.t = Hashtbl.create 4
+(* memoizes TPC-H schema construction across figures; the bench driver
+   runs experiments sequentially, so the table is never shared between
+   domains *)
+let[@lint.allow global_state] schema_cache :
+    (float, Catalog.Schema.t) Hashtbl.t =
+  Hashtbl.create 4
 
 let schema_for z =
   match Hashtbl.find_opt schema_cache z with
@@ -258,18 +263,18 @@ let fig6b () =
   let w = workload_for schema `Hom 100 ~seed:7 in
   let budget = Catalog.Tpch.database_size schema in
   let session = Cophy.Interactive.create schema w ~budget in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   ignore (Cophy.Interactive.retune session);
-  let initial = Unix.gettimeofday () -. t0 in
+  let initial = Runtime.Clock.now () -. t0 in
   Fmt.pr "initial solve: %.2fs@." initial;
   Fmt.pr "%-12s %-12s %-10s@." "+candidates" "retune(s)" "speedup";
   List.iter
     (fun k ->
       let extra = Cophy.Cgen.random_candidates schema ~n:k ~seed:(1000 + k) in
       Cophy.Interactive.add_candidates session extra;
-      let t1 = Unix.gettimeofday () in
+      let t1 = Runtime.Clock.now () in
       ignore (Cophy.Interactive.retune session);
-      let dt = Unix.gettimeofday () -. t1 in
+      let dt = Runtime.Clock.now () -. t1 in
       Fmt.pr "%-12d %-12.2f %-10.1fx@." k dt (initial /. dt))
     [ 10; 25; 50; 100 ]
 
@@ -286,17 +291,17 @@ let fig6c () =
   let cands = Array.of_list (Cophy.Cgen.generate w) in
   let sp = Cophy.Sproblem.build env cache cands in
   let metric = Cophy.Pareto.storage_metric sp in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   let warm_points, warm_solves =
     Cophy.Pareto.sweep ~epsilon:0.02 ~max_points:5 sp ~metric_coeff:metric
   in
-  let warm = Unix.gettimeofday () -. t0 in
-  let t1 = Unix.gettimeofday () in
+  let warm = Runtime.Clock.now () -. t0 in
+  let t1 = Runtime.Clock.now () in
   let _, naive_solves =
     Cophy.Pareto.sweep ~epsilon:0.02 ~max_points:5 ~reuse:false sp
       ~metric_coeff:metric
   in
-  let naive = Unix.gettimeofday () -. t1 in
+  let naive = Runtime.Clock.now () -. t1 in
   Fmt.pr "points=%d  warm: %.2fs (%d solves)  naive: %.2fs (%d solves)  speedup %.1fx@."
     (List.length warm_points) warm warm_solves naive naive_solves
     (naive /. warm);
@@ -416,10 +421,10 @@ let ablations () =
   let sp = Cophy.Sproblem.build env cache cands in
   let time_lp naive =
     let p, _ = Cophy.Sproblem.to_lp ~budget ~naive_links:naive sp15 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Runtime.Clock.now () in
     let r = Lp.Simplex.solve p in
     ( Lp.Problem.nrows p,
-      Unix.gettimeofday () -. t0,
+      Runtime.Clock.now () -. t0,
       r.Lp.Simplex.obj,
       r.Lp.Simplex.iterations )
   in
@@ -449,9 +454,9 @@ let ablations () =
         Cophy.Decomposition.local_search_period = ls_period;
         max_iters = 120 }
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Runtime.Clock.now () in
     let r = Cophy.Decomposition.solve ~options sp ~budget ~z_rows:[] in
-    (r.Cophy.Decomposition.obj, Unix.gettimeofday () -. t0)
+    (r.Cophy.Decomposition.obj, Runtime.Clock.now () -. t0)
   in
   let obj_ls, t_ls = run_decomp 10 in
   let obj_nols, t_nols = run_decomp max_int in
@@ -460,15 +465,15 @@ let ablations () =
 
   (* 4. warm vs cold Pareto sweep (also in fig6c, repeated here compactly) *)
   let metric = Cophy.Pareto.storage_metric sp in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Runtime.Clock.now () in
   let _, s_warm = Cophy.Pareto.sweep ~epsilon:0.02 ~max_points:5 sp ~metric_coeff:metric in
-  let warm = Unix.gettimeofday () -. t0 in
-  let t1 = Unix.gettimeofday () in
+  let warm = Runtime.Clock.now () -. t0 in
+  let t1 = Runtime.Clock.now () in
   let _, s_cold =
     Cophy.Pareto.sweep ~epsilon:0.02 ~max_points:5 ~reuse:false sp
       ~metric_coeff:metric
   in
-  let cold = Unix.gettimeofday () -. t1 in
+  let cold = Runtime.Clock.now () -. t1 in
   Fmt.pr "@.[pareto reuse] warm %.2fs (%d solves) vs cold %.2fs (%d solves)@."
     warm s_warm cold s_cold
 

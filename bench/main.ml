@@ -346,7 +346,9 @@ let bip_phase ?(check = false) () =
     scratch.Cophy.Solver.solve_seconds
     /. Float.max 1e-9 core1.Cophy.Solver.solve_seconds
   in
-  let jobs_identical =
+  (* bit-exact on purpose: jobs=1 and jobs=4 must agree to the last ulp
+     (the determinism contract), so no tolerance is wanted here *)
+  let[@lint.allow float_eq] jobs_identical =
     core1.Cophy.Solver.objective = core4.Cophy.Solver.objective
   in
   let gap_equal =
@@ -505,12 +507,12 @@ let micro_suite () =
         Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
       in
       let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name result ->
+      List.iter
+        (fun (name, result) ->
           match Bechamel.Analyze.OLS.estimates result with
           | Some [ est ] -> Fmt.pr "%-28s %14.1f ns/run@." name est
           | _ -> Fmt.pr "%-28s (no estimate)@." name)
-        stats)
+        (Runtime.Tbl.sorted_bindings stats))
     tests
 
 let () =
@@ -612,7 +614,7 @@ let () =
         (List.map fst Experiments.all);
       exit 1
     end;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Runtime.Clock.now () in
     List.iter (fun (_, f) -> f ()) to_run;
-    Fmt.pr "@.Total experiment time: %.1fs@." (Unix.gettimeofday () -. t0)
+    Fmt.pr "@.Total experiment time: %.1fs@." (Runtime.Clock.now () -. t0)
   end

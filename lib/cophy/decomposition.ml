@@ -153,7 +153,11 @@ let block_subproblem (b : Sproblem.block) (lam : float array) ~excluded =
 
 (* min sum w_a z_a  s.t.  sizes.z <= budget, extra z rows, 0 <= z <= 1.
    Without extra rows this is a fractional knapsack solved greedily;
-   otherwise we hand the small LP to the simplex. *)
+   otherwise we hand the small LP to the simplex.  Returns the solve
+   status alongside (value, z): only an [Optimal] value is a valid
+   Lagrangian bound component — an [Iter_limit] iterate is feasible
+   (so its rounding still seeds the primal side) but its objective
+   proves nothing, and the caller must not fold it into the bound. *)
 let z_subproblem ~backend ~w ~(sizes : float array) ~budget
     ~(z_rows : Constr.z_row list) ~forced_one ~forced_zero =
   let n = Array.length w in
@@ -187,7 +191,9 @@ let z_subproblem ~backend ~w ~(sizes : float array) ~budget
           cap := !cap -. (frac *. sizes.(a))
         end)
       order;
-    (!value, z)
+    (* the greedy fill is the analytic optimum of the fractional
+       knapsack, so its value carries a proof *)
+    (!value, z, Lp.Simplex.Optimal)
   end
   else begin
     let p = Lp.Problem.create () in
@@ -227,11 +233,19 @@ let z_subproblem ~backend ~w ~(sizes : float array) ~budget
       Lp.Backend.solve { backend with Lp.Backend.presolve = false } p
     in
     match r.Lp.Simplex.status with
-    | Lp.Simplex.Optimal | Lp.Simplex.Iter_limit ->
-        (r.Lp.Simplex.obj, Array.init n (fun a -> r.Lp.Simplex.x.(vars.(a))))
-    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+    | Lp.Simplex.Optimal ->
+        ( r.Lp.Simplex.obj,
+          Array.init n (fun a -> r.Lp.Simplex.x.(vars.(a))),
+          Lp.Simplex.Optimal )
+    | Lp.Simplex.Iter_limit ->
+        (* last iterate: primal-feasible, so still a usable rounding
+           direction, but its objective is no lower bound *)
+        ( r.Lp.Simplex.obj,
+          Array.init n (fun a -> r.Lp.Simplex.x.(vars.(a))),
+          Lp.Simplex.Iter_limit )
+    | (Lp.Simplex.Infeasible | Lp.Simplex.Unbounded) as s ->
         (* infeasible z polytope: signal with +inf bound *)
-        (infinity, Array.make n 0.0)
+        (infinity, Array.make n 0.0, s)
   end
 
 (* Greedy fractional knapsack with its analytic LP dual, for the
@@ -287,8 +301,13 @@ let greedy_z_with_duals ~w ~(sizes : float array) ~budget ~forced_one
    and its solution is budget-feasible by construction, so it feeds the
    incumbent side too.  Deterministic: only a node limit, never a time
    limit, truncates the tree. *)
-let z_bip ~jobs ~w ~(sizes : float array) ~budget
-    ~(z_rows : Constr.z_row list) ~forced_one ~forced_zero =
+let[@bound.certifier bound
+     "returns Branch_bound's [bound] result field, the proven dual side \
+      maintained only through Optimal-gated updates (machine-checked by \
+      the bound sinks inside branch_bound.ml); the solution component is \
+      a bool rounding of a certified incumbent"] z_bip ~jobs ~w
+    ~(sizes : float array) ~budget ~(z_rows : Constr.z_row list) ~forced_one
+    ~forced_zero =
   let n = Array.length w in
   let p = Lp.Problem.create () in
   let vars =
@@ -726,20 +745,22 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
            lower := !lower +. v)
          sub;
        let base = !lower in
-       let zval, zfrac, zdual =
+       let zval, zfrac, zdual, zstatus =
          if core && z_rows = [] then
            let v, z, y =
              greedy_z_with_duals ~w ~sizes:sp.Sproblem.sizes ~budget
                ~forced_one ~forced_zero
            in
-           (v, z, Some y)
+           (* analytic knapsack optimum: proven by construction *)
+           (v, z, Some y, Lp.Simplex.Optimal)
          else
-           let v, z =
+           let v, z, s =
              z_subproblem ~backend:options.backend ~w ~sizes:sp.Sproblem.sizes
                ~budget ~z_rows ~forced_one ~forced_zero
            in
-           (v, z, None)
+           (v, z, None, s)
        in
+       let zproven = zstatus = Lp.Simplex.Optimal in
        if Runtime.Fx.is_inf zval then begin
          (* The z polytope is infeasible.  If variables were hardened the
             restriction is only valid for solutions at least as good as
@@ -749,8 +770,16 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
          raise Exit
        end;
        let lower = base +. zval in
-       if lower > !best_bound +. 1e-9 then begin
-         best_bound := lower;
+       (* An Iter_limit z value must not advance the proven bound (its
+          rounding above still feeds the primal side); stalling the
+          bound also halves theta on schedule, which is what gives the
+          truncated solve a chance to converge next round. *)
+       if zproven && lower > !best_bound +. 1e-9 then begin
+         best_bound :=
+           (lower
+           [@bound.sink bound
+               "the advertised Lagrangian lower bound; an unproven z \
+                value here fabricates the reported gap"]);
          no_improve := 0
        end
        else begin
@@ -769,7 +798,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
           above), so the restricted region stays nonempty and the final
           [min bound obj] stays a true lower bound. *)
        (match zdual with
-       | Some y when !best_obj < infinity ->
+       | Some y when zproven && !best_obj < infinity ->
            let u = !best_obj in
            let margin = 1e-6 *. (1.0 +. abs_float u) in
            let rc a = w.(a) -. (y *. max 1.0 sp.Sproblem.sizes.(a)) in
@@ -824,7 +853,11 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
                end
              done;
              if !lo > !best_bound +. 1e-9 then begin
-               best_bound := !lo;
+               best_bound :=
+                 (!lo
+                 [@bound.sink bound
+                     "threshold-probe bound promotion; valid only over \
+                      proven re-priced knapsack values"]);
                no_improve := 0
              end
            end
@@ -846,7 +879,11 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
           end;
           if Runtime.Fx.is_finite zb && base +. zb > !best_bound +. 1e-9
           then begin
-            best_bound := base +. zb;
+            best_bound :=
+              (base +. zb
+              [@bound.sink bound
+                  "integer-z bound promotion; zb is Branch_bound's proven \
+                   dual bound field"]);
             no_improve := 0
           end
         end);
@@ -950,8 +987,16 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
   emit !iter;
   {
     z = !best_z;
-    obj = !best_obj;
-    bound = min !best_bound !best_obj;
+    obj =
+      (!best_obj
+      [@bound.sink certified_output
+          "reported incumbent cost: must come from true evaluations of \
+           concrete configurations, never from a relaxation iterate"]);
+    bound =
+      (min !best_bound !best_obj
+      [@bound.sink certified_output
+          "reported Lagrangian bound: advisors and the gap certificate \
+           derive the optimality claim from it"]);
     iterations = !iter;
     events = !events;
     multipliers = tbl;

@@ -212,7 +212,10 @@ let block_cost_z (b : block) (z : bool array) =
 
 (* Full objective of a selection: weighted query costs + maintenance +
    fixed update costs. *)
-let eval ?(jobs = 1) t (z : bool array) =
+let[@bound.certifier objective
+     "computes the true objective of a concrete configuration from the \
+      cost model itself; the result is exact no matter how heuristic \
+      the candidate's origin"] eval ?(jobs = 1) t (z : bool array) =
   (* Per-block costs are independent; the reduction below stays a fixed
      left-to-right float sum so the result is identical at every job
      count. *)

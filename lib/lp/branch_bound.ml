@@ -251,7 +251,12 @@ let solve ?(options = default_options) (p : Problem.t) =
                   (Analyze.certificate_summary cert)))
       end;
       incumbent := Some (Array.copy x);
-      Atomic.set incumbent_obj obj;
+      Atomic.set incumbent_obj
+        (obj
+        [@bound.sink incumbent
+            "the accepted objective becomes the pruning threshold and the \
+             reported optimum; an unproven iterate here silently cuts off \
+             the true optimum"]);
       Runtime.Trace.incr tr_incumbents;
       true
     end
@@ -275,8 +280,16 @@ let solve ?(options = default_options) (p : Problem.t) =
         | Limit, None -> Limit
         | Unbounded, None -> Unbounded);
       x = best_x;
-      obj = inc +. offset;
-      bound = !global_bound +. offset;
+      obj =
+        (inc +. offset
+        [@bound.sink certified_output
+            "reported incumbent objective: callers treat it as a certified \
+             upper bound on the optimum"]);
+      bound =
+        (!global_bound +. offset
+        [@bound.sink certified_output
+            "reported dual bound: callers derive the certified optimality \
+             gap from it"]);
       nodes = !nodes;
       cuts_added;
       warm_resolves = merged.Simplex.warm_resolves;
@@ -301,7 +314,13 @@ let solve ?(options = default_options) (p : Problem.t) =
          the value of an arbitrary iterate, so it must not seed the
          proven bound — and its basis must not seed warm starts. *)
       let root_solved = root.Simplex.status = Simplex.Optimal in
-      let root_bound = ref (if root_solved then root.Simplex.obj else neg_infinity) in
+      let root_bound =
+        ref
+          ((if root_solved then root.Simplex.obj else neg_infinity)
+          [@bound.sink bound
+              "seed of the proven dual bound: an Iter_limit relaxation \
+               objective here fabricates the reported gap"])
+      in
       let root_x = ref root.Simplex.x in
       let pool = if options.cuts && root_solved then Some (Cuts.detect p) else None in
       let cuts_added = ref 0 in
@@ -328,7 +347,11 @@ let solve ?(options = default_options) (p : Problem.t) =
                 let r = Simplex.session_solve sessions.(0) in
                 incr lp_solves;
                 if r.Simplex.status = Simplex.Optimal then begin
-                  root_bound := r.Simplex.obj;
+                  root_bound :=
+                    (r.Simplex.obj
+                    [@bound.sink bound
+                        "cut-loop re-solve objective adopted as the root \
+                         bound; valid only for a proven optimum"]);
                   root_x := r.Simplex.x
                 end
                 else continue_ := false
@@ -436,7 +459,13 @@ let solve ?(options = default_options) (p : Problem.t) =
             else false
           in
           let eval ~slot node =
-            if node.nb >= Atomic.get incumbent_obj -. 1e-9 then Pruned
+            if
+              (node.nb >= Atomic.get incumbent_obj -. 1e-9)
+              [@bound.sink prune
+                  "start-of-round prune: discards the subtree for good, so \
+                   both sides must be proven (node bound / certified \
+                   incumbent)"]
+            then Pruned
             else begin
               let sess = sessions.(slot) in
               let bounds = List.rev node.fixings in
@@ -477,8 +506,18 @@ let solve ?(options = default_options) (p : Problem.t) =
                        its objective is no lower bound (keep the parent's
                        for the children), and its point only becomes an
                        incumbent after an explicit feasibility check. *)
-                    let nb = if solved then r.Simplex.obj else node.nb in
-                    if nb >= Atomic.get incumbent_obj -. 1e-9 then begin
+                    let[@bound.sink bound
+                         "bound inherited by the children's node records; an \
+                          unproven objective here would mis-order and \
+                          mis-prune the whole subtree"] nb =
+                      if solved then r.Simplex.obj else node.nb
+                    in
+                    if
+                      (nb >= Atomic.get incumbent_obj -. 1e-9)
+                      [@bound.sink prune
+                          "post-solve prune against the incumbent; both \
+                           sides must be proven"]
+                    then begin
                       Runtime.Trace.incr tr_prunes;
                       []
                     end

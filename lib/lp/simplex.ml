@@ -592,7 +592,11 @@ let solve_state s ~need_phase1 ~max_iters (p : Problem.t) =
 
 (* --- Public entry points --- *)
 
-let solve ?(max_iters = 0) ?(basis = Dense) ?stats (p : Problem.t) =
+let[@bound.source heuristic
+     "the result may carry status Iter_limit or Unbounded, whose obj/x are \
+      the last iterate, not a proven optimum; only Optimal results are \
+      certified"] solve ?(max_iters = 0) ?(basis = Dense) ?stats
+    (p : Problem.t) =
   Runtime.Trace.incr tr_solves;
   let m = Problem.nrows p and n = Problem.nvars p in
   let max_iters = if max_iters > 0 then max_iters else default_iters m n in
@@ -788,7 +792,10 @@ let new_session ?stats (p : Problem.t) =
 
 (* Cold solve: fresh state (warm machinery is sparse-only), full two-phase
    primal run.  Leaves the state in the session for [save_basis]. *)
-let session_solve ?(max_iters = 0) ?(bounds = []) sess =
+let[@bound.source heuristic
+     "like [solve], the result may carry an Iter_limit/Unbounded status \
+      whose obj/x are an unproven last iterate"] session_solve
+    ?(max_iters = 0) ?(bounds = []) sess =
   Runtime.Trace.incr tr_solves;
   let p = sess.sess_p in
   let m = Problem.nrows p and n = Problem.nvars p in
@@ -831,7 +838,10 @@ let save_basis sess =
    simplex.  Any failure (no frozen factors, numerical trouble, an
    iteration-limited dual run) falls back to a cold primal solve with the
    same bound overrides, so the result is always trustworthy. *)
-let warm_solve ?(max_iters = 0) ?(bounds = []) sess (snap : Basis.t) =
+let[@bound.source heuristic
+     "warm dual re-solves stall at Iter_limit like cold ones; the primal \
+      cleanup certifies only the Optimal outcome"] warm_solve
+    ?(max_iters = 0) ?(bounds = []) sess (snap : Basis.t) =
   let p = sess.sess_p in
   let m = Problem.nrows p and n = Problem.nvars p in
   let max_iters = if max_iters > 0 then max_iters else default_iters m n in

@@ -1,0 +1,50 @@
+(* The same flows as bf_tainted.ml, laundered the recognized ways:
+   an Optimal guard ident, an Optimal match arm, a && guard, and a
+   declared [@bound.certifier].  cophy-bound must stay silent on this
+   entire file (test/test_bound.ml asserts zero findings here). *)
+
+type status = Optimal | Iter_limit
+type result = { status : status; obj : float }
+
+let[@bound.source heuristic
+     "may stop at Iter_limit with the last iterate's objective"] solve_lp
+    (c : float) =
+  if c > 100.0 then { status = Iter_limit; obj = c }
+  else { status = Optimal; obj = c /. 2.0 }
+
+(* A recognized certifier: re-derives the value from first principles. *)
+let[@bound.certifier recheck
+     "recomputes the objective from the model, independent of the \
+      solver iterate"] certify (r : result) =
+  r.obj *. 1.0
+
+let bound = ref neg_infinity
+let incumbent = ref infinity
+
+(* Guard-ident laundering: [solved] is bound to an Optimal comparison. *)
+let seed () =
+  let r = solve_lp 3.0 in
+  let solved = r.status = Optimal in
+  bound :=
+    ((if solved then r.obj else neg_infinity)
+    [@bound.sink bound "proven seed of the dual bound"])
+
+(* Match-arm laundering: the arm's pattern requires Optimal. *)
+let advance () =
+  let r = solve_lp 5.0 in
+  match r.status with
+  | Optimal -> bound := (r.obj [@bound.sink bound "proven advance"])
+  | Iter_limit -> ()
+
+(* && laundering plus a certifier call on the accepted value. *)
+let try_accept (r : result) =
+  (r.status = Optimal || certify r < !incumbent)
+  && begin
+       incumbent :=
+         (certify r [@bound.sink incumbent "certified acceptance"]);
+       true
+     end
+
+let driver () =
+  let r = solve_lp 9.0 in
+  ignore (try_accept r)

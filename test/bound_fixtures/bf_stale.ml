@@ -1,0 +1,15 @@
+(* Escape-hatch hygiene violations: a [@bound.trust] that suppresses
+   nothing (stale_trust) and a malformed [@bound.source] level
+   (bad_attr). *)
+
+let claimed = ref 0.0
+
+let tidy () =
+  claimed :=
+    (1.0
+    [@bound.sink certified_output "published value"]
+    [@bound.trust phantom_producer
+        "left behind after a refactor; the flow it once justified is \
+         gone"])
+
+let[@bound.source sloppy "not a lattice level"] misdeclared () = 0.0

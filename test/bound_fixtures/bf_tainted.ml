@@ -1,0 +1,62 @@
+(* Deliberate bound-provenance violations, caught by cophy-bound
+   (test/test_bound.ml asserts the exact diagnostics).
+
+   The shapes reproduce the repo's real bug class, fixed by hand in
+   PR 2's review and again in the decomposition z subproblem: a solver
+   result that may carry an [Iter_limit] status is trusted as a proven
+   value — its objective prunes, becomes the incumbent, or is
+   published — without checking the status. *)
+
+type status = Optimal | Iter_limit
+type result = { status : status; obj : float }
+
+(* The heuristic producer: may stop early and return the last iterate. *)
+let[@bound.source heuristic
+     "may stop at Iter_limit, in which case obj is the last iterate's \
+      value, not a proven optimum"] solve_lp (c : float) =
+  if c > 100.0 then { status = Iter_limit; obj = c }
+  else { status = Optimal; obj = c /. 2.0 }
+
+(* --- The PR-2 bug shape: prune on an unchecked objective --- *)
+
+let prune_threshold = ref infinity
+
+let prune (r : result) =
+  (* no status check: an Iter_limit objective prunes the subtree *)
+  let nb = r.obj in
+  (nb >= !prune_threshold)
+  [@bound.sink prune "discards the subtree for good"]
+
+(* --- Incumbent acceptance without certification --- *)
+
+let incumbent = ref infinity
+
+let accept (r : result) =
+  if r.obj < !incumbent then
+    incumbent :=
+      (r.obj [@bound.sink incumbent "becomes the pruning threshold"])
+
+(* --- Published output taken straight from the producer --- *)
+
+let best_obj =
+  let r = solve_lp 7.0 in
+  (r.obj [@bound.sink certified_output "reported as the optimum"])
+
+(* --- Per-callsite precision: [scale] is called on both a clean and a
+   tainted argument; only the tainted callsite may report --- *)
+
+let scale x = x *. 2.0
+
+let clean_path =
+  (scale 21.0) [@bound.sink certified_output "clean per-callsite path"]
+
+let dirty_path () =
+  let r = solve_lp 9.0 in
+  (scale r.obj) [@bound.sink certified_output "tainted per-callsite path"]
+
+(* drive the interprocedural flows: parameter summaries only see taint
+   that some callsite actually passes *)
+let driver () =
+  let r = solve_lp 123.0 in
+  accept r;
+  prune r

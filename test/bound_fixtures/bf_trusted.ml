@@ -1,0 +1,22 @@
+(* A tainted flow whose sink is justified with a lexically scoped
+   [@bound.trust]: no tainted_sink is reported, and because the trust
+   matches a producer on a real tainted flow it is not stale either. *)
+
+type outcome = { estimate : float }
+
+let[@bound.source heuristic
+     "simulated-annealing estimate; never converges to a certificate"]
+    anneal (c : float) =
+  { estimate = c *. 0.9 }
+
+let report = ref 0.0
+
+let publish () =
+  let r = anneal 2.0 in
+  report :=
+    (r.estimate
+    [@bound.sink certified_output "published estimate"]
+    [@bound.trust anneal
+        "display-only estimate: the published number is labeled \
+         approximate in the report and never feeds a pruning or \
+         certification decision"])

@@ -1,0 +1,194 @@
+(* cophy-bound tests: the fixture library under bound_fixtures/ is
+   compiled normally by dune; we analyze its .cmt typed trees with
+   Bound_core and assert the exact diagnostics each deliberate
+   provenance violation produces — including the producer -> sink path
+   of the PR-2 regression shape (an Iter_limit objective pruning the
+   search).  The final guard analyzes every lib/ library and asserts
+   the committed tree carries no unjustified heuristic flow into a
+   pruning/certification sink. *)
+
+(* Runs under `dune runtest` (cwd = _build/default/test) and under
+   `dune exec test/test_bound.exe` from the project root, as CI's
+   bound job does. *)
+let base =
+  if Sys.file_exists "bound_fixtures" then "" else "_build/default/test/"
+
+let fixture_dir = base ^ "bound_fixtures/.bound_fixtures.objs/byte"
+
+let cmts_of dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cmt")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let analyze_fixtures () = Bound_core.analyze (cmts_of fixture_dir)
+
+let with_rule name vs = List.filter (fun v -> v.Bound_core.rule = name) vs
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let mentions needle v =
+  contains (v.Bound_core.where ^ " " ^ v.Bound_core.message) needle
+
+let in_file f v = contains v.Bound_core.where f
+
+(* --- The seeded flows are caught, with producer -> sink paths --- *)
+
+let test_tainted_fixture () =
+  let vs = Bound_core.run_checks (analyze_fixtures ()) in
+  let tainted = with_rule "tainted_sink" vs in
+  let seeded = List.filter (in_file "bf_tainted.ml") tainted in
+  Alcotest.(check int) "four unjustified heuristic flows" 4
+    (List.length seeded);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "names the heuristic producer" true
+        (mentions "Bf_tainted.solve_lp" v);
+      Alcotest.(check bool) "suggests the [@bound.trust] escape hatch" true
+        (mentions "[@bound.trust" v);
+      Alcotest.(check bool) "suggests the recognized certifiers" true
+        (mentions "Analyze.certify" v))
+    seeded;
+  (* the PR-2 regression shape: the unchecked objective pruning the
+     subtree carries the exact producer -> sink chain *)
+  let prune =
+    match List.filter (mentions "prune sink") seeded with
+    | [ v ] -> v
+    | l -> Alcotest.failf "expected 1 prune finding, got %d" (List.length l)
+  in
+  (match prune.Bound_core.path with
+  | producer :: rest ->
+      Alcotest.(check bool) "path starts at the declared source" true
+        (contains producer "Bf_tainted.solve_lp");
+      Alcotest.(check bool) "path passes through the pruning function" true
+        (List.exists (fun s -> contains s "Bf_tainted.prune") rest);
+      Alcotest.(check bool) "path ends at the sink" true
+        (match List.rev rest with
+        | last :: _ -> contains last "sink:prune"
+        | [] -> false)
+  | [] -> Alcotest.fail "prune finding carries no producer -> sink path");
+  (* per-callsite substitution: [scale] is called on a clean and a
+     tainted argument; only the tainted callsite reports *)
+  Alcotest.(check int) "the clean scale callsite is silent" 0
+    (List.length (List.filter (mentions "clean per-callsite") tainted));
+  Alcotest.(check int) "the tainted scale callsite reports" 1
+    (List.length (List.filter (mentions "tainted per-callsite") tainted))
+
+(* --- Laundering: Optimal guards, match arms, &&, certifiers --- *)
+
+let test_laundered_silent () =
+  let vs = Bound_core.run_checks (analyze_fixtures ()) in
+  Alcotest.(check int) "no findings mention bf_laundered" 0
+    (List.length (List.filter (in_file "bf_laundered.ml") vs))
+
+(* --- [@bound.trust]: justified flows are silent, the trust is used --- *)
+
+let test_trusted_silent () =
+  let vs = Bound_core.run_checks (analyze_fixtures ()) in
+  Alcotest.(check int) "no findings mention bf_trusted" 0
+    (List.length (List.filter (in_file "bf_trusted.ml") vs))
+
+(* --- Escape-hatch hygiene: stale trusts and malformed attributes --- *)
+
+let test_stale_trust () =
+  let vs = Bound_core.run_checks (analyze_fixtures ()) in
+  let stale = with_rule "stale_trust" vs in
+  Alcotest.(check int) "exactly one stale justification" 1
+    (List.length stale);
+  let v = List.hd stale in
+  Alcotest.(check bool) "names the phantom target" true
+    (mentions "phantom_producer" v);
+  Alcotest.(check bool) "located in bf_stale.ml" true (in_file "bf_stale.ml" v);
+  let bad = with_rule "bad_attr" vs in
+  Alcotest.(check int) "the malformed source level is rejected" 1
+    (List.length (List.filter (in_file "bf_stale.ml") bad));
+  Alcotest.(check bool) "bad_attr names the bogus level" true
+    (List.exists (mentions "sloppy") bad)
+
+(* --- The declared sources and the taint map are exposed --- *)
+
+let test_sources_and_summaries () =
+  let t = analyze_fixtures () in
+  ignore (Bound_core.run_checks t);
+  let sources = Bound_core.source_names t in
+  let has frag = List.exists (fun n -> contains n frag) in
+  Alcotest.(check bool) "bf_tainted's producer is a declared source" true
+    (has "Bf_tainted.solve_lp" sources);
+  Alcotest.(check bool) "bf_trusted's producer is a declared source" true
+    (has "Bf_trusted.anneal" sources);
+  let tainted_nodes = List.map fst (Bound_core.summaries t) in
+  Alcotest.(check bool) "the published module-level value is tainted" true
+    (has "Bf_tainted.best_obj" tainted_nodes);
+  Alcotest.(check bool) "the certifier output is not in the taint map" false
+    (has "Bf_laundered.certify" tainted_nodes)
+
+let test_sarif_output () =
+  (* the --json rendering of the same findings: rule ids, the physical
+     location, and the producer -> sink path must all survive into the
+     machine-readable report *)
+  let vs = Bound_core.run_checks (analyze_fixtures ()) in
+  let log =
+    Ak_findings.sarif_log ~tool:"cophy-bound" ~rules:Bound_core.all_rule_names
+      vs
+  in
+  Alcotest.(check bool) "SARIF version tag" true
+    (contains log {|"version":"2.1.0"|});
+  Alcotest.(check bool) "tainted_sink results present" true
+    (contains log {|"ruleId":"tainted_sink"|});
+  Alcotest.(check bool) "stale_trust result present" true
+    (contains log {|"ruleId":"stale_trust"|});
+  Alcotest.(check bool) "physical location points at the fixture" true
+    (contains log {|"uri":"test/bound_fixtures/bf_tainted.ml"|});
+  Alcotest.(check bool) "producer -> sink path is embedded" true
+    (contains log "sink:prune")
+
+(* --- Negative guard: the committed lib/ tree has no unjustified
+   heuristic flow into a pruning/certification sink --- *)
+
+let lib_names =
+  [ "advisors"; "catalog"; "constr"; "cophy"; "inum"; "lp"; "optimizer";
+    "runtime"; "serve"; "sqlast"; "storage"; "workload" ]
+
+let test_lib_tree_clean () =
+  let files =
+    List.concat_map
+      (fun l -> cmts_of (Printf.sprintf "%s../lib/%s/.%s.objs/byte" base l l))
+      lib_names
+  in
+  Alcotest.(check bool) "lib/ typed trees were found" true
+    (List.length files > 30);
+  let t = Bound_core.analyze files in
+  let vs = Bound_core.run_checks t in
+  List.iter (Bound_core.pp_violation stderr) vs;
+  Alcotest.(check int) "every heuristic flow is gated or justified" 0
+    (List.length vs);
+  (* silence is not vacuous: the simplex sources are declared and the
+     taint really reaches the branch-and-bound internals *)
+  let sources = Bound_core.source_names t in
+  Alcotest.(check bool) "the simplex entry points are sources" true
+    (List.exists (fun n -> contains n "Lp.Simplex.solve") sources);
+  let tainted_nodes = List.map fst (Bound_core.summaries t) in
+  Alcotest.(check bool) "taint reaches the B&B node evaluator" true
+    (List.exists (fun n -> contains n "Branch_bound.solve.eval") tainted_nodes)
+
+let () =
+  Alcotest.run "bound"
+    [ ( "fixtures",
+        [ Alcotest.test_case "seeded heuristic flows are caught" `Quick
+            test_tainted_fixture;
+          Alcotest.test_case "laundered flows are silent" `Quick
+            test_laundered_silent;
+          Alcotest.test_case "trusted flows are silent, trust is used" `Quick
+            test_trusted_silent;
+          Alcotest.test_case "stale trusts and bad attrs are findings" `Quick
+            test_stale_trust;
+          Alcotest.test_case "sources and taint map are exposed" `Quick
+            test_sources_and_summaries;
+          Alcotest.test_case "findings serialize to SARIF with paths" `Quick
+            test_sarif_output ] );
+      ( "lib tree",
+        [ Alcotest.test_case "committed solver stack is provenance-clean"
+            `Quick test_lib_tree_clean ] ) ]

@@ -1,0 +1,102 @@
+(* Shared CLI driver for the analyzer executables (cophy-lint,
+   cophy-dsa, cophy-race, cophy-bound).
+
+   Every driver has the same skeleton: parse `[options] FILES...` where
+   some options take a file argument and some are bare flags, reject an
+   empty file list with a usage line (exit 2), run the analysis with
+   load failures reported uniformly (exit 2), then print findings to
+   stderr / write the single-run SARIF log when [--json FILE] was given
+   and exit 1 iff any finding remains.  Before this module each main
+   carried its own copy of that skeleton; now the per-tool code is only
+   the analysis calls and the summary lines. *)
+
+type t = {
+  tool : string;  (* short name: "lint", "dsa", "race", "bound" *)
+  files : string list;  (* positional arguments, in command-line order *)
+  json : string option;  (* --json FILE *)
+  debug : bool;  (* --debug *)
+  opts : (string * string) list;  (* other file-argument options seen *)
+  set_flags : string list;  (* other bare flags seen *)
+}
+
+(* Parse Sys.argv.  [file_opts] are additional options that take a file
+   argument (e.g. "--exceptions"); [flags] are additional bare flags
+   (e.g. "--emit-signatures").  [--json FILE] and [--debug] are
+   understood by every driver.  An option missing its argument or an
+   empty file list is a usage error: exit 2. *)
+let parse ~tool ~usage ?(file_opts = []) ?(flags = []) () =
+  let json = ref None in
+  let debug = ref false in
+  let files = ref [] in
+  let opts = ref [] in
+  let set_flags = ref [] in
+  let takes_file o = o = "--json" || List.mem o file_opts in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: f :: tl ->
+        json := Some f;
+        go tl
+    | "--debug" :: tl ->
+        debug := true;
+        go tl
+    | o :: f :: tl when List.mem o file_opts ->
+        opts := (o, f) :: !opts;
+        go tl
+    | o :: tl when List.mem o flags ->
+        set_flags := o :: !set_flags;
+        go tl
+    | [ o ] when takes_file o ->
+        Printf.eprintf "%s: %s expects a file argument\n" tool o;
+        exit 2
+    | f :: tl ->
+        files := f :: !files;
+        go tl
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  {
+    tool;
+    files;
+    json = !json;
+    debug = !debug;
+    opts = List.rev !opts;
+    set_flags = !set_flags;
+  }
+
+let opt t name = List.assoc_opt name t.opts
+let flag t name = List.mem name t.set_flags
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [analyze] over the driver's files; a load failure (missing .cmt,
+   version skew) is an environment error, not a finding: exit 2. *)
+let load t analyze =
+  try analyze t.files
+  with e ->
+    Printf.eprintf "%s: failed to load typed trees: %s\n" t.tool
+      (Printexc.to_string e);
+    exit 2
+
+(* Shared epilogue: write the SARIF log when [--json] was given, print
+   every finding to stderr, then exit 1 with [fail] on stderr when any
+   remain, else print [ok] on stdout.  [fail]/[ok] are the per-tool
+   summary lines, already formatted. *)
+let finish t ~rules ~fail ~ok findings =
+  Option.iter
+    (fun path ->
+      Ak_findings.write_sarif path ~tool:("cophy-" ^ t.tool) ~rules findings)
+    t.json;
+  List.iter (Ak_findings.pp stderr) findings;
+  if findings <> [] then begin
+    Printf.eprintf "%s: %s\n" t.tool fail;
+    exit 1
+  end
+  else Printf.printf "%s: %s\n" t.tool ok

@@ -1,0 +1,45 @@
+(* cophy-bound driver.
+
+     bound_main [--json FILE] [--debug] CMT_FILES...
+
+   Runs the bound-provenance analysis (see bound_core.ml / DESIGN.md
+   §15) over the given typed trees and exits 1 when any finding
+   remains: heuristic values reaching a pruning/certification sink
+   without a certifier or a [@bound.trust], trusts that suppress
+   nothing, malformed attributes.  [--json FILE] additionally writes
+   the findings as a single-run SARIF log for the merged CI artifact.
+   The CLI skeleton is Ak_driver, shared with the other analyzers.
+
+   Run through dune:
+
+     dune build @bound         # analyze lib/lp + lib/cophy + lib/serve *)
+
+let () =
+  let d =
+    Ak_driver.parse ~tool:"bound"
+      ~usage:"usage: bound_main [--json FILE] [--debug] FILES.cmt..." ()
+  in
+  let t = Ak_driver.load d Bound_core.analyze in
+  let viols = Bound_core.run_checks t in
+  if d.Ak_driver.debug then begin
+    List.iter
+      (fun (lvl, why, name) ->
+        Printf.printf "source %-10s %s (%s)\n" lvl name why)
+      (List.map
+         (fun n ->
+           let lvl, why, _ = Hashtbl.find t.Bound_core.sources n in
+           (Bound_core.level_name lvl, why, n))
+         (Bound_core.source_names t));
+    List.iter
+      (fun (n, lvl) ->
+        Printf.printf "taint %-10s %s\n" (Bound_core.level_name lvl) n)
+      (Bound_core.summaries t)
+  end;
+  Ak_driver.finish d ~rules:Bound_core.all_rule_names
+    ~fail:(Printf.sprintf "%d finding(s)" (List.length viols))
+    ~ok:
+      (Printf.sprintf "OK (%d files, %d sources, %d tainted nodes)"
+         (List.length d.Ak_driver.files)
+         (List.length (Bound_core.source_names t))
+         (List.length (Bound_core.summaries t)))
+    viols

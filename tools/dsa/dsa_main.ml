@@ -16,6 +16,7 @@
      entries that no longer name a live public function (the payload of
      `dune build @dsa-prune`) and exits 0.
 
+   The CLI skeleton is Ak_driver, shared with the other analyzers.
    Run through dune:
 
      dune build @dsa           # analyze every module in lib/
@@ -24,76 +25,29 @@
 
    See dsa_core.ml for the analysis and DESIGN.md §10 for the model. *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let () =
-  let exceptions = ref None in
-  let signatures_expected = ref None in
-  let emit = ref false in
-  let emit_pruned = ref false in
-  let json = ref None in
-  let debug = ref false in
-  let files = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--exceptions" :: f :: tl ->
-        exceptions := Some f;
-        parse tl
-    | "--signatures-expected" :: f :: tl ->
-        signatures_expected := Some f;
-        parse tl
-    | "--json" :: f :: tl ->
-        json := Some f;
-        parse tl
-    | "--emit-signatures" :: tl ->
-        emit := true;
-        parse tl
-    | "--emit-pruned-exceptions" :: tl ->
-        emit_pruned := true;
-        parse tl
-    | "--debug" :: tl ->
-        debug := true;
-        parse tl
-    | ("--exceptions" | "--signatures-expected" | "--json") :: [] ->
-        prerr_endline "dsa: option expects a file argument";
-        exit 2
-    | f :: tl ->
-        files := f :: !files;
-        parse tl
+  let d =
+    Ak_driver.parse ~tool:"dsa"
+      ~usage:
+        "usage: dsa_main [--exceptions FILE] [--signatures-expected FILE] \
+         [--emit-signatures] [--emit-pruned-exceptions] [--json FILE] \
+         FILES.cmt[i]..."
+      ~file_opts:[ "--exceptions"; "--signatures-expected" ]
+      ~flags:[ "--emit-signatures"; "--emit-pruned-exceptions" ]
+      ()
   in
-  parse (List.tl (Array.to_list Sys.argv));
-  let files = List.rev !files in
-  if files = [] then begin
-    prerr_endline
-      "usage: dsa_main [--exceptions FILE] [--signatures-expected FILE] \
-       [--emit-signatures] [--emit-pruned-exceptions] [--json FILE] \
-       FILES.cmt[i]...";
-    exit 2
-  end;
-  let t =
-    try Dsa_core.analyze files
-    with e ->
-      Printf.eprintf "dsa: failed to load typed trees: %s\n"
-        (Printexc.to_string e);
-      exit 2
-  in
-  if !debug then begin
+  let t = Ak_driver.load d Dsa_core.analyze in
+  if d.Ak_driver.debug then begin
     (* dump spawn roots and nodes carrying direct effects — the raw
        inputs of the domain-safety check, for triaging its output *)
     let nodes =
       Hashtbl.fold (fun _ nd acc -> nd :: acc) t.Dsa_core.nodes []
-      |> List.sort (fun a b ->
-             compare a.Dsa_core.n_name b.Dsa_core.n_name)
+      |> List.sort (fun a b -> compare a.Dsa_core.n_name b.Dsa_core.n_name)
     in
     List.iter
       (fun nd ->
         if nd.Dsa_core.n_spawn_root then
-          Printf.printf "root %s (%s)\n" nd.Dsa_core.n_name
-            nd.Dsa_core.n_loc;
+          Printf.printf "root %s (%s)\n" nd.Dsa_core.n_name nd.Dsa_core.n_loc;
         List.iter
           (fun (k, loc, what) ->
             Printf.printf "direct %s %s: %s (%s)\n"
@@ -101,34 +55,34 @@ let () =
           nd.Dsa_core.n_direct)
       nodes;
     let reach = Dsa_core.spawn_reachable t in
-    Printf.printf "spawn-reachable: %d nodes\n"
-      (Dsa_core.SSet.cardinal reach);
+    Printf.printf "spawn-reachable: %d nodes\n" (Dsa_core.SSet.cardinal reach);
     Dsa_core.SSet.iter (fun n -> Printf.printf "reach %s\n" n) reach
   end;
-  if !emit then begin
+  let exceptions = Ak_driver.opt d "--exceptions" in
+  if Ak_driver.flag d "--emit-signatures" then begin
     print_string
       "# cophy-dsa inferred effect signatures of public (.mli-exported)\n\
        # functions in lib/.  Regenerate + accept with `dune build \
        @dsa-promote`.\n";
     List.iter print_endline (Dsa_core.signatures t)
   end
-  else if !emit_pruned then begin
-    match !exceptions with
+  else if Ak_driver.flag d "--emit-pruned-exceptions" then begin
+    match exceptions with
     | None ->
         prerr_endline "dsa: --emit-pruned-exceptions requires --exceptions";
         exit 2
     | Some f -> (
-        try print_string (Dsa_core.prune_exceptions_toml t (read_file f))
+        try print_string (Dsa_core.prune_exceptions_toml t (Ak_driver.read_file f))
         with Failure msg ->
           prerr_endline ("dsa: " ^ msg);
           exit 2)
   end
   else begin
-    let exceptions_toml = Option.map read_file !exceptions in
+    let exceptions_toml = Option.map Ak_driver.read_file exceptions in
     let signatures_expected =
       Option.map
-        (fun f -> String.split_on_char '\n' (read_file f))
-        !signatures_expected
+        (fun f -> String.split_on_char '\n' (Ak_driver.read_file f))
+        (Ak_driver.opt d "--signatures-expected")
     in
     let viols =
       try Dsa_core.run_checks ?exceptions_toml ?signatures_expected t
@@ -136,18 +90,11 @@ let () =
         prerr_endline ("dsa: " ^ msg);
         exit 2
     in
-    Option.iter
-      (fun path ->
-        Ak_findings.write_sarif path ~tool:"cophy-dsa"
-          ~rules:Dsa_core.all_rule_names viols)
-      !json;
-    List.iter (Dsa_core.pp_violation stderr) viols;
-    if viols <> [] then begin
-      Printf.eprintf "dsa: %d violation(s)\n" (List.length viols);
-      exit 1
-    end
-    else
-      Printf.printf "dsa: OK (%d files, %d public signatures)\n"
-        (List.length files)
-        (List.length (Dsa_core.signatures t))
+    Ak_driver.finish d ~rules:Dsa_core.all_rule_names
+      ~fail:(Printf.sprintf "%d violation(s)" (List.length viols))
+      ~ok:
+        (Printf.sprintf "OK (%d files, %d public signatures)"
+           (List.length d.Ak_driver.files)
+           (List.length (Dsa_core.signatures t)))
+      viols
   end

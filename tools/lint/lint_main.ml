@@ -9,7 +9,8 @@
    module classifies [x.elapsed = y.elapsed] comparisons in another),
    then lint each parsed tree against that environment.  [--json FILE]
    additionally writes the violations as a single-run SARIF log (via
-   the shared analysis kernel) for the merged CI artifact.  See
+   the shared analysis kernel) for the merged CI artifact.  The CLI
+   skeleton is Ak_driver, shared with the other analyzers.  See
    lint_core.ml for the rule catalog and DESIGN.md §9 for the
    [@lint.allow] escape-hatch policy. *)
 
@@ -24,31 +25,13 @@ let sarif_rule_catalog =
   List.map Lint_core.rule_name Lint_core.all_rules @ [ "bad_attr" ]
 
 let () =
-  let json = ref None in
-  let files = ref [] in
-  let rec parse_args = function
-    | [] -> ()
-    | "--json" :: f :: tl ->
-        json := Some f;
-        parse_args tl
-    | [ "--json" ] ->
-        prerr_endline "lint: --json expects a file argument";
-        exit 2
-    | f :: tl ->
-        files := f :: !files;
-        parse_args tl
+  let d =
+    Ak_driver.parse ~tool:"lint"
+      ~usage:"usage: lint_main [--json FILE] FILE.ml ..." ()
   in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  let files = List.rev !files in
-  if files = [] then begin
-    prerr_endline "usage: lint_main [--json FILE] FILE.ml ...";
-    exit 2
-  end;
+  let files = d.Ak_driver.files in
   let findings = ref [] in
-  let record f =
-    findings := f :: !findings;
-    Ak_findings.pp stderr f
-  in
+  let record f = findings := f :: !findings in
   (* pass 1: parse + collect type declarations *)
   let parsed =
     List.filter_map
@@ -81,14 +64,9 @@ let () =
         (Lint_core.lint_structure ~tyenv ~file str))
     parsed;
   let findings = List.rev !findings in
-  Option.iter
-    (fun path ->
-      Ak_findings.write_sarif path ~tool:"cophy-lint" ~rules:sarif_rule_catalog
-        findings)
-    !json;
-  if findings <> [] then begin
-    Printf.eprintf "lint: %d violation(s) in %d file(s) scanned\n"
-      (List.length findings) (List.length files);
-    exit 1
-  end
-  else Printf.printf "lint: OK (%d files)\n" (List.length files)
+  Ak_driver.finish d ~rules:sarif_rule_catalog
+    ~fail:
+      (Printf.sprintf "%d violation(s) in %d file(s) scanned"
+         (List.length findings) (List.length files))
+    ~ok:(Printf.sprintf "OK (%d files)" (List.length files))
+    findings

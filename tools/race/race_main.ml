@@ -7,45 +7,21 @@
    shared-mutable writes reachable from a spawn seam without a
    [@race.allow], justifications that suppress nothing, malformed
    attributes.  [--json FILE] additionally writes the findings as a
-   single-run SARIF log for the merged CI artifact.
+   single-run SARIF log for the merged CI artifact.  The CLI skeleton
+   (argument parsing, load-failure handling, findings printing, exit
+   codes) is Ak_driver, shared with the other analyzers.
 
    Run through dune:
 
      dune build @race          # analyze every module in lib/ *)
 
 let () =
-  let json = ref None in
-  let debug = ref false in
-  let files = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--json" :: f :: tl ->
-        json := Some f;
-        parse tl
-    | "--debug" :: tl ->
-        debug := true;
-        parse tl
-    | [ "--json" ] ->
-        prerr_endline "race: --json expects a file argument";
-        exit 2
-    | f :: tl ->
-        files := f :: !files;
-        parse tl
+  let d =
+    Ak_driver.parse ~tool:"race"
+      ~usage:"usage: race_main [--json FILE] [--debug] FILES.cmt..." ()
   in
-  parse (List.tl (Array.to_list Sys.argv));
-  let files = List.rev !files in
-  if files = [] then begin
-    prerr_endline "usage: race_main [--json FILE] [--debug] FILES.cmt...";
-    exit 2
-  end;
-  let t =
-    try Race_core.analyze files
-    with e ->
-      Printf.eprintf "race: failed to load typed trees: %s\n"
-        (Printexc.to_string e);
-      exit 2
-  in
-  if !debug then begin
+  let t = Ak_driver.load d Race_core.analyze in
+  if d.Ak_driver.debug then begin
     let nodes =
       Hashtbl.fold (fun _ nd acc -> nd :: acc) t.Race_core.nodes []
       |> List.sort (fun a b -> compare a.Race_core.r_name b.Race_core.r_name)
@@ -69,20 +45,12 @@ let () =
     Race_core.SSet.iter (fun n -> Printf.printf "reach %s\n" n) reach
   end;
   let viols = Race_core.run_checks t in
-  Option.iter
-    (fun path ->
-      Ak_findings.write_sarif path ~tool:"cophy-race"
-        ~rules:Race_core.all_rule_names viols)
-    !json;
-  List.iter (Race_core.pp_violation stderr) viols;
-  if viols <> [] then begin
-    Printf.eprintf "race: %d finding(s)\n" (List.length viols);
-    exit 1
-  end
-  else begin
-    let reach = Race_core.spawn_reachable t in
-    Printf.printf "race: OK (%d files, %d spawn roots, %d reachable nodes)\n"
-      (List.length files)
-      (List.length (Race_core.spawn_roots t))
-      (Race_core.SSet.cardinal reach)
-  end
+  Ak_driver.finish d ~rules:Race_core.all_rule_names
+    ~fail:(Printf.sprintf "%d finding(s)" (List.length viols))
+    ~ok:
+      (let reach = Race_core.spawn_reachable t in
+       Printf.sprintf "OK (%d files, %d spawn roots, %d reachable nodes)"
+         (List.length d.Ak_driver.files)
+         (List.length (Race_core.spawn_roots t))
+         (Race_core.SSet.cardinal reach))
+    viols
