@@ -18,8 +18,12 @@
    recommendation so job counts can be checked for identical results.
 
    --json <file> runs the full pipeline once and writes stage wall-times
-   and Runtime.Stats counters in a stable schema (schema_version 5) as a
-   machine-readable perf baseline for future PRs.  It also times the LP
+   and Runtime.Stats counters in a stable schema (schema_version 6) as a
+   machine-readable perf baseline for future PRs.  The pipeline runs at
+   the --probe-budget (default 16 per query; 0 = unlimited) and the
+   "inum" section records the lazy-probing stats of that run next to an
+   unlimited-budget leg whose certified objective is bit-identical to
+   eager probing (regret 0).  It also times the LP
    relaxation of a materialized Theorem-1 BIP under the selected
    --backend (sparse revised simplex + presolve, or the dense reference
    kernel) so backend solve-phase speedups are recorded alongside the
@@ -41,6 +45,12 @@ let bench_n = 100
 let bench_seed = 7
 let bench_budget_fraction = 0.5
 
+(* Default per-query INUM probe budget (--probe-budget; 0 = unlimited).
+   16 keeps the hom n=100 pipeline >= 3x under BENCH_4's 3145 probes
+   (build + completion-loop forcing included) while the advisor's refine
+   loop still certifies the recommendation's cost exactly. *)
+let default_probe_budget = 16
+
 (* Workload size for the materialized-BIP LP timing: large enough that
    the kernels separate, small enough that the dense reference finishes
    in CI (its per-pivot cost is O(rows^2); at n = 40 it needs upwards of
@@ -57,17 +67,22 @@ let config_indexes config =
 (* Macro benchmark backing the acceptance criterion: INUM workload-cache
    construction on a 100-statement workload, then a full advise, with
    everything needed to compare job counts printed. *)
-let macro_suite ~jobs =
+let macro_suite ~jobs ~probe_budget =
   let schema = Catalog.Tpch.schema () in
   let w = Workload.Gen.hom schema ~n:bench_n ~seed:bench_seed in
   let env = Optimizer.Whatif.make_env schema in
   let t0 = Runtime.Clock.now () in
-  let cache = Inum.build_workload ~jobs env w in
+  let cache = Inum.build_workload ~jobs ?probe_budget env w in
   let dt = Runtime.Clock.now () -. t0 in
-  Fmt.pr "inum_build n=%d jobs=%d: %.3fs (total_init_calls=%d)@." bench_n jobs
-    dt cache.Inum.total_init_calls;
+  Fmt.pr
+    "inum_build n=%d jobs=%d: %.3fs (total_init_calls=%d pending=%d \
+     regret=%.3f truncated=%d)@."
+    bench_n jobs dt
+    (Inum.total_init_calls cache)
+    (Inum.cache_pending cache) (Inum.cache_regret cache)
+    (Inum.cache_truncated cache);
   let r =
-    Cophy.Advisor.advise ~jobs schema w
+    Cophy.Advisor.advise ~jobs ?probe_budget schema w
       ~budget_fraction:bench_budget_fraction
   in
   Fmt.pr "recommendation jobs=%d: objective=%.6f indexes=[%s]@." jobs
@@ -392,7 +407,7 @@ let bip_phase ?(check = false) () =
 (* --json: one pipeline run, stable machine-readable schema.  [check]
    turns on Solver certification for the pipeline solve and the
    analyzer + certifier on the materialized BIP scenario. *)
-let json_mode ?(check = false) ~jobs ~backend_kind file =
+let json_mode ?(check = false) ~jobs ~backend_kind ~probe_budget file =
   (* Fail on an unwritable path before the (expensive) pipeline run. *)
   let oc =
     try open_out file
@@ -405,10 +420,33 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
   let stats = Runtime.Stats.create () in
   let r =
     Cophy.Advisor.advise ~jobs ~stats
+      ~backend:(backend_of_kind backend_kind) ~certify:check ?probe_budget
+      schema w ~budget_fraction:bench_budget_fraction
+  in
+  let t = r.Cophy.Advisor.timings in
+  (* Second leg: the same pipeline with an unlimited budget.  The lazy
+     probe loop then certifies every skip, so its kept template sets —
+     and the certified objective — are bit-identical to eager probing
+     with zero residual regret; the leg anchors the budgeted headline
+     numbers. *)
+  let r_unl =
+    Cophy.Advisor.advise ~jobs
       ~backend:(backend_of_kind backend_kind) ~certify:check schema w
       ~budget_fraction:bench_budget_fraction
   in
-  let t = r.Cophy.Advisor.timings in
+  let inum_json =
+    Printf.sprintf
+      {|{"probe_budget":%d,"total_init_calls":%d,"pending_probes":%d,"probe_regret":%.6f,"combos_truncated":%d,"unlimited":{"total_init_calls":%d,"objective":%.6f,"probe_regret":%.6f,"combos_truncated":%d}}|}
+      (Option.value ~default:0 probe_budget)
+      (Inum.total_init_calls r.Cophy.Advisor.cache)
+      (Inum.cache_pending r.Cophy.Advisor.cache)
+      r.Cophy.Advisor.report.Cophy.Solver.probe_regret
+      (Inum.cache_truncated r.Cophy.Advisor.cache)
+      (Inum.total_init_calls r_unl.Cophy.Advisor.cache)
+      r_unl.Cophy.Advisor.report.Cophy.Solver.objective
+      r_unl.Cophy.Advisor.report.Cophy.Solver.probe_regret
+      (Inum.cache_truncated r_unl.Cophy.Advisor.cache)
+  in
   let lp_json = lp_phase ~check ~backend_kind () in
   let serve_json = serve_phase ~jobs () in
   let bip_json = bip_phase ~check () in
@@ -418,7 +456,7 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
   in
   let json =
     Printf.sprintf
-      {|{"schema_version":5,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"total_init_calls":%d,"indexes":[%s]},"lp":%s,"serve":%s,"bip":%s,"trace":%s}|}
+      {|{"schema_version":6,"workload":{"shape":"hom","n":%d,"seed":%d},"jobs":%d,"backend":"%s","budget_fraction":%g,"timings":{"inum_seconds":%.6f,"build_seconds":%.6f,"solve_seconds":%.6f},"stats":%s,"result":{"objective":%.6f,"bound":%.6f,"gap":%.6f,"probe_regret":%.6f,"total_init_calls":%d,"indexes":[%s]},"inum":%s,"lp":%s,"serve":%s,"bip":%s,"trace":%s}|}
       bench_n bench_seed jobs
       (backend_name backend_kind)
       bench_budget_fraction t.Cophy.Advisor.inum_seconds
@@ -427,12 +465,13 @@ let json_mode ?(check = false) ~jobs ~backend_kind file =
       r.Cophy.Advisor.report.Cophy.Solver.objective
       r.Cophy.Advisor.report.Cophy.Solver.bound
       r.Cophy.Advisor.report.Cophy.Solver.gap
-      r.Cophy.Advisor.cache.Inum.total_init_calls
+      r.Cophy.Advisor.report.Cophy.Solver.probe_regret
+      (Inum.total_init_calls r.Cophy.Advisor.cache)
       (String.concat ","
          (List.map
             (fun s -> Printf.sprintf "%S" s)
             (config_indexes r.Cophy.Advisor.config)))
-      lp_json serve_json bip_json trace_json
+      inum_json lp_json serve_json bip_json trace_json
   in
   output_string oc json;
   output_char oc '\n';
@@ -524,6 +563,7 @@ let () =
   let check = ref false in
   let backend_kind = ref `Sparse in
   let trace = ref None in
+  let probe_budget = ref default_probe_budget in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
@@ -543,6 +583,17 @@ let () =
             exit 2)
     | [ "--jobs" ] ->
         Fmt.epr "--jobs expects a value@.";
+        exit 2
+    | "--probe-budget" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            probe_budget := n;
+            parse tl
+        | _ ->
+            Fmt.epr "--probe-budget expects a non-negative integer, got %S@." v;
+            exit 2)
+    | [ "--probe-budget" ] ->
+        Fmt.epr "--probe-budget expects a value@.";
         exit 2
     | "--json" :: f :: tl ->
         json := Some f;
@@ -574,6 +625,8 @@ let () =
   parse args;
   let args = List.rev !rest in
   let jobs = if !jobs <= 0 then Runtime.recommended_jobs () else !jobs in
+  (* 0 = unlimited: probe everything not certified away. *)
+  let probe_budget = if !probe_budget = 0 then None else Some !probe_budget in
   (match !trace with
   | None -> ()
   | Some tf ->
@@ -586,7 +639,9 @@ let () =
           close_out oc;
           Fmt.pr "wrote trace %s@." tf));
   match !json with
-  | Some file -> json_mode ~check:!check ~jobs ~backend_kind:!backend_kind file
+  | Some file ->
+      json_mode ~check:!check ~jobs ~backend_kind:!backend_kind ~probe_budget
+        file
   | None ->
   if !check then begin
     (* Standalone --check: analyze + certify the committed BIP scenario
@@ -597,7 +652,7 @@ let () =
   else
   if List.mem "--micro" args then begin
     micro_suite ();
-    macro_suite ~jobs
+    macro_suite ~jobs ~probe_budget
   end
   else begin
     let selected =

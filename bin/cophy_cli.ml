@@ -61,6 +61,17 @@ let jobs =
 
 let resolve_jobs j = if j <= 0 then Runtime.recommended_jobs () else j
 
+let probe_budget_arg =
+  let doc =
+    "Up-front INUM what-if probes per query (0 = unlimited).  Deferred \
+     probes resolve lazily when the advisor consults the incumbent \
+     configuration, and the report carries a certified regret bound on \
+     the remaining gap."
+  in
+  Arg.(value & opt int 16 & info [ "probe-budget" ] ~docv:"N" ~doc)
+
+let resolve_probe_budget b = if b <= 0 then None else Some b
+
 let backend_arg =
   let doc =
     "LP kernel for the solver: $(b,sparse) (revised simplex over an LU \
@@ -142,9 +153,10 @@ let plain_solver_flag =
 
 let advise_cmd =
   let run n seed z sf m shape updates sql_file gap verbose explain jobs backend
-      plain_solver trace =
+      plain_solver probe_budget trace =
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
+    let probe_budget = resolve_probe_budget probe_budget in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
     let solver_options =
@@ -161,8 +173,8 @@ let advise_cmd =
            else ignore) }
     in
     let r =
-      Cophy.Advisor.advise ~baseline ~solver_options ~jobs schema workload
-        ~budget_fraction:m
+      Cophy.Advisor.advise ~baseline ~solver_options ~jobs ?probe_budget schema
+        workload ~budget_fraction:m
     in
     Fmt.pr "# CoPhy recommendation (%d statements, budget %.2fx data)@."
       (List.length workload) m;
@@ -208,7 +220,7 @@ let advise_cmd =
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
       $ sql_file $ gap $ verbose $ explain_flag $ jobs $ backend_arg
-      $ plain_solver_flag $ trace_arg)
+      $ plain_solver_flag $ probe_budget_arg $ trace_arg)
 
 (* --- compare --- *)
 
@@ -222,9 +234,11 @@ let compare_cmd =
           [ `Cophy; `ToolB ]
       & info [ "advisors" ] ~docv:"LIST" ~doc)
   in
-  let run n seed z sf m shape updates sql_file advisors jobs trace =
+  let run n seed z sf m shape updates sql_file advisors jobs probe_budget trace
+      =
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
+    let probe_budget = resolve_probe_budget probe_budget in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let baseline = Advisors.Eval.baseline_config () in
     let budget_bytes = m *. Catalog.Tpch.database_size schema in
@@ -235,8 +249,8 @@ let compare_cmd =
           match which with
           | `Cophy ->
               let r =
-                Cophy.Advisor.advise ~baseline ~jobs schema workload
-                  ~budget_fraction:m
+                Cophy.Advisor.advise ~baseline ~jobs ?probe_budget schema
+                  workload ~budget_fraction:m
               in
               ("cophy", r.Cophy.Advisor.config, Cophy.Advisor.total_seconds r)
           | `Ilp ->
@@ -272,17 +286,18 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ budget $ shape $ updates
-      $ sql_file $ advisors_arg $ jobs $ trace_arg)
+      $ sql_file $ advisors_arg $ jobs $ probe_budget_arg $ trace_arg)
 
 (* --- pareto --- *)
 
 let pareto_cmd =
-  let run n seed z sf shape updates sql_file jobs trace =
+  let run n seed z sf shape updates sql_file jobs probe_budget trace =
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
+    let probe_budget = resolve_probe_budget probe_budget in
     let schema, workload = make_inputs sf z shape n seed updates sql_file in
     let env = Optimizer.Whatif.make_env schema in
-    let cache = Inum.build_workload ~jobs env workload in
+    let cache = Inum.build_workload ~jobs ?probe_budget env workload in
     let candidates = Array.of_list (Cophy.Cgen.generate workload) in
     let sp = Cophy.Sproblem.build env cache candidates in
     let points, solves =
@@ -303,7 +318,7 @@ let pareto_cmd =
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
       const run $ queries $ seed $ skew $ scale $ shape $ updates $ sql_file
-      $ jobs $ trace_arg)
+      $ jobs $ probe_budget_arg $ trace_arg)
 
 let main =
   let doc = "CoPhy: a scalable, portable, interactive index advisor" in

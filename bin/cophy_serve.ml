@@ -40,6 +40,14 @@ let listen_arg =
              (one client at a time; stream framing is identical)." in
   Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
 
+let probe_budget_arg =
+  let doc =
+    "Up-front INUM what-if probes per query (0 = unlimited).  Deferred \
+     probes resolve lazily during recommend/whatif; the stats response \
+     reports the outstanding count and the certified regret bound."
+  in
+  Arg.(value & opt int 16 & info [ "probe-budget" ] ~docv:"N" ~doc)
+
 let no_certify_arg =
   let doc = "Skip Lp.Analyze certification of served recommendations." in
   Arg.(value & flag & info [ "no-certify" ] ~doc)
@@ -153,16 +161,17 @@ let serve_tcp engine port =
   in
   accept_loop ()
 
-let main window jobs budget sf z listen no_certify trace emit n events seed
-    recommend_every =
+let main window jobs budget sf z listen probe_budget no_certify trace emit n
+    events seed recommend_every =
   let schema = Catalog.Tpch.schema ~sf ~z () in
   if emit then emit_replay schema ~n ~events ~seed ~recommend_every
   else
     with_trace trace @@ fun () ->
     let jobs = if jobs <= 0 then Runtime.recommended_jobs () else jobs in
+    let probe_budget = if probe_budget <= 0 then None else Some probe_budget in
     let engine =
       Serve.Engine.create ~window ~jobs ~budget_fraction:budget
-        ~certify:(not no_certify) schema
+        ~certify:(not no_certify) ?probe_budget schema
     in
     match listen with
     | Some port -> serve_tcp engine port
@@ -174,7 +183,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ window_arg $ jobs_arg $ budget_arg $ scale_arg $ skew_arg
-      $ listen_arg $ no_certify_arg $ trace_arg $ emit_replay_arg $ n_arg
-      $ events_arg $ seed_arg $ recommend_every_arg)
+      $ listen_arg $ probe_budget_arg $ no_certify_arg $ trace_arg
+      $ emit_replay_arg $ n_arg $ events_arg $ seed_arg $ recommend_every_arg)
 
 let () = exit (Cmd.eval cmd)

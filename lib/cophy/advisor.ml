@@ -30,7 +30,7 @@ let advise ?(params = Optimizer.Cost_params.default)
     ?(constraints = Constr.empty) ?candidates ?(dba_candidates = [])
     ?(solver_options = Solver.default_options)
     ?(baseline = Storage.Config.empty) ?(jobs = 1) ?stats ?backend ?certify
-    schema (w : Sqlast.Ast.workload) ~budget_fraction =
+    ?probe_budget schema (w : Sqlast.Ast.workload) ~budget_fraction =
   (* Batch advice is the one-shot form of an interactive session: create
      (INUM through the keyed store + candidate generation), build the
      BIP, retune once.  The two entry points share one code spine. *)
@@ -40,7 +40,8 @@ let advise ?(params = Optimizer.Cost_params.default)
   let session =
     Runtime.Trace.span "advisor.inum_build" (fun () ->
         Interactive.create ~params ~constraints:constraints.Constr.hard
-          ~baseline ~jobs ?candidates ~dba_candidates ~stats schema w ~budget)
+          ~baseline ~jobs ?candidates ~dba_candidates ~stats ?probe_budget
+          schema w ~budget)
   in
   let t1 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Inum_build (t1 -. t0);
@@ -64,6 +65,26 @@ let advise ?(params = Optimizer.Cost_params.default)
   let report =
     Runtime.Trace.span "advisor.solve" (fun () ->
         Interactive.retune ~options:solver_options session)
+  in
+  (* Probe-budget completion loop: force the deferred INUM probes whose
+     bound interval overlaps the recommendation's best instantiation,
+     then warm-started re-solve against the tightened (at this
+     configuration, exact) cost model; repeat until the incumbent's cost
+     model is exact, i.e. [refine_at] forces nothing.  The iteration cap
+     is a safety net — each round spends probes only where the previous
+     recommendation was optimistic, so rounds shrink fast; if the cap
+     ever bites, the report still carries the certified [probe_regret]
+     bound. *)
+  let report =
+    Runtime.Trace.span "advisor.refine" (fun () ->
+        let rec converge report rounds =
+          if rounds = 0 then report
+          else if Interactive.refine_at session report.Solver.config = 0 then
+            report
+          else converge (Interactive.retune ~options:solver_options session)
+                 (rounds - 1)
+        in
+        converge report 8)
   in
   let t3 = Runtime.Clock.now () in
   Runtime.Stats.add_stage_seconds stats Runtime.Stats.Solve (t3 -. t2);

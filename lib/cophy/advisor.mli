@@ -43,6 +43,13 @@ val total_seconds : recommendation -> float
     @param certify overrides [solver_options.certify]: debug mode that
       statically checks the BIP and certifies the solver's answer with
       {!Lp.Analyze} (raises [Lp.Analyze.Certification_failed] on failure).
+    @param probe_budget per-query cap on up-front INUM probes (see
+      {!Inum.build}; default unlimited).  After the first solve, a
+      completion loop forces the deferred probes overlapping the
+      incumbent and re-solves warm until the recommendation's cost model
+      is exact at its own configuration, so [report.objective] matches
+      the exhaustive-probing pipeline's while spending far fewer probes;
+      [report.probe_regret] certifies the residual model-wide bound.
     @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val advise :
   ?params:Optimizer.Cost_params.t ->
@@ -55,6 +62,7 @@ val advise :
   ?stats:Runtime.Stats.t ->
   ?backend:Lp.Backend.t ->
   ?certify:bool ->
+  ?probe_budget:int ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget_fraction:float ->

@@ -563,7 +563,7 @@ let solve ?(options = default_options) ?(accept = fun (_ : bool array) -> true)
      indifferent while the z knapsack sees creation cost minus capturable
      value — a dual point already close to the "no index beats its own
      savings" equilibrium. *)
-  (if core && options.warm = None then begin
+  (if core && Option.is_none options.warm then begin
      let empty = Array.make ncand false in
      let empty_bcost =
        Runtime.parallel_map ~jobs

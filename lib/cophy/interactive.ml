@@ -36,14 +36,15 @@ type session = {
 let create ?(params = Optimizer.Cost_params.default)
     ?(constraints = [ Constr.At_most_one_clustered ])
     ?(baseline = Storage.Config.empty) ?(jobs = 1) ?candidates
-    ?(dba_candidates = []) ?stats ?store schema workload ~budget =
+    ?(dba_candidates = []) ?stats ?store ?probe_budget schema workload ~budget =
   let stats =
     match stats with Some s -> s | None -> Runtime.Stats.create ()
   in
   let store =
     match store with
     | Some st -> st
-    | None -> Inum.Keyed.create (Optimizer.Whatif.make_env ~params schema)
+    | None ->
+        Inum.Keyed.create ?probe_budget (Optimizer.Whatif.make_env ~params schema)
   in
   let env = Inum.Keyed.env store in
   let cache =
@@ -220,3 +221,19 @@ let retune ?options s =
   s.incumbent <- Some (Storage.Config.to_list report.Solver.config);
   s.last <- Some report;
   report
+
+(* Force the deferred INUM probes whose bound interval overlaps the best
+   instantiation under [config] (see [Inum.refine]).  When any probe was
+   forced the kept template sets changed, so the structured BIP is
+   invalidated; warm-start state (multipliers, incumbent) survives —
+   forcing only tightens per-block costs, it does not reshape the
+   variable space.  Returns the number of probes forced; [0] means the
+   session's cost model is already exact at [config]. *)
+let refine_at s config =
+  let forced = Inum.refine_cache s.cache ~config in
+  if forced > 0 then s.problem <- None;
+  forced
+
+(* Certified INUM probe regret of the session's current cost model
+   (weighted; zero when probing was unlimited or fully refined). *)
+let probe_regret s = Inum.cache_regret s.cache

@@ -12,8 +12,10 @@ type session
     [candidates] overrides it ([dba_candidates] extends it).  [jobs]
     (default [1]) sets the domain fan-out for the session's INUM builds
     and re-tunes.  [store] shares a keyed store across sessions (its
-    environment is used; [params] is then ignored); [stats] shares a
-    stats sink. *)
+    environment is used; [params] and [probe_budget] are then ignored);
+    [stats] shares a stats sink.  [probe_budget] caps the optimizer
+    probes each INUM build spends up front (see {!Inum.build}); deferred
+    probes resolve lazily through {!refine_at} / {!Inum.cost}. *)
 val create :
   ?params:Optimizer.Cost_params.t ->
   ?constraints:Constr.t list ->
@@ -23,6 +25,7 @@ val create :
   ?dba_candidates:Storage.Index.t list ->
   ?stats:Runtime.Stats.t ->
   ?store:Inum.Keyed.store ->
+  ?probe_budget:int ->
   Catalog.Schema.t ->
   Sqlast.Ast.workload ->
   budget:float ->
@@ -73,3 +76,16 @@ val problem : session -> Sproblem.t
     query-cost-cap constraints are only enforced on the exact path.
     @raise Solver.Infeasible when the hard constraints cannot hold. *)
 val retune : ?options:Solver.options -> session -> Solver.report
+
+(** [refine_at s config] — force the deferred INUM probes whose bound
+    interval overlaps the best instantiation under [config] (see
+    {!Inum.refine}); returns the number forced.  A nonzero return
+    invalidates the structured BIP (template sets changed) while
+    multipliers and incumbent survive, so the next {!retune} warm-starts
+    against the tightened cost model.  [0] means the session's cost
+    model is already exact at [config]. *)
+val refine_at : session -> Storage.Config.t -> int
+
+(** Certified INUM probe regret of the current cost model (weighted sum
+    of {!Inum.probe_regret}); zero when probing was unlimited. *)
+val probe_regret : session -> float

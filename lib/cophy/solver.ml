@@ -78,6 +78,11 @@ type report = {
   used_method : solve_method;
   multipliers : Decomposition.multipliers option;
   solve_seconds : float;
+  (* certified INUM probe regret carried from the problem: [objective]
+     and [bound] describe the surrogate surface; the exhaustive-INUM
+     objective of [config] lies in [objective - probe_regret,
+     objective] *)
+  probe_regret : float;
 }
 
 (* Above this many BIP variables, Auto switches to the decomposition.
@@ -276,6 +281,7 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         used_method = Exact;
         multipliers = None;
         solve_seconds = Runtime.Clock.now () -. t0;
+        probe_regret = sp.Sproblem.probe_regret;
       }
   | Decomposed ->
       let events = ref [] in
@@ -343,4 +349,5 @@ let solve ?(options = default_options) ?(block_caps = []) ?accept
         used_method = Decomposed;
         multipliers = Some r.Decomposition.multipliers;
         solve_seconds = Runtime.Clock.now () -. t0;
+        probe_regret = sp.Sproblem.probe_regret;
       }

@@ -65,6 +65,13 @@ type report = {
   used_method : solve_method;
   multipliers : Decomposition.multipliers option;
   solve_seconds : float;
+  probe_regret : float;
+      (** certified INUM probe regret carried from {!Sproblem.t}:
+          [objective] and [bound] describe the cost surface of the
+          (possibly budget-limited) INUM caches; the exhaustive-probing
+          objective of [config] lies in
+          [[objective - probe_regret, objective]].  Zero when probing
+          was unlimited or fully refined. *)
 }
 
 (** Check that the z polytope (budget + linear z rows) is non-empty.

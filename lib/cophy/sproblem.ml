@@ -33,6 +33,10 @@ type t = {
   sizes : float array;                (* bytes *)
   ucost : float array;                (* weighted maintenance cost, per candidate *)
   fixed : float;                      (* weighted base-update cost sum *)
+  (* certified INUM probe regret: the objective surface encoded by the
+     blocks sits above the exhaustive-probing surface by at most this
+     much, at any selection (weighted Inum.cache_regret at build time) *)
+  probe_regret : float;
   blocks : block array;
   (* candidate position -> blocks that reference it *)
   cand_blocks : int array array;
@@ -150,6 +154,7 @@ let build ?(prune = true) (env : Optimizer.Whatif.env)
     sizes;
     ucost;
     fixed = !fixed;
+    probe_regret = Inum.cache_regret cache;
     blocks;
     cand_blocks = Array.map (fun l -> Array.of_list (List.rev l)) cand_blocks;
   }

@@ -29,6 +29,12 @@ type t = {
   sizes : float array;  (** bytes *)
   ucost : float array;  (** weighted update-maintenance cost per candidate *)
   fixed : float;  (** weighted base-update costs (c_q sums) *)
+  probe_regret : float;
+      (** certified INUM probe regret at build time: the objective
+          surface encoded by [blocks] sits above the exhaustive-probing
+          surface by at most this much, at any selection (zero when the
+          caches were built with an unlimited probe budget, or fully
+          refined) *)
   blocks : block array;
   cand_blocks : int array array;  (** candidate -> referencing blocks *)
 }

@@ -1,5 +1,5 @@
 (* INUM — the fast what-if layer of Papadomanolakis, Dash & Ailamaki (VLDB
-   2007), rebuilt over our own optimizer.
+   2007), rebuilt over our own optimizer, with Wii-style lazy probing.
 
    For each query we enumerate combinations of per-table access specs —
    unordered, one of the table's interesting orders, or nested-loop inner
@@ -10,7 +10,37 @@
    when the index cannot satisfy the slot's requirement).  cost(q, X) is
    then min over templates and atomic configurations of beta + sum gamma —
    the linearly composable form of Definition 1, which is what makes index
-   tuning a BIP (Theorem 1). *)
+   tuning a BIP (Theorem 1).
+
+   Probing is bound-driven rather than exhaustive (the Wii idea: skip
+   what-if calls whose outcome is boundable without the optimizer).  The
+   spec combinations form two partial orders:
+
+   - the *beta order*: c <= c' when c' only strengthens ordered specs of
+     c (Spec_any below every Spec_ordered, Spec_ordered by prefix,
+     Spec_nlj only equal to itself).  Extra delivered orders are free
+     structure, so any plan for c is a plan for c' at no extra cost:
+     beta is non-increasing upward, and infeasibility propagates
+     downward (a stronger combination with no plan proves the weaker one
+     has none).  Probed neighbors therefore bound an unprobed beta:
+     below by any probed stronger combination, above (through the gamma
+     order) by any probed weaker template.
+   - the *gamma order*: the template of c asks no more of every slot
+     than the template of c' would (Spec_any below everything,
+     Spec_ordered by prefix; NLJ specs are incomparable before probing
+     because their outer cardinality is unknown).  A probed template t'
+     below c in this order with beta(t') <= lb(c) proves c's template
+     would be dominated — it can be skipped with zero regret, and the
+     kept template set is provably identical to the eager build's.
+
+   The loop probes the all-any combination first, then repeatedly the
+   pending combination with the widest bound interval, until every
+   combination is probed or certified, or a probe budget runs out.
+   Budget-deferred combinations stay [Pending] with their bounds; the
+   worst residual gap is the per-query regret bound, and
+   [refine]/[cost]/[best_instantiation] force outstanding probes later
+   when (and only when) a pending interval overlaps the best
+   instantiation under the configuration actually consulted. *)
 
 open Sqlast
 
@@ -21,13 +51,41 @@ type template = {
   plan : Optimizer.Plan.t;
 }
 
+(* Per-combination probe state.  [Pending] combinations carry no cached
+   bounds: lb/ub are recomputed from probed neighbors on demand, so a
+   later probe can never leave a stale interval behind. *)
+type probe_state =
+  | Probed of template option  (* [None]: the specs admit no plan *)
+  | Skipped_dominated  (* certified: its template would be dominated *)
+  | Skipped_infeasible  (* certified: a stronger combination has no plan *)
+  | Pending  (* deferred by the probe budget *)
+
 type t = {
   query : Ast.query;
   tables : string array;
-  templates : template array;
-  (* Number of optimizer calls spent building the cache. *)
-  init_calls : int;
+  (* Spec combinations in enumeration order (the eager probe order). *)
+  combos : Optimizer.Whatif.slot_spec array array;
+  (* Parallel to [combos]; mutated by the probe loop and by [refine]. *)
+  states : probe_state array;
+  (* [stronger.(i)]: combinations above [i] in the beta order (their
+     probed betas bound beta_i from below).  [gweaker.(i)]: combinations
+     below [i] in the gamma order (their probed templates dominate or
+     upper-bound [i]'s).  Both exclude [i] itself. *)
+  stronger : int array array;
+  gweaker : int array array;
+  (* Kept template snapshot (non-dominated, deduplicated, combo order);
+     rebuilt after every forced probe. *)
+  mutable templates : template array;
+  (* Optimizer calls spent so far (build + later forcing). *)
+  mutable init_calls : int;
+  (* Combinations dropped by the [max_combinations] cap. *)
+  truncated : int;
+  (* Combination-independent beta floor (Whatif.template_cost_floor). *)
+  cost_floor : float;
   env : Optimizer.Whatif.env;
+  (* Serializes forcing; builds happen on a single domain before the
+     value is published. *)
+  lock : Mutex.t;
 }
 
 let query t = t.query
@@ -35,6 +93,7 @@ let templates t = Array.to_list t.templates
 let template_count t = Array.length t.templates
 let init_calls t = t.init_calls
 let tables t = Array.to_list t.tables
+let combos_truncated t = t.truncated
 
 (* --- Interesting orders --- *)
 
@@ -85,11 +144,16 @@ let table_specs q table =
 
 (* Enumerate spec combinations, bounding the number of simultaneously
    constrained tables (long merge/NLJ chains blow up the template count)
-   and the total number of optimizer probes per query.  Enumeration
-   visits less-constrained combinations first, so truncation drops the
-   most exotic templates — mirroring how INUM bounds its plan cache. *)
+   and the total number of combinations per query.  Enumeration visits
+   less-constrained combinations first, so truncation drops the most
+   exotic templates — mirroring how INUM bounds its plan cache.  The
+   combinations dropped by [max_combinations] are counted (per cache in
+   [combos_truncated], globally in the [inum.combos_truncated] trace
+   counter): the cap is a modeling choice, never a silent one. *)
 let max_constrained_tables = 3
 let max_combinations = 160
+
+let is_spec_any = function Optimizer.Whatif.Spec_any -> true | _ -> false
 
 let spec_combinations (q : Ast.query) tables =
   let per_table = Array.map (table_specs q) tables in
@@ -99,25 +163,21 @@ let spec_combinations (q : Ast.query) tables =
     else
       List.concat_map
         (fun s ->
-          let constrained' =
-            if s = Optimizer.Whatif.Spec_any then constrained else constrained + 1
-          in
+          let constrained' = if is_spec_any s then constrained else constrained + 1 in
           if constrained' > max_constrained_tables then []
           else go (i + 1) (s :: acc_rev) constrained')
         per_table.(i)
   in
   let all = go 0 [] 0 in
   let constrained_count combo =
-    List.fold_left
-      (fun acc s -> if s = Optimizer.Whatif.Spec_any then acc else acc + 1)
-      0 combo
+    List.fold_left (fun acc s -> if is_spec_any s then acc else acc + 1) 0 combo
   in
   let sorted =
     List.stable_sort
       (fun a b -> compare (constrained_count a) (constrained_count b))
       all
   in
-  List.filteri (fun i _ -> i < max_combinations) sorted
+  (List.filteri (fun i _ -> i < max_combinations) sorted, List.length all)
 
 (* --- Requirement comparison for template domination --- *)
 
@@ -126,7 +186,7 @@ let order_weaker_eq (o1 : string list) (o2 : string list) =
   let rec prefix = function
     | [], _ -> true
     | _, [] -> false
-    | a :: xs, b :: ys -> a = b && prefix (xs, ys)
+    | a :: xs, b :: ys -> String.equal a b && prefix (xs, ys)
   in
   prefix (o1, o2)
 
@@ -136,8 +196,32 @@ let req_weaker_eq (r1 : Optimizer.Plan.slot_req) (r2 : Optimizer.Plan.slot_req) 
   | Optimizer.Plan.Ordered o1, Optimizer.Plan.Ordered o2 -> order_weaker_eq o1 o2
   | ( Optimizer.Plan.Nlj_inner { join_col = c1; outer_rows = r1 },
       Optimizer.Plan.Nlj_inner { join_col = c2; outer_rows = r2 } ) ->
-      c1 = c2 && r1 <= r2
+      String.equal c1 c2 && r1 <= r2
   | _ -> false
+
+(* Structural slot-requirement equality.  [outer_rows] is a float, so the
+   comparison goes through [Runtime.Fx] — polymorphic [=] over values
+   embedding floats is exactly the bug class lint rule L1 rejects. *)
+let req_equal (r1 : Optimizer.Plan.slot_req) (r2 : Optimizer.Plan.slot_req) =
+  match (r1, r2) with
+  | Optimizer.Plan.Any_order, Optimizer.Plan.Any_order -> true
+  | Optimizer.Plan.Ordered o1, Optimizer.Plan.Ordered o2 ->
+      List.length o1 = List.length o2 && List.for_all2 String.equal o1 o2
+  | ( Optimizer.Plan.Nlj_inner { join_col = c1; outer_rows = r1 },
+      Optimizer.Plan.Nlj_inner { join_col = c2; outer_rows = r2 } ) ->
+      String.equal c1 c2 && Runtime.Fx.exactly r1 r2
+  | _ -> false
+
+let reqs_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (req_equal a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+let template_equal t1 t2 =
+  Runtime.Fx.exactly t1.beta t2.beta && reqs_equal t1.slot_reqs t2.slot_reqs
 
 (* t1 makes t2 redundant when it is no more expensive internally and
    requires no more from every slot. *)
@@ -145,100 +229,330 @@ let dominates t1 t2 =
   t1.beta <= t2.beta
   && Array.for_all2 req_weaker_eq t1.slot_reqs t2.slot_reqs
 
+(* --- Spec-level partial orders (pre-probe) --- *)
+
+(* Beta order: [s1 <= s2] when any plan honoring [s1]'s spec is a plan
+   honoring [s2]'s at no greater cost (extra orders are free structure).
+   NLJ specs pin the plan shape, so they compare only to themselves. *)
+let spec_beta_le (s1 : Optimizer.Whatif.slot_spec) s2 =
+  match (s1, s2) with
+  | Optimizer.Whatif.Spec_any, Optimizer.Whatif.Spec_any -> true
+  | Optimizer.Whatif.Spec_any, Optimizer.Whatif.Spec_ordered _ -> true
+  | Optimizer.Whatif.Spec_ordered o1, Optimizer.Whatif.Spec_ordered o2 ->
+      order_weaker_eq o1 o2
+  | Optimizer.Whatif.Spec_nlj a, Optimizer.Whatif.Spec_nlj b -> String.equal a b
+  | _ -> false
+
+(* Gamma order: the template probed from [s1] asks no more of the slot
+   than the one probed from [s2] would ([req_weaker_eq] at spec level).
+   NLJ specs are excluded: their requirement carries the probe-time outer
+   cardinality, which is unknown for an unprobed combination. *)
+let spec_gamma_le (s1 : Optimizer.Whatif.slot_spec) s2 =
+  match (s1, s2) with
+  | Optimizer.Whatif.Spec_any, _ -> true
+  | Optimizer.Whatif.Spec_ordered o1, Optimizer.Whatif.Spec_ordered o2 ->
+      order_weaker_eq o1 o2
+  | _ -> false
+
+let combo_le le (c1 : Optimizer.Whatif.slot_spec array) c2 =
+  let n = Array.length c1 in
+  let rec go i = i >= n || (le c1.(i) c2.(i) && go (i + 1)) in
+  go 0
+
+let constrained_count combo =
+  Array.fold_left (fun acc s -> if is_spec_any s then acc else acc + 1) 0 combo
+
 (* --- Cache construction --- *)
 
 (* Trace probes: single [Atomic.get] each when tracing is off.
    [inum.init_calls] counts template-plan probes issued to the what-if
-   optimizer (the paper's INUM "init" currency); [inum.beta_extractions]
-   the templates whose internal cost beta was materialized;
-   [inum.gamma_evals] the per-slot gamma lookups at cost-evaluation
-   time. *)
+   optimizer (the paper's INUM "init" currency); [inum.probes_skipped]
+   the combinations certified away without a probe;
+   [inum.probes_forced] the deferred probes forced later by the lazy
+   completion path; [inum.combos_truncated] the combinations dropped by
+   the [max_combinations] cap; [inum.probe_regret] the (rounded-up)
+   per-query regret bounds left at build time by a finite probe budget;
+   [inum.beta_extractions] the templates whose internal cost beta was
+   materialized; [inum.gamma_evals] the per-slot gamma lookups at
+   cost-evaluation time. *)
 let tr_init_calls = Runtime.Trace.counter "inum.init_calls"
 let tr_template_enums = Runtime.Trace.counter "inum.template_enumerations"
 let tr_beta = Runtime.Trace.counter "inum.beta_extractions"
 let tr_gamma = Runtime.Trace.counter "inum.gamma_evals"
 let tr_templates_kept = Runtime.Trace.counter "inum.templates_kept"
+let tr_skipped = Runtime.Trace.counter "inum.probes_skipped"
+let tr_forced = Runtime.Trace.counter "inum.probes_forced"
+let tr_truncated = Runtime.Trace.counter "inum.combos_truncated"
+let tr_regret = Runtime.Trace.counter "inum.probe_regret"
 
-let build env (q : Ast.query) =
-  Runtime.Trace.span "inum.build" @@ fun () ->
-  let tables = Array.of_list q.Ast.tables in
-  let combos = spec_combinations q tables in
-  Runtime.Trace.incr tr_template_enums;
-  Runtime.Trace.add tr_init_calls (List.length combos);
-  let raw =
-    List.filter_map
-      (fun combo ->
-        let specs =
-          List.mapi (fun i s -> (tables.(i), s)) combo
-          |> List.filter (fun (_, s) -> s <> Optimizer.Whatif.Spec_any)
-        in
-        match Optimizer.Whatif.template_plan env q ~slot_specs:specs with
-        | None -> None
-        | Some plan ->
-            (* Recover each slot's actual requirement (NLJ slots now carry
-               their outer cardinality). *)
-            let slot_list = Optimizer.Plan.slots plan in
-            let slot_reqs =
-              Array.map
-                (fun t ->
-                  match List.find_opt (fun (tb, _, _) -> tb = t) slot_list with
-                  | Some (_, _, req) -> req
-                  | None -> Optimizer.Plan.Any_order)
-                tables
+let is_pending t i = match t.states.(i) with Pending -> true | _ -> false
+
+let has_pending t =
+  let n = Array.length t.states in
+  let rec go i = i < n && (is_pending t i || go (i + 1)) in
+  go 0
+
+(* Lower bound on beta_i: probed combinations above [i] in the beta order
+   are no more expensive, seeded with the combination-independent floor. *)
+let lower_bound t i =
+  Array.fold_left
+    (fun acc j ->
+      match t.states.(j) with
+      | Probed (Some tpl) -> if tpl.beta > acc then tpl.beta else acc
+      | _ -> acc)
+    t.cost_floor t.stronger.(i)
+
+(* Upper bound on the cost contribution of [i]: the cheapest probed
+   template below [i] in the gamma order also gamma-dominates it
+   pointwise, so beta_i's template can beat it by at most ub - lb. *)
+let upper_bound t i =
+  Array.fold_left
+    (fun acc j ->
+      match t.states.(j) with
+      | Probed (Some tpl) -> if tpl.beta < acc then tpl.beta else acc
+      | _ -> acc)
+    infinity t.gweaker.(i)
+
+(* One certification sweep: pending combinations proven infeasible (a
+   stronger probed combination has no plan) or dominated (a probed
+   gamma-weaker template undercuts the beta lower bound) are skipped for
+   good.  Certifications read only probed states, so a single sweep after
+   each probe reaches the closure. *)
+let certify_pass t =
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Pending ->
+          let infeasible =
+            Array.exists
+              (fun j ->
+                match t.states.(j) with Probed None -> true | _ -> false)
+              t.stronger.(i)
+          in
+          if infeasible then begin
+            t.states.(i) <- Skipped_infeasible;
+            Runtime.Trace.incr tr_skipped
+          end
+          else begin
+            let lb = lower_bound t i in
+            let dominated =
+              Array.exists
+                (fun j ->
+                  match t.states.(j) with
+                  | Probed (Some tpl) -> tpl.beta <= lb
+                  | _ -> false)
+                t.gweaker.(i)
             in
-            Runtime.Trace.incr tr_beta;
-            Some { beta = Optimizer.Plan.cost plan; slot_reqs; plan })
-      combos
+            if dominated then begin
+              t.states.(i) <- Skipped_dominated;
+              Runtime.Trace.incr tr_skipped
+            end
+          end
+      | Probed _ | Skipped_dominated | Skipped_infeasible -> ())
+    t.states
+
+let probe_combo t i =
+  let specs =
+    Array.to_list (Array.mapi (fun k s -> (t.tables.(k), s)) t.combos.(i))
+    |> List.filter (fun (_, s) -> not (is_spec_any s))
+  in
+  t.init_calls <- t.init_calls + 1;
+  Runtime.Trace.incr tr_init_calls;
+  let result =
+    match Optimizer.Whatif.template_plan t.env t.query ~slot_specs:specs with
+    | None -> None
+    | Some plan ->
+        (* Recover each slot's actual requirement (NLJ slots now carry
+           their outer cardinality). *)
+        let slot_list = Optimizer.Plan.slots plan in
+        let slot_reqs =
+          Array.map
+            (fun tb ->
+              match List.find_opt (fun (tb', _, _) -> tb' = tb) slot_list with
+              | Some (_, _, req) -> req
+              | None -> Optimizer.Plan.Any_order)
+            t.tables
+        in
+        Runtime.Trace.incr tr_beta;
+        Some { beta = Optimizer.Plan.cost plan; slot_reqs; plan }
+  in
+  t.states.(i) <- Probed result
+
+(* Kept templates: probed, not strictly dominated by another probed
+   template, first occurrence of each structural-duplicate class, in
+   combination order.  Skipped combinations are exactly those whose
+   template a probed one would strictly dominate, so at an unlimited
+   budget this equals the eager build's kept set. *)
+let rebuild_templates t =
+  let probed =
+    Array.to_list t.states
+    |> List.filter_map (function Probed (Some tpl) -> Some tpl | _ -> None)
   in
   let kept =
     List.filter
-      (fun t -> not (List.exists (fun t' -> t' != t && dominates t' t) raw))
-      raw
+      (fun tpl ->
+        not
+          (List.exists
+             (fun tpl' -> dominates tpl' tpl && not (template_equal tpl' tpl))
+             probed))
+      probed
   in
-  (* Drop exact duplicates that survive mutual domination. *)
+  (* Drop exact structural duplicates (first occurrence wins). *)
   let kept =
     List.fold_left
-      (fun acc t ->
-        if
-          List.exists
-            (fun t' ->
-              Runtime.Fx.exactly t'.beta t.beta
-              && t'.slot_reqs = t.slot_reqs)
-            acc
-        then acc
-        else t :: acc)
+      (fun acc tpl ->
+        if List.exists (fun tpl' -> template_equal tpl' tpl) acc then acc
+        else tpl :: acc)
       [] kept
     |> List.rev
   in
-  Runtime.Trace.add tr_templates_kept (List.length kept);
-  {
-    query = q;
-    tables;
-    templates = Array.of_list kept;
-    init_calls = List.length combos;
-    env;
-  }
+  t.templates <- Array.of_list kept
+
+(* Next probe target: the pending combination with the widest bound
+   interval (most information per probe), most-constrained then lowest
+   index on ties — a deterministic schedule. *)
+let next_probe t =
+  let best = ref (-1) in
+  let best_gap = ref neg_infinity in
+  let best_cc = ref (-1) in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Pending ->
+          let gap = upper_bound t i -. lower_bound t i in
+          let cc = constrained_count t.combos.(i) in
+          if
+            gap > !best_gap
+            || (Runtime.Fx.exactly gap !best_gap && cc > !best_cc)
+          then begin
+            best := i;
+            best_gap := gap;
+            best_cc := cc
+          end
+      | Probed _ | Skipped_dominated | Skipped_infeasible -> ())
+    t.states;
+  if !best < 0 then None else Some !best
+
+(* Worst residual bound gap over pending combinations — a certified bound
+   on how far [cost]/[Sproblem] built from the kept templates can sit
+   above the exhaustive INUM surface, at any configuration (the gamma
+   order makes the upper bound's template dominate pointwise). *)
+let probe_regret t =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Pending ->
+          let gap = upper_bound t i -. lower_bound t i in
+          if gap > !worst then worst := gap
+      | Probed _ | Skipped_dominated | Skipped_infeasible -> ())
+    t.states;
+  !worst
+
+let pending_probes t =
+  let n = ref 0 in
+  Array.iter
+    (fun st -> match st with Pending -> incr n | _ -> ())
+    t.states;
+  !n
+
+let build_internal ~eager ~probe_budget env (q : Ast.query) =
+  Runtime.Trace.span "inum.build" @@ fun () ->
+  let tables = Array.of_list q.Ast.tables in
+  let combo_list, total = spec_combinations q tables in
+  Runtime.Trace.incr tr_template_enums;
+  let combos =
+    Array.of_list (List.map (fun c -> Array.of_list c) combo_list)
+  in
+  let n = Array.length combos in
+  let truncated = total - n in
+  if truncated > 0 then Runtime.Trace.add tr_truncated truncated;
+  let relation le =
+    Array.init n (fun i ->
+        let acc = ref [] in
+        for j = n - 1 downto 0 do
+          if j <> i && le i j then acc := j :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let t =
+    {
+      query = q;
+      tables;
+      combos;
+      states = Array.make n Pending;
+      stronger = relation (fun i j -> combo_le spec_beta_le combos.(i) combos.(j));
+      gweaker = relation (fun i j -> combo_le spec_gamma_le combos.(j) combos.(i));
+      templates = [||];
+      init_calls = 0;
+      truncated;
+      cost_floor = Optimizer.Whatif.template_cost_floor env q;
+      env;
+      lock = Mutex.create ();
+    }
+  in
+  if n > 0 then begin
+    if eager then
+      for i = 0 to n - 1 do
+        probe_combo t i
+      done
+    else begin
+      let budget =
+        match probe_budget with None -> max_int | Some b -> max 1 b
+      in
+      (* The all-any combination anchors every upper bound (its template
+         gamma-dominates all others), so it is always probed first. *)
+      probe_combo t 0;
+      certify_pass t;
+      let continue_ = ref (t.init_calls < budget) in
+      while !continue_ do
+        match next_probe t with
+        | None -> continue_ := false
+        | Some i ->
+            probe_combo t i;
+            certify_pass t;
+            if t.init_calls >= budget then continue_ := false
+      done
+    end
+  end;
+  rebuild_templates t;
+  Runtime.Trace.add tr_templates_kept (Array.length t.templates);
+  let regret = probe_regret t in
+  if regret > 0.0 then
+    Runtime.Trace.add tr_regret (int_of_float (Float.ceil regret));
+  t
+
+let build ?probe_budget env q = build_internal ~eager:false ~probe_budget env q
+let build_eager env q = build_internal ~eager:true ~probe_budget:None env q
 
 (* --- Costs --- *)
 
 (* gamma_qkia: cost of instantiating the slot of [table] in template [k]
    with [index] ([None] = no index).  A [None] result encodes an infinite
    coefficient. *)
+let slot_index t table =
+  let n = Array.length t.tables in
+  let rec find i =
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf
+           "Inum.gamma: table %S is not referenced by query %d" table
+           t.query.Ast.query_id)
+    else if String.equal t.tables.(i) table then i
+    else find (i + 1)
+  in
+  find 0
+
 let gamma t k ~table index =
   Runtime.Trace.incr tr_gamma;
-  let ti =
-    let rec find i = if t.tables.(i) = table then i else find (i + 1) in
-    find 0
-  in
+  let ti = slot_index t table in
   let req = t.templates.(k).slot_reqs.(ti) in
   Optimizer.Access.slot_fill_cost t.env.Optimizer.Whatif.params
     t.env.Optimizer.Whatif.schema t.query table index req
 
-(* Minimum gamma over the indexes of [config] on [table] (and no-index). *)
-let best_slot_cost t (template : template) ti config =
-  Runtime.Trace.incr tr_gamma;
-  let table = t.tables.(ti) in
-  let req = template.slot_reqs.(ti) in
+(* Minimum fill cost of requirement [req] on [table] over the indexes of
+   [config] (and no-index). *)
+let best_req_cost t table req config =
   let params = t.env.Optimizer.Whatif.params in
   let schema = t.env.Optimizer.Whatif.schema in
   let base =
@@ -256,10 +570,13 @@ let best_slot_cost t (template : template) ti config =
     base
     (Storage.Config.on_table config table)
 
-(* INUM's approximation of cost(q, X): min over templates of beta plus the
-   per-slot minima (the inner min over atomic configurations decomposes
-   per slot). *)
-let cost t config =
+(* Minimum gamma over the indexes of [config] on [table] (and no-index). *)
+let best_slot_cost t (template : template) ti config =
+  Runtime.Trace.incr tr_gamma;
+  best_req_cost t t.tables.(ti) template.slot_reqs.(ti) config
+
+(* Surrogate cost over the kept templates only (no forcing). *)
+let kept_cost t config =
   let best = ref infinity in
   Array.iter
     (fun template ->
@@ -271,9 +588,88 @@ let cost t config =
     t.templates;
   !best
 
+(* Optimistic total of a pending combination under [config]: the beta
+   lower bound plus a per-slot lower bound on the deferred template's
+   fill costs.  Ordered/any slots are exact — their requirement is the
+   spec verbatim.  An NLJ slot's requirement carries the probe-time
+   outer cardinality; cardinalities are clamped to >= 1 row, so one
+   probe's cost bounds the slot from below. *)
+let optimistic_total t i config =
+  let total = ref (lower_bound t i) in
+  Array.iteri
+    (fun k s ->
+      match s with
+      | Optimizer.Whatif.Spec_any ->
+          total :=
+            !total +. best_req_cost t t.tables.(k) Optimizer.Plan.Any_order config
+      | Optimizer.Whatif.Spec_ordered o ->
+          total :=
+            !total
+            +. best_req_cost t t.tables.(k) (Optimizer.Plan.Ordered o) config
+      | Optimizer.Whatif.Spec_nlj jc ->
+          total :=
+            !total
+            +. best_req_cost t t.tables.(k)
+                 (Optimizer.Plan.Nlj_inner { join_col = jc; outer_rows = 1.0 })
+                 config)
+    t.combos.(i);
+  !total
+
+(* Lazy completion: force deferred probes whose optimistic total still
+   undercuts the best kept instantiation under [config] — i.e. whose
+   bound interval overlaps the current winner — until none does.  After
+   it returns, [kept_cost t config] equals the exhaustive build's cost at
+   this configuration.  Returns the number of probes forced.  Safe to
+   call repeatedly and from any single domain at a time; results are
+   path-independent (exactness at every consulted configuration holds
+   regardless of which configurations were consulted before). *)
+let refine t ~config =
+  if not (has_pending t) then 0
+  else
+    Mutex.protect t.lock @@ fun () ->
+    let forced = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let best = kept_cost t config in
+      let target = ref None in
+      Array.iteri
+        (fun i st ->
+          match (st, !target) with
+          | Pending, None ->
+              if optimistic_total t i config < best then target := Some i
+          | _ -> ())
+        t.states;
+      match !target with
+      | None -> ()
+      | Some i ->
+          probe_combo t i;
+          incr forced;
+          Runtime.Trace.incr tr_forced;
+          certify_pass t;
+          rebuild_templates t;
+          continue_ := true
+    done;
+    !forced
+
+(* INUM's approximation of cost(q, X): min over templates of beta plus the
+   per-slot minima (the inner min over atomic configurations decomposes
+   per slot).  Deferred probes whose bounds overlap the winner are forced
+   first, so the result is exact — equal to the exhaustive build's — at
+   every configuration actually consulted. *)
+let cost t config =
+  if has_pending t then ignore (refine t ~config);
+  kept_cost t config
+
+(* Surrogate cost and the certified regret bound, without forcing: the
+   exhaustive cost lies in [fst - snd, fst]. *)
+let cost_bound t config = (kept_cost t config, probe_regret t)
+
 (* The template index and atomic configuration (at most one index per
-   table) the minimum is attained at, for explanation output. *)
+   table) the minimum is attained at, for explanation output.  Forces
+   overlapping deferred probes first, like [cost]. *)
 let best_instantiation t config =
+  if has_pending t then ignore (refine t ~config);
   let params = t.env.Optimizer.Whatif.params in
   let schema = t.env.Optimizer.Whatif.schema in
   let best = ref (infinity, 0, [||]) in
@@ -322,12 +718,17 @@ module Keyed = struct
      access clock.  Building on [Canon.normalize q] (not [q] itself) is
      what makes a hit bit-identical to a fresh build: the canonical form
      pins the clause order every float reduction runs in, so any two
-     statements with the same key build the same [t]. *)
+     statements with the same key build the same [t].  Entries are the
+     live (possibly partially-built) caches themselves: a hit returns
+     the same mutable value, so probes forced after insertion stay
+     visible to every later hit — a hit can never resurrect bounds a
+     forced probe already resolved. *)
   type entry = { cache : t; mutable stamp : int }
 
   type store = {
     env : Optimizer.Whatif.env;
     capacity : int option;
+    probe_budget : int option;
     tbl : (string, entry) Hashtbl.t;
     mutable tick : int;
     mutable hits : int;
@@ -335,13 +736,17 @@ module Keyed = struct
     mutable evictions : int;
   }
 
-  let create ?capacity env =
+  let create ?capacity ?probe_budget env =
     (match capacity with
     | Some c when c < 1 -> invalid_arg "Inum.Keyed.create: capacity < 1"
+    | _ -> ());
+    (match probe_budget with
+    | Some b when b < 1 -> invalid_arg "Inum.Keyed.create: probe_budget < 1"
     | _ -> ());
     {
       env;
       capacity;
+      probe_budget;
       tbl = Hashtbl.create 64;
       tick = 0;
       hits = 0;
@@ -350,6 +755,7 @@ module Keyed = struct
     }
 
   let env s = s.env
+  let probe_budget s = s.probe_budget
   let length s = Hashtbl.length s.tbl
   let hits s = s.hits
   let misses s = s.misses
@@ -425,7 +831,9 @@ module Keyed = struct
     | None ->
         s.misses <- s.misses + 1;
         Runtime.Trace.incr tr_cache_misses;
-        let cache = build s.env (Canon.normalize q) in
+        let cache =
+          build ?probe_budget:s.probe_budget s.env (Canon.normalize q)
+        in
         insert s k cache;
         cache
 
@@ -444,10 +852,39 @@ end
 type workload_cache = {
   selects : (Ast.query * float * t) list;  (* query or update shell, weight *)
   updates : (Ast.update * float) list;
-  total_init_calls : int;
+  (* Caches built by this value's deltas (first-build order): the probes
+     they spend — at build time and through later forcing — are this
+     workload's init calls.  Statements resolved from a pre-existing
+     keyed store contribute zero. *)
+  fresh : t list;
 }
 
-let empty_cache = { selects = []; updates = []; total_init_calls = 0 }
+let empty_cache = { selects = []; updates = []; fresh = [] }
+
+(* Dynamic: deferred probes forced after the build still count. *)
+let total_init_calls cache =
+  List.fold_left (fun acc t -> acc + t.init_calls) 0 cache.fresh
+
+let cache_truncated cache =
+  List.fold_left (fun acc t -> acc + t.truncated) 0 cache.fresh
+
+let cache_pending cache =
+  List.fold_left (fun acc t -> acc + pending_probes t) 0 cache.fresh
+
+(* Weighted certified regret: the INUM surface built from the kept
+   templates sits above the exhaustive surface by at most this much, at
+   any configuration. *)
+let cache_regret cache =
+  List.fold_left
+    (fun acc (_, weight, t) -> acc +. (weight *. probe_regret t))
+    0.0 cache.selects
+
+(* Force every statement cache at [config] (see [refine]); statements
+   sharing a canonical key share the cache, so repeats cost nothing. *)
+let refine_cache cache ~config =
+  List.fold_left
+    (fun acc (_, _, t) -> acc + refine t ~config)
+    0 cache.selects
 
 let add_statements ?jobs ?stats (store : Keyed.store) cache (w : Ast.workload) =
   Runtime.Trace.span "inum.add_statements" @@ fun () ->
@@ -472,7 +909,11 @@ let add_statements ?jobs ?stats (store : Keyed.store) cache (w : Ast.workload) =
      at every job count. *)
   let built =
     Runtime.parallel_map ?jobs
-      (fun (k, q) -> (k, build (Keyed.env store) (Canon.normalize q)))
+      (fun (k, q) ->
+        ( k,
+          build
+            ?probe_budget:(Keyed.probe_budget store)
+            (Keyed.env store) (Canon.normalize q) ))
       (Array.of_list missing)
   in
   (* Resolve each statement before mutating the store: a small-capacity
@@ -511,9 +952,7 @@ let add_statements ?jobs ?stats (store : Keyed.store) cache (w : Ast.workload) =
   {
     selects = cache.selects @ selects_delta;
     updates = cache.updates @ Ast.updates w;
-    (* Probes actually spent: statements resolved from the store cost
-       nothing. *)
-    total_init_calls = cache.total_init_calls + fresh_probes;
+    fresh = cache.fresh @ Array.to_list (Array.map snd built);
   }
 
 let remove_statements cache ~drop =
@@ -525,11 +964,11 @@ let remove_statements cache ~drop =
       List.filter (fun (u, _) -> not (drop (Ast.Update u))) cache.updates;
   }
 
-let build_workload ?jobs ?stats env (w : Ast.workload) =
+let build_workload ?jobs ?stats ?probe_budget env (w : Ast.workload) =
   Runtime.Trace.span "inum.build_workload" @@ fun () ->
   (* One-shot form of the incremental path: a fresh store, one delta.
      Statement order and [total_init_calls] stay independent of [jobs]. *)
-  add_statements ?jobs ?stats (Keyed.create env) empty_cache w
+  add_statements ?jobs ?stats (Keyed.create ?probe_budget env) empty_cache w
 
 (* INUM approximation of the total workload cost under [config], including
    index-maintenance and base-update costs. *)

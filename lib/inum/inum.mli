@@ -1,5 +1,7 @@
 (** INUM — the fast what-if layer (Papadomanolakis, Dash & Ailamaki, VLDB
-    2007) rebuilt over this repository's optimizer.
+    2007) rebuilt over this repository's optimizer, with Wii-style lazy
+    probing (Wii: skip what-if calls whose outcome is boundable without
+    the optimizer).
 
     A per-query cache of {e template plans}: physical plans whose
     base-table accesses are abstract slots.  A template carries its
@@ -8,7 +10,17 @@
     slot's requirement).  [cost q X = min over templates and atomic
     configurations of beta + sum gamma] — the linearly composable form of
     the paper's Definition 1, which is what turns index tuning into a
-    compact BIP (Theorem 1). *)
+    compact BIP (Theorem 1).
+
+    Probing is bound-driven: spec combinations are partially ordered by
+    requirement strength, probed neighbors bound unprobed betas from both
+    sides, and a combination is probed only while its bound interval
+    could still change which template wins.  Combinations certified
+    dominated or infeasible are skipped with zero regret; an optional
+    probe budget defers the rest, leaving a certified per-query regret
+    bound, and deferred probes are forced lazily when (and only when)
+    {!cost} / {!best_instantiation} consult a configuration whose best
+    instantiation their interval overlaps. *)
 
 type template = {
   beta : float;  (** internal plan cost (joins, sorts, aggregation) *)
@@ -18,34 +30,86 @@ type template = {
 }
 
 type t
-(** The INUM cache of one query. *)
+(** The INUM cache of one query; mutable behind the scenes (deferred
+    probes resolve in place). *)
 
-(** Build the cache by probing the optimizer once per interesting-order /
-    nested-loop spec combination (the "few carefully selected what-if
-    calls" of the paper). *)
-val build : Optimizer.Whatif.env -> Sqlast.Ast.query -> t
+(** Build the cache with the lazy bound-driven probe loop.  Without
+    [probe_budget] every combination is probed or certified: the kept
+    template set is provably identical to {!build_eager}'s and the
+    residual regret is zero.  With [probe_budget] (clamped to >= 1) at
+    most that many optimizer probes are spent up front; the rest stay
+    deferred with a certified regret bound ({!probe_regret}) and resolve
+    lazily on demand. *)
+val build : ?probe_budget:int -> Optimizer.Whatif.env -> Sqlast.Ast.query -> t
+
+(** Probe every spec combination eagerly, as the original INUM does — the
+    reference implementation the lazy build is tested bit-identical
+    against. *)
+val build_eager : Optimizer.Whatif.env -> Sqlast.Ast.query -> t
 
 val query : t -> Sqlast.Ast.query
 val templates : t -> template list
 val template_count : t -> int
 
+(** Structural slot-requirement equality with explicit float semantics
+    ({!Runtime.Fx.exactly} on [Nlj_inner] outer rows) — use this instead
+    of polymorphic [=], which compares the embedded floats bit-blindly
+    (NaN [<>] NaN, [-0. = 0.]). *)
+val req_equal : Optimizer.Plan.slot_req -> Optimizer.Plan.slot_req -> bool
+
 (** Tables referenced by the query, in slot order. *)
 val tables : t -> string list
 
-(** Optimizer calls spent building the cache. *)
+(** Optimizer calls spent on this cache so far — build-time probes plus
+    any deferred probes forced later. *)
 val init_calls : t -> int
+
+(** Spec combinations dropped by the per-query enumeration cap (at most
+    [max_combinations = 160] combinations over at most 3 simultaneously
+    constrained tables are considered; enumeration visits
+    less-constrained combinations first, so the cap sheds the most
+    exotic templates).  Nonzero means the template set — eager or lazy —
+    is built over a truncated combination space; the count is also
+    accumulated in the [inum.combos_truncated] trace counter and
+    surfaced by [bench --json] and [cophy_serve] stats, so the cap is a
+    modeling choice, never a silent one. *)
+val combos_truncated : t -> int
+
+(** Deferred probes still outstanding (zero after an unlimited-budget
+    build, or once {!refine} converges everywhere consulted). *)
+val pending_probes : t -> int
+
+(** Certified regret bound: the cost surface computed from the kept
+    templates sits above the exhaustive INUM surface by at most this
+    much, at any configuration.  Zero when nothing is pending. *)
+val probe_regret : t -> float
+
+(** [refine t ~config] — force deferred probes whose bound interval
+    overlaps the best instantiation under [config], until none does;
+    returns the number of probes forced.  Afterwards [cost t config] is
+    exact (equal to the exhaustive build's) at this configuration.
+    Idempotent; serialized internally. *)
+val refine : t -> config:Storage.Config.t -> int
 
 (** [gamma t k ~table index] — the cost of instantiating [table]'s slot in
     template [k] with [index] ([None] = no index).  [None] result encodes
-    an infinite coefficient (incompatible requirement). *)
+    an infinite coefficient (incompatible requirement).
+    @raise Invalid_argument naming the table and query when [table] is
+    not referenced by the query. *)
 val gamma : t -> int -> table:string -> Storage.Index.t option -> float option
 
-(** INUM's approximation of [cost (q, X)]: an upper bound on (and in this
-    implementation, typically equal to) the direct what-if cost. *)
+(** INUM's approximation of [cost (q, X)].  Forces overlapping deferred
+    probes first ({!refine}), so the result equals the exhaustive
+    build's cost at every configuration actually consulted. *)
 val cost : t -> Storage.Config.t -> float
 
+(** [(surrogate, regret)] without forcing any deferred probe: the
+    exhaustive cost lies in [[surrogate - regret, surrogate]]. *)
+val cost_bound : t -> Storage.Config.t -> float * float
+
 (** The (cost, template index, per-table index picks) the minimum is
-    attained at — for explain output. *)
+    attained at — for explain output.  Forces overlapping deferred
+    probes first, like {!cost}. *)
 val best_instantiation :
   t -> Storage.Config.t -> float * int * Storage.Index.t option array
 
@@ -53,19 +117,29 @@ val best_instantiation :
     ({!Sqlast.Canon.key}) -> statement cache.  A repeat query — any
     statement whose canonical form was seen before — costs zero optimizer
     probes.  Builds run on the canonical form, so a hit returns a cache
-    bit-identical to a fresh {!build} of the normalized query.  Hits,
-    misses, and evictions are mirrored into the [inum.cache_*] trace
+    bit-identical to a fresh {!build} of the normalized query.  Entries
+    are the live caches themselves: a hit after a partial (budgeted)
+    build returns the same entry with every probe forced so far already
+    resolved — a hit can never resurrect stale bounds.  Hits, misses,
+    and evictions are mirrored into the [inum.cache_*] trace
     counters. *)
 module Keyed : sig
   type store
 
-  (** [create ?capacity env] — a fresh store.  With [capacity], the store
-      keeps at most that many entries, evicting least-recently-used
-      first (the access clock is a deterministic logical counter).
-      @raise Invalid_argument when [capacity < 1]. *)
-  val create : ?capacity:int -> Optimizer.Whatif.env -> store
+  (** [create ?capacity ?probe_budget env] — a fresh store.  With
+      [capacity], the store keeps at most that many entries, evicting
+      least-recently-used first (the access clock is a deterministic
+      logical counter).  [probe_budget] is passed to every {!build} the
+      store performs.
+      @raise Invalid_argument when [capacity < 1] or [probe_budget < 1]. *)
+  val create :
+    ?capacity:int -> ?probe_budget:int -> Optimizer.Whatif.env -> store
 
   val env : store -> Optimizer.Whatif.env
+
+  val probe_budget : store -> int option
+  (** the per-query budget this store builds with ([None] = unlimited) *)
+
   val length : store -> int
 
   val hits : store -> int
@@ -90,25 +164,45 @@ module Keyed : sig
 end
 
 (** Caches for a whole workload: SELECTs and update query shells, plus the
-    update statements for maintenance costing.  [total_init_calls] counts
-    optimizer probes actually spent: statements resolved from a keyed
-    store contribute zero. *)
+    update statements for maintenance costing.  [fresh] lists the caches
+    built by this value's deltas (statements resolved from a keyed store
+    contribute no entry — and zero probes). *)
 type workload_cache = {
   selects : (Sqlast.Ast.query * float * t) list;
   updates : (Sqlast.Ast.update * float) list;
-  total_init_calls : int;
+  fresh : t list;
 }
 
 val empty_cache : workload_cache
 
+(** Optimizer probes spent by this workload's builds so far — build-time
+    probes plus deferred probes forced later (the count is dynamic). *)
+val total_init_calls : workload_cache -> int
+
+(** Sum of {!combos_truncated} over the workload's fresh builds. *)
+val cache_truncated : workload_cache -> int
+
+(** Sum of {!pending_probes} over the workload's fresh builds. *)
+val cache_pending : workload_cache -> int
+
+(** Weight-summed certified regret ({!probe_regret}) over the workload's
+    SELECTs: the workload cost surface computed from the kept templates
+    sits above the exhaustive one by at most this much, at any
+    configuration. *)
+val cache_regret : workload_cache -> float
+
+(** [refine_cache cache ~config] — {!refine} every statement cache at
+    [config]; returns the total number of probes forced. *)
+val refine_cache : workload_cache -> config:Storage.Config.t -> int
+
 (** [add_statements store cache w] — [cache] extended with every statement
     of [w] (order preserved, appended after existing statements).
     Statement caches are resolved through [store]: repeat keys are hits
-    (zero probes), and only missing keys are built, fanned over up to
-    [jobs] domains.  The result is independent of [jobs].  When [stats]
-    is given, accumulates probe / template counters for the fresh builds
-    only.  Entries evicted from [store] by capacity pressure stay
-    referenced by the returned cache. *)
+    (zero probes), and only missing keys are built — with [store]'s probe
+    budget — fanned over up to [jobs] domains.  The result is independent
+    of [jobs].  When [stats] is given, accumulates probe / template
+    counters for the fresh builds only.  Entries evicted from [store] by
+    capacity pressure stay referenced by the returned cache. *)
 val add_statements :
   ?jobs:int ->
   ?stats:Runtime.Stats.t ->
@@ -124,20 +218,22 @@ val remove_statements :
   workload_cache -> drop:(Sqlast.Ast.statement -> bool) -> workload_cache
 
 (** Build the caches for every SELECT in the workload — the one-shot form
-    of {!add_statements} over a fresh store — fanning statement cache
-    construction over up to [jobs] domains (default
-    {!Runtime.recommended_jobs}).  Statement order and
-    [total_init_calls] are independent of [jobs]; [jobs:1] runs entirely
+    of {!add_statements} over a fresh store with the given probe budget —
+    fanning statement cache construction over up to [jobs] domains
+    (default {!Runtime.recommended_jobs}).  Statement order and
+    {!total_init_calls} are independent of [jobs]; [jobs:1] runs entirely
     on the calling domain.  When [stats] is given, accumulates
     INUM probe / template counters into it. *)
 val build_workload :
   ?jobs:int ->
   ?stats:Runtime.Stats.t ->
+  ?probe_budget:int ->
   Optimizer.Whatif.env ->
   Sqlast.Ast.workload ->
   workload_cache
 
 (** Total INUM-approximated workload cost under a configuration, including
-    index maintenance and base-update costs. *)
+    index maintenance and base-update costs.  Forces overlapping deferred
+    probes (see {!cost}). *)
 val workload_cost :
   Optimizer.Whatif.env -> workload_cache -> Storage.Config.t -> float

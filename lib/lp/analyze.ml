@@ -28,7 +28,7 @@ let severity_name = function
 
 let pp_issue ppf i =
   Fmt.pf ppf "%s[%s]%s%s: %s" (severity_name i.severity) i.code
-    (if i.where = "" then "" else " ")
+    (if String.equal i.where "" then "" else " ")
     i.where i.message
 
 (* Order-independent signature of a row's left-hand side + sense, for

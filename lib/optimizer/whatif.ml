@@ -510,6 +510,49 @@ let template_plan env (q : Ast.query) ~slot_specs =
   let ctx = make_ctx env q (Template slot_specs) in
   finalize ctx (plan_joins ctx)
 
+(* --- Bound queries --- *)
+
+(* A lower bound on the beta of *every* template of [q], computed without
+   running the DP — the bound-query entry point the lazy INUM probe loop
+   seeds its per-combination lower bounds with.
+
+   Soundness: every template plan over n >= 2 tables ends in a join that
+   emits the full result and pays [cpu_tuple_cost] per emitted tuple
+   (all three join methods do).  [Card.join_rows] clamps intermediate
+   cardinalities up to 1.0, so the unclamped product
+   [prod filtered_rows * prod join_selectivity] is a lower bound on the
+   final join's output rows under any join order.  Grouping adds the
+   cheaper of the hash-aggregate build and the sorted-aggregate pass over
+   those rows; a plain aggregate pays one operator pass.  Sort costs are
+   not counted: an ordered template may deliver the order for free. *)
+let template_cost_floor env (q : Ast.query) =
+  let p = env.params in
+  match q.Ast.tables with
+  | [] -> 0.0
+  | tables ->
+      let n = List.length tables in
+      let prod_rows =
+        List.fold_left
+          (fun acc t -> acc *. Card.filtered_rows env.schema q t)
+          1.0 tables
+      in
+      let sel =
+        List.fold_left
+          (fun acc j -> acc *. Card.join_selectivity env.schema j)
+          1.0 q.Ast.joins
+      in
+      let r_full = max 1.0 (prod_rows *. sel) in
+      let join_floor = if n >= 2 then r_full *. p.cpu_tuple_cost else 0.0 in
+      let agg_floor =
+        if q.Ast.group_by <> [] then
+          min
+            (Cost_params.hash_build_cost p ~rows:r_full ~width:16)
+            (r_full *. p.cpu_operator_cost)
+        else if has_aggregate q then r_full *. p.cpu_operator_cost
+        else 0.0
+      in
+      join_floor +. agg_floor
+
 (* --- Update statements --- *)
 
 (* Maintenance cost of index [ix] under update [u]: for each affected row,

@@ -47,6 +47,15 @@ val template_plan :
   slot_specs:(string * slot_spec) list ->
   Plan.t option
 
+(** Bound query: a lower bound on the beta of every template of the
+    query, computed without running the planning DP.  Counts the
+    mandatory final-join output tuples (the unclamped cardinality
+    product, a lower bound under any join order) and the cheapest
+    aggregation pass; sort costs are excluded since an ordered template
+    may deliver its order for free.  The lazy INUM probe loop seeds its
+    per-combination lower bounds with this. *)
+val template_cost_floor : env -> Sqlast.Ast.query -> float
+
 (** ucost(a, q): maintenance cost of the index under the update (0 when
     the index is unaffected). *)
 val update_cost : env -> Sqlast.Ast.update -> Storage.Index.t -> float

@@ -64,11 +64,12 @@ type t = {
 let weight_eps = 1e-9
 
 let create ?(params = Optimizer.Cost_params.default) ?(window = 256)
-    ?(jobs = 1) ?(budget_fraction = 0.25) ?(certify = true) schema =
+    ?(jobs = 1) ?(budget_fraction = 0.25) ?(certify = true) ?probe_budget
+    schema =
   if window < 1 then invalid_arg "Engine.create: window < 1";
   let budget = budget_fraction *. Catalog.Tpch.database_size schema in
   let session =
-    Cophy.Interactive.create ~params ~jobs schema [] ~budget
+    Cophy.Interactive.create ~params ~jobs ?probe_budget schema [] ~budget
   in
   {
     schema;
@@ -208,7 +209,7 @@ let quantile_ms t q =
    undercounts reuse; every fresh build is a store miss, which makes
    [events - misses] the number of zero-probe observations. *)
 let cache_hit_rate t =
-  if t.events = 0 then 0.0
+  if Int.equal t.events 0 then 0.0
   else
     let misses = Inum.Keyed.misses (Cophy.Interactive.store t.session) in
     float_of_int (max 0 (t.events - misses)) /. float_of_int t.events
@@ -230,6 +231,20 @@ let recommend t =
     }
   in
   let report = Cophy.Interactive.retune ~options t.session in
+  (* Probe-budget completion (see Advisor.advise): force the deferred
+     INUM probes overlapping the incumbent and re-solve warm until the
+     recommendation's cost model is exact at its own configuration.
+     With an unlimited budget [refine_at] is a no-op and the first
+     report stands. *)
+  let rec converge report rounds =
+    if
+      rounds = 0
+      || Cophy.Interactive.refine_at t.session report.Cophy.Solver.config = 0
+    then report
+    else
+      converge (Cophy.Interactive.retune ~options t.session) (rounds - 1)
+  in
+  let report = converge report 8 in
   let ms = (Runtime.Clock.now () -. t0) *. 1000.0 in
   Runtime.Trace.incr tr_recommends;
   t.recommends <- t.recommends + 1;
@@ -241,6 +256,7 @@ let recommend t =
       ("objective", Json.Num report.Cophy.Solver.objective);
       ("bound", Json.Num report.Cophy.Solver.bound);
       ("gap", Json.Num report.Cophy.Solver.gap);
+      ("probe_regret", Json.Num report.Cophy.Solver.probe_regret);
       ( "indexes",
         Json.List
           (List.map
@@ -300,6 +316,20 @@ let stats_response t =
       ("cache_evictions", Json.Num (float_of_int (Inum.Keyed.evictions store)));
       ("cache_hit_rate", Json.Num (cache_hit_rate t));
       ("inum_probes", Json.Num (float_of_int (Runtime.Stats.inum_probes st)));
+      (* lazy-probing state of the session's INUM caches: deferred
+         probes still outstanding, the certified regret bound they
+         imply, and combinations the per-query enumeration cap dropped
+         (the cap is a modeling choice, never a silent one) *)
+      ( "pending_probes",
+        Json.Num
+          (float_of_int
+             (Inum.cache_pending (Cophy.Interactive.cache t.session))) );
+      ( "probe_regret",
+        Json.Num (Cophy.Interactive.probe_regret t.session) );
+      ( "combos_truncated",
+        Json.Num
+          (float_of_int
+             (Inum.cache_truncated (Cophy.Interactive.cache t.session))) );
       ("p50_ms", Json.Num (quantile_ms t 0.5));
       ("p99_ms", Json.Num (quantile_ms t 0.99));
     ]

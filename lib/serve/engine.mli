@@ -20,7 +20,10 @@ type t
     [window] (default [256]) is the sliding-window capacity in events;
     [budget_fraction] (default [0.25]) the storage budget as a fraction
     of the database size; [certify] (default [true]) runs
-    {!Lp.Analyze.certify} on every recommendation.
+    {!Lp.Analyze.certify} on every recommendation; [probe_budget]
+    (default unlimited) caps up-front INUM probes per query — deferred
+    probes resolve lazily during [recommend]/[whatif], and the [stats]
+    response reports the outstanding count and certified regret bound.
     @raise Invalid_argument when [window < 1]. *)
 val create :
   ?params:Optimizer.Cost_params.t ->
@@ -28,6 +31,7 @@ val create :
   ?jobs:int ->
   ?budget_fraction:float ->
   ?certify:bool ->
+  ?probe_budget:int ->
   Catalog.Schema.t ->
   t
 

@@ -72,7 +72,7 @@ let pp_update ppf (u : update) =
   Fmt.pf ppf "@[<v>UPDATE %s@ SET @[%a@]" u.target
     (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf c -> Fmt.pf ppf "%s = ?" c))
     u.set_columns;
-  if u.where <> [] then
+  if not (List.is_empty u.where) then
     Fmt.pf ppf "@ WHERE @[%a@]"
       (Fmt.list ~sep:(Fmt.any "@ AND ") pp_predicate)
       u.where;

@@ -588,8 +588,8 @@ let test_parallel_determinism () =
   in
   let c1, r1 = run 1 in
   let c4, r4 = run 4 in
-  Alcotest.(check int) "total_init_calls identical" c1.Inum.total_init_calls
-    c4.Inum.total_init_calls;
+  Alcotest.(check int) "total_init_calls identical" (Inum.total_init_calls c1)
+    (Inum.total_init_calls c4);
   Alcotest.(check int) "statement count" (List.length c1.Inum.selects)
     (List.length c4.Inum.selects);
   List.iter2

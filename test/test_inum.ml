@@ -183,7 +183,7 @@ let test_workload_cache () =
     (List.length cache.Inum.selects);
   Alcotest.(check bool) "some updates" true (List.length cache.Inum.updates > 0);
   Alcotest.(check bool) "init calls counted" true
-    (cache.Inum.total_init_calls > 0);
+    ((Inum.total_init_calls cache) > 0);
   (* workload cost decreases (or stays) when indexes are added; update
      maintenance can offset gains, so test with a covering useful index *)
   let c0 = Inum.workload_cost e cache Storage.Config.empty in
@@ -203,20 +203,109 @@ let test_update_maintenance_in_workload_cost () =
   let c_without = Inum.workload_cost e cache Storage.Config.empty in
   Alcotest.(check bool) "maintenance charged" true (c_with > c_without)
 
+(* --- Lazy probing vs. the eager reference --- *)
+
+(* Bit-identical template sets: betas via Fx.exactly, slot requirements
+   via Inum.req_equal (never polymorphic [=] — the reqs embed floats),
+   plans by their printed form. *)
+let same_templates c1 c2 =
+  List.length (Inum.templates c1) = List.length (Inum.templates c2)
+  && List.for_all2
+       (fun (a : Inum.template) (b : Inum.template) ->
+         Runtime.Fx.exactly a.Inum.beta b.Inum.beta
+         && Array.length a.Inum.slot_reqs = Array.length b.Inum.slot_reqs
+         && Array.for_all2 Inum.req_equal a.Inum.slot_reqs b.Inum.slot_reqs
+         && String.equal
+              (Fmt.str "%a" Optimizer.Plan.pp a.Inum.plan)
+              (Fmt.str "%a" Optimizer.Plan.pp b.Inum.plan))
+       (Inum.templates c1) (Inum.templates c2)
+
+let some_configs () =
+  [ Storage.Config.empty;
+    Storage.Config.of_list [ ix "orders" [ "o_orderdate" ] ];
+    Storage.Config.of_list
+      [ ix ~includes:[ "o_orderdate" ] "orders" [ "o_orderdate" ];
+        ix ~includes:[ "l_extendedprice" ] "lineitem" [ "l_orderkey" ] ] ]
+
+let test_lazy_unlimited_matches_eager () =
+  let e = env () in
+  let w = Workload.Gen.hom schema ~n:12 ~seed:5 in
+  List.iter
+    (fun (q, _) ->
+      let lazy_build = Inum.build e q in
+      let eager = Inum.build_eager e q in
+      Alcotest.(check bool) "kept templates bit-identical" true
+        (same_templates lazy_build eager);
+      Alcotest.(check int) "nothing deferred at unlimited budget" 0
+        (Inum.pending_probes lazy_build);
+      Alcotest.(check (float 0.0)) "zero regret" 0.0
+        (Inum.probe_regret lazy_build);
+      Alcotest.(check bool) "lazy never probes more than eager" true
+        (Inum.init_calls lazy_build <= Inum.init_calls eager);
+      List.iter
+        (fun cfg ->
+          Alcotest.(check (float 0.0)) "identical cost surface"
+            (Inum.cost eager cfg) (Inum.cost lazy_build cfg))
+        (some_configs ()))
+    (Ast.selects w)
+
+let test_budgeted_build_jobs_invariant () =
+  let w = Workload.Gen.hom schema ~n:10 ~seed:7 in
+  let c1 = Inum.build_workload ~jobs:1 ~probe_budget:8 (env ()) w in
+  let c4 = Inum.build_workload ~jobs:4 ~probe_budget:8 (env ()) w in
+  Alcotest.(check int) "same probe count at jobs 1 and 4"
+    (Inum.total_init_calls c1) (Inum.total_init_calls c4);
+  Alcotest.(check (float 0.0)) "same certified regret"
+    (Inum.cache_regret c1) (Inum.cache_regret c4);
+  List.iter2
+    (fun (_, _, a) (_, _, b) ->
+      (* compare the surrogate surface without forcing deferred probes *)
+      let ca, _ = Inum.cost_bound a Storage.Config.empty in
+      let cb, _ = Inum.cost_bound b Storage.Config.empty in
+      Alcotest.(check (float 0.0)) "same surrogate cost" ca cb)
+    c1.Inum.selects c4.Inum.selects
+
+(* The certification property: at any budget and any configuration the
+   budgeted surrogate over-estimates the exhaustive INUM cost by at most
+   the certified regret. *)
+let prop_budgeted_regret_sound =
+  QCheck.Test.make
+    ~name:"budgeted surrogate >= exhaustive >= surrogate - regret" ~count:15
+    QCheck.(triple (int_range 0 10_000) (int_range 1 6) (int_range 0 3))
+    (fun (seed, budget, subset) ->
+      let e = env () in
+      let w = Workload.Gen.hom schema ~n:4 ~seed in
+      let cands = Cophy.Cgen.generate w in
+      let cfg =
+        Storage.Config.of_list
+          (List.filteri (fun i _ -> i mod (subset + 1) = 0) cands)
+      in
+      List.for_all
+        (fun (q, _) ->
+          let budgeted = Inum.build ~probe_budget:budget e q in
+          let exact = Inum.cost (Inum.build_eager e q) cfg in
+          let surrogate, regret = Inum.cost_bound budgeted cfg in
+          regret >= 0.0
+          && surrogate >= exact -. 1e-6
+          && exact >= surrogate -. regret -. 1e-6)
+        (Ast.selects w))
+
+let test_gamma_unknown_table_raises () =
+  let e = env () in
+  let c = Inum.build e (simple_query ()) in
+  Alcotest.check_raises "names the table and the query"
+    (Invalid_argument
+       "Inum.gamma: table \"nation\" is not referenced by query 1")
+    (fun () -> ignore (Inum.gamma c 0 ~table:"nation" None))
+
 (* --- Keyed store --- *)
 
 (* A cache hit must return exactly what a fresh build of the normalized
    query would: same templates (betas, slot requirements, plans) and the
    same cost surface, bit for bit. *)
 let same_cache c1 c2 =
-  Inum.tables c1 = Inum.tables c2
-  && List.length (Inum.templates c1) = List.length (Inum.templates c2)
-  && List.for_all2
-       (fun (a : Inum.template) (b : Inum.template) ->
-         Float.equal a.Inum.beta b.Inum.beta
-         && a.Inum.slot_reqs = b.Inum.slot_reqs
-         && a.Inum.plan = b.Inum.plan)
-       (Inum.templates c1) (Inum.templates c2)
+  List.equal String.equal (Inum.tables c1) (Inum.tables c2)
+  && same_templates c1 c2
 
 let test_keyed_hit_bit_identical () =
   let e = env () in
@@ -270,17 +359,43 @@ let test_add_statements_dedupe () =
   let store = Inum.Keyed.create e in
   let w = Workload.Gen.hom schema ~n:5 ~seed:11 in
   let cache = Inum.add_statements store Inum.empty_cache w in
-  let first_probes = cache.Inum.total_init_calls in
+  let first_probes = (Inum.total_init_calls cache) in
   Alcotest.(check bool) "probes spent on first add" true (first_probes > 0);
   (* re-adding the same statements must cost zero probes *)
   let cache2 = Inum.add_statements store cache w in
   Alcotest.(check int) "repeat add costs zero probes" first_probes
-    cache2.Inum.total_init_calls;
+    (Inum.total_init_calls cache2);
   Alcotest.(check int) "both copies referenced" (2 * List.length w)
     (List.length cache2.Inum.selects);
   Alcotest.(check bool) "repeats are hits" true (Inum.Keyed.hits store > 0);
   Alcotest.(check (float 1e-9)) "hit rate reflects reuse"
     0.5 (Inum.Keyed.hit_rate store)
+
+(* A hit on a partially-built (budgeted) entry must return the same live
+   value — never a copy with stale bounds — and refinement through one
+   handle must be visible through every other. *)
+let test_keyed_partial_build_coherent () =
+  let e = env () in
+  let store = Inum.Keyed.create ~probe_budget:2 e in
+  let q = join_query () in
+  let c1 = Inum.Keyed.find_or_build store q in
+  Alcotest.(check bool) "budget 2 leaves probes deferred" true
+    (Inum.pending_probes c1 > 0);
+  let surrogate, regret = Inum.cost_bound c1 Storage.Config.empty in
+  let c2 = Inum.Keyed.find_or_build store q in
+  Alcotest.(check bool) "hit is the same live entry" true (c1 == c2);
+  (* consulting the cost through the hit forces the deferred probes … *)
+  let exact = Inum.cost c2 Storage.Config.empty in
+  Alcotest.(check bool) "the pre-refinement bound was sound" true
+    (surrogate >= exact -. 1e-6 && exact >= surrogate -. regret -. 1e-6);
+  (* … and the first handle sees the refinement, not its stale bounds *)
+  let surrogate', regret' = Inum.cost_bound c1 Storage.Config.empty in
+  Alcotest.(check (float 0.0)) "no stale bounds on the first handle" exact
+    surrogate';
+  Alcotest.(check bool) "regret never grows" true (regret' <= regret);
+  Alcotest.(check (float 0.0)) "refined cost matches an eager build"
+    (Inum.cost (Inum.build_eager e (Canon.normalize q)) Storage.Config.empty)
+    exact
 
 (* Resolution through the store is invariant in jobs and identical to a
    fresh direct build of the canonical form. *)
@@ -309,6 +424,16 @@ let () =
         [
           Alcotest.test_case "incompatible order" `Quick test_gamma_infinite_on_wrong_order;
           Alcotest.test_case "no-index finite" `Quick test_gamma_none_index_finite;
+          Alcotest.test_case "unknown table raises" `Quick
+            test_gamma_unknown_table_raises;
+        ] );
+      ( "lazy",
+        [
+          Alcotest.test_case "unlimited budget = eager" `Quick
+            test_lazy_unlimited_matches_eager;
+          Alcotest.test_case "budgeted build jobs-invariant" `Quick
+            test_budgeted_build_jobs_invariant;
+          QCheck_alcotest.to_alcotest prop_budgeted_regret_sound;
         ] );
       ( "lemma1",
         [
@@ -328,6 +453,8 @@ let () =
           Alcotest.test_case "capacity lru" `Quick test_keyed_capacity_lru;
           Alcotest.test_case "add_statements dedupe" `Quick
             test_add_statements_dedupe;
+          Alcotest.test_case "partial build coherent" `Quick
+            test_keyed_partial_build_coherent;
           QCheck_alcotest.to_alcotest prop_keyed_matches_fresh;
         ] );
     ]

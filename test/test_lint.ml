@@ -47,7 +47,32 @@ let test_float_eq () =
      let bad p q = compare (p.m, p.c) (q.m, q.c)";
   check_triggers Lint_core.Float_eq "nested tuple float"
     "let bad a x y = ((a, 2.5), x) = ((a, 2.5), y)";
+  (* floats reached only through structural equality's walk into
+     records, variants and containers (the inum slot_reqs bug: a record
+     field holding an array of float-carrying variants compared with
+     polymorphic [=]) *)
+  check_triggers Lint_core.Float_eq "field holding array of float variants"
+    "type req = Any | Nlj of float\n\
+     type tpl = { reqs : req array }\n\
+     let bad a b = a.reqs = b.reqs";
+  check_triggers Lint_core.Float_eq "variant-payload record in a list"
+    "type pt = { x : int; w : float }\n\
+     type shape = Dot of pt | Poly of pt list\n\
+     type fig = { outline : shape }\n\
+     let bad f g = f.outline = g.outline";
+  check_triggers Lint_core.Float_eq "constraint on a float-carrying alias"
+    "type row = int * float\n\
+     type rows = row list\n\
+     let bad a b = (a : rows) = b";
   (* near-misses: non-float operands, tolerance idiom, Fx helpers *)
+  check_clean "field holding array of int variants"
+    "type req = Any | Nlj of int\n\
+     type tpl = { reqs : req array }\n\
+     let ok a b = a.reqs = b.reqs";
+  check_clean "int-carrying alias constraint"
+    "type row = int * string\n\
+     type rows = row list\n\
+     let ok a b = (a : rows) = b";
   check_clean "int-only tuple comparison"
     "let ok (a : int) b = (a, 0) = (b, 1)";
   check_clean "int field comparison"

@@ -128,17 +128,33 @@ module SSet = Set.Make (String)
    type declarations of *all* files in the lint run records which type
    names expand to [float] (transitively through aliases) and which
    record fields carry such a type; [is_floatish] then classifies
-   [e.field] and [(e : alias)] operands too.  Names are matched on the
-   last path component — a deliberate over-approximation (any field
-   named like a float field counts) in keeping with the linter's
-   flag-first posture. *)
+   [e.field] and [(e : alias)] operands too.
+
+   Structural comparison walks *into* values, so the pre-pass also
+   tracks which types merely *contain* a float somewhere inside —
+   through record fields, variant constructor arguments, tuples, and
+   type arguments of containers ([array], [list], [option], ...) — to a
+   fixpoint.  [x.slots = y.slots] with [slots : req array] and [Nlj of
+   float] inside [req] is every bit as bit-blind as [a.elapsed =
+   b.elapsed], and historically harder to spot.  Names are matched on
+   the last path component — a deliberate over-approximation (any field
+   named like a float-carrying field counts) in keeping with the
+   linter's flag-first posture. *)
 
 type tyenv = {
   mutable float_aliases : SSet.t;  (* type names whose manifest is float *)
-  mutable float_fields : SSet.t;   (* record fields of a float(-alias) type *)
+  mutable float_carrying : SSet.t;
+      (* type names whose values structurally contain a float *)
+  mutable float_fields : SSet.t;
+      (* record fields of a float(-alias) or float-carrying type *)
 }
 
-let empty_tyenv () = { float_aliases = SSet.empty; float_fields = SSet.empty }
+let empty_tyenv () =
+  {
+    float_aliases = SSet.empty;
+    float_carrying = SSet.empty;
+    float_fields = SSet.empty;
+  }
 
 let rec core_type_is_float env (t : core_type) =
   match t.ptyp_desc with
@@ -150,14 +166,41 @@ let rec core_type_is_float env (t : core_type) =
   | Ptyp_alias (t', _) -> core_type_is_float env t'
   | _ -> false
 
+(* Does a value of this type structurally contain a float anywhere a
+   polymorphic comparison would walk?  Floats and float aliases count;
+   so do named types already known to carry one, tuples with a carrying
+   component, and any type constructor applied to a carrying argument
+   ([req array], [float list], [span option], ...). *)
+let rec core_type_carries_float env (t : core_type) =
+  core_type_is_float env t
+  ||
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = lid; _ }, args) ->
+      let last = Longident.last lid in
+      SSet.mem last env.float_carrying
+      || SSet.mem
+           (String.concat "." (Longident.flatten lid))
+           env.float_carrying
+      || List.exists (core_type_carries_float env) args
+  | Ptyp_tuple ts -> List.exists (core_type_carries_float env) ts
+  | Ptyp_alias (t', _) -> core_type_carries_float env t'
+  | _ -> false
+
 (* One scan of [str]'s type declarations into [env]; returns true when a
-   new alias or field was learned.  Callers iterate to a fixpoint so
-   alias-of-alias chains resolve regardless of file order. *)
+   new alias, carrier or field was learned.  Callers iterate to a
+   fixpoint so alias-of-alias and record-in-variant-in-array chains
+   resolve regardless of file and declaration order. *)
 let scan_type_decls env (str : structure) =
   let changed = ref false in
   let learn_alias name =
     if not (SSet.mem name env.float_aliases) then begin
       env.float_aliases <- SSet.add name env.float_aliases;
+      changed := true
+    end
+  in
+  let learn_carrying name =
+    if not (SSet.mem name env.float_carrying) then begin
+      env.float_carrying <- SSet.add name env.float_carrying;
       changed := true
     end
   in
@@ -169,15 +212,35 @@ let scan_type_decls env (str : structure) =
   in
   let super = Ast_iterator.default_iterator in
   let type_declaration self (d : type_declaration) =
+    let name = d.ptype_name.txt in
     (match d.ptype_manifest with
-    | Some t when core_type_is_float env t -> learn_alias d.ptype_name.txt
-    | _ -> ());
+    | Some t ->
+        if core_type_is_float env t then learn_alias name;
+        if core_type_carries_float env t then learn_carrying name
+    | None -> ());
     (match d.ptype_kind with
     | Ptype_record labels ->
         List.iter
           (fun (l : label_declaration) ->
-            if core_type_is_float env l.pld_type then learn_field l.pld_name.txt)
+            if core_type_carries_float env l.pld_type then begin
+              learn_field l.pld_name.txt;
+              learn_carrying name
+            end)
           labels
+    | Ptype_variant constrs ->
+        List.iter
+          (fun (c : constructor_declaration) ->
+            let carries =
+              match c.pcd_args with
+              | Pcstr_tuple ts -> List.exists (core_type_carries_float env) ts
+              | Pcstr_record labels ->
+                  List.exists
+                    (fun (l : label_declaration) ->
+                      core_type_carries_float env l.pld_type)
+                    labels
+            in
+            if carries then learn_carrying name)
+          constrs
     | _ -> ());
     super.type_declaration self d
   in
@@ -218,7 +281,8 @@ let rec is_floatish env (e : expression) =
       | _ -> false)
   | Pexp_field (_, { txt = lid; _ }) ->
       SSet.mem (Longident.last lid) env.float_fields
-  | Pexp_constraint (e', t) -> core_type_is_float env t || is_floatish env e'
+  | Pexp_constraint (e', t) ->
+      core_type_carries_float env t || is_floatish env e'
   | Pexp_open (_, e') -> is_floatish env e'
   (* Tuple immediates: [compare (a.x, a.y) (b.x, b.y)] is still a
      polymorphic structural walk over the float components, so a tuple
